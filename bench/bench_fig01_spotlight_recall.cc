@@ -1,0 +1,112 @@
+// Fig. 1 reproduction: recall of Spotlight search results under background
+// file copying at 0 / 2 / 5 / 10 files-per-second.
+//
+// After a full index rebuild, a background process copies files into the
+// dataset while a foreground process queries continuously for 10 minutes
+// (virtual).  Recall = |returned ∩ relevant| / |relevant| against the live
+// namespace.  Reproduces the paper's three observations: recall capped
+// below ~53% by file-type coverage, recall sagging as FPS rises, and
+// recall collapsing to 0 during crawler re-index windows.
+#include <cstdio>
+#include <unordered_set>
+
+#include "baseline/spotlight.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "workload/copier.h"
+#include "workload/dataset.h"
+
+using namespace propeller;
+
+namespace {
+
+double Recall(const std::vector<index::FileId>& returned,
+              const fs::Namespace& ns, const index::Predicate& pred) {
+  std::unordered_set<index::FileId> got(returned.begin(), returned.end());
+  uint64_t relevant = 0, hit = 0;
+  ns.ForEachFile([&](const fs::FileStat& st) {
+    if (!pred.Matches(st.ToAttrSet())) return;
+    ++relevant;
+    if (got.count(st.id) != 0u) ++hit;
+  });
+  return relevant == 0 ? 1.0
+                       : static_cast<double>(hit) / static_cast<double>(relevant);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("bench_fig01_spotlight_recall", "Fig. 1",
+                "Spotlight recall vs time at 0/2/5/10 FPS background copies.");
+  const uint64_t dataset_files = bench::Scaled(20'000);
+  const double duration_s = 600;
+  index::Predicate all;  // the paper queries the whole dataset
+  all.And("size", index::CmpOp::kGe, index::AttrValue(int64_t{0}));
+
+  TablePrinter series({"t (s)", "0 FPS", "2 FPS", "5 FPS", "10 FPS"});
+  std::vector<std::vector<std::string>> columns;
+
+  struct Summary {
+    double min = 1, max = 0, sum = 0;
+    int dropouts = 0, samples = 0;
+  };
+  std::vector<Summary> summaries;
+  std::vector<std::vector<double>> recalls_per_fps;
+
+  for (double fps : {0.0, 2.0, 5.0, 10.0}) {
+    fs::Vfs vfs;
+    workload::DatasetSpec spec;
+    spec.num_files = dataset_files;
+    spec.supported_ext_fraction = 0.53;  // Fig. 1: recall < 53%
+    if (!workload::BuildDataset(vfs, spec).ok()) return 1;
+
+    baseline::SpotlightParams params;
+    baseline::SpotlightSim spotlight(params, &vfs);
+    spotlight.RebuildAll(0);
+    workload::FpsCopier copier(&vfs, fps, "/data/incoming");
+
+    Summary sum;
+    std::vector<double> recalls;
+    for (double t = 0; t <= duration_s; t += 5) {
+      if (!copier.AdvanceTo(t).ok()) return 1;
+      spotlight.Tick(t);
+      auto result = spotlight.Query(all, t);
+      double recall = result.rebuilding ? 0.0 : Recall(result.files, vfs.ns(), all);
+      recalls.push_back(recall);
+      sum.min = std::min(sum.min, recall);
+      sum.max = std::max(sum.max, recall);
+      sum.sum += recall;
+      ++sum.samples;
+      if (result.rebuilding) ++sum.dropouts;
+    }
+    summaries.push_back(sum);
+    recalls_per_fps.push_back(std::move(recalls));
+  }
+
+  for (size_t i = 0; i < recalls_per_fps[0].size(); i += 12) {  // every 60 s
+    series.AddRow({Sprintf("%zu", i * 5),
+                   Sprintf("%.1f%%", 100 * recalls_per_fps[0][i]),
+                   Sprintf("%.1f%%", 100 * recalls_per_fps[1][i]),
+                   Sprintf("%.1f%%", 100 * recalls_per_fps[2][i]),
+                   Sprintf("%.1f%%", 100 * recalls_per_fps[3][i])});
+  }
+  series.Print();
+
+  std::printf("\nSummary over %d samples per configuration:\n",
+              summaries[0].samples);
+  TablePrinter table(
+      {"FPS", "avg recall", "min recall", "max recall", "rebuild dropouts"});
+  const char* fps_names[] = {"0", "2", "5", "10"};
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    const Summary& s = summaries[i];
+    table.AddRow({fps_names[i], Sprintf("%.1f%%", 100 * s.sum / s.samples),
+                  Sprintf("%.1f%%", 100 * s.min), Sprintf("%.1f%%", 100 * s.max),
+                  Sprintf("%d", s.dropouts)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shapes: recall < 53%% everywhere (type coverage); higher FPS "
+      "-> lower and spikier recall; at 10 FPS re-indexing drives recall to "
+      "0 repeatedly.\n");
+  return 0;
+}

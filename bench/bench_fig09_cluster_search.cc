@@ -1,0 +1,105 @@
+// Fig. 9 / Table IV reproduction: Propeller cluster file-search latency
+// ("finding the files larger than 16MB") on 50M- and 100M-file modelled
+// datasets, scaling Index Nodes from 1 to 8, cold and warm.
+//
+// The super-linear warm scaling comes from per-node page caches: with 1-2
+// nodes the combined index exceeds a node's memory and queries fault; with
+// 4+ nodes each node's share fits in RAM (Section V-C).  Per-node cache
+// capacity here is sized so that exact crossover happens, mirroring the
+// paper's 4-16 GB nodes vs dataset index sizes.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/cluster.h"
+#include "core/query_parser.h"
+#include "workload/dataset.h"
+
+using namespace propeller;
+
+namespace {
+
+struct Measurement {
+  double cold_s = 0;
+  double warm_s = 0;
+};
+
+Measurement RunConfig(int nodes, uint64_t files) {
+  core::ClusterConfig cfg;
+  cfg.index_nodes = nodes;
+  cfg.master.acg_policy.cluster_target = 1000;
+  cfg.master.acg_policy.merge_limit = 1000;
+  cfg.index_node.search_threads = 16;
+  // Sized so the combined serialized K-D images outgrow 1-2 nodes'
+  // memory but fit from ~4 nodes up — the paper's super-linear warm
+  // scaling mechanism (Section V-C).
+  cfg.index_node.io.cache_pages = std::max<uint64_t>(1024, files / 96);
+  core::PropellerCluster cluster(cfg);
+  auto& client = cluster.client();
+  // The prototype's inode-attribute index is a serialized K-D tree that
+  // must be memory-resident to query (Section V-E).
+  (void)client.CreateIndex(
+      {"by_attrs", index::IndexType::kKdTree, {"size", "mtime", "uid"}});
+
+  workload::DatasetSpec spec;
+  spec.num_files = files;
+  for (uint64_t base = 0; base < files; base += 50'000) {
+    uint64_t n = std::min<uint64_t>(50'000, files - base);
+    (void)client.BatchUpdate(workload::SyntheticRows(base + 1, n, spec),
+                             cluster.now());
+    cluster.AdvanceTime(6.0);
+  }
+
+  auto query = core::ParseQuery("size>16m", 1'000'000);
+  Measurement m;
+  cluster.DropAllCaches();
+  auto cold = client.Search(query->predicate);
+  if (!cold.ok()) return m;
+  m.cold_s = cold->cost.seconds();
+  double warm_total = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto warm = client.Search(query->predicate);
+    if (!warm.ok()) return m;
+    warm_total += warm->cost.seconds();
+  }
+  m.warm_s = warm_total / 10.0;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("bench_fig09_cluster_search", "Fig. 9 / Table IV",
+                "Cluster search latency, 1..8 Index Nodes, cold & warm "
+                "('find files larger than 16MB').");
+  const uint64_t small = bench::Scaled(400'000);  // models 50M files
+  const uint64_t big = bench::Scaled(800'000);    // models 100M files
+  std::printf("modelled 50M -> %llu rows, 100M -> %llu rows\n\n",
+              static_cast<unsigned long long>(small),
+              static_cast<unsigned long long>(big));
+
+  TablePrinter table({"index nodes", "50M cold", "100M cold", "50M warm",
+                      "100M warm"});
+  double first_warm_small = 0, first_warm_big = 0;
+  for (int nodes : {1, 2, 4, 6, 8}) {
+    Measurement s = RunConfig(nodes, small);
+    Measurement b = RunConfig(nodes, big);
+    if (nodes == 1) {
+      first_warm_small = s.warm_s;
+      first_warm_big = b.warm_s;
+    }
+    table.AddRow({Sprintf("%d", nodes), bench::Secs(s.cold_s),
+                  bench::Secs(b.cold_s), bench::Secs(s.warm_s),
+                  bench::Secs(b.warm_s)});
+    std::printf("  [%d nodes] warm speedup vs 1 node: 50M %.1fx, 100M %.1fx\n",
+                nodes, first_warm_small / s.warm_s, first_warm_big / b.warm_s);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nPaper (Table IV): cold 1497->175s (100M), warm 1.61->0.030s (100M); "
+      "warm scaling is super-linear from 1->4 nodes because per-node index "
+      "shares start fitting in memory.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Fig. 11 reproduction: query recall and latency on a dynamic namespace —
+// Spotlight vs Propeller at 1 / 2 / 5 FPS background copying.
+//
+// Setup mirrors the paper: import an OS snapshot into Dataset 1, then
+// spawn a background copier and query "find files larger than 16MB"
+// continuously for 10 minutes (virtual).  Propeller indexes every created
+// file inline (real-time), so its recall stays 100%; Spotlight's recall
+// ramps with the crawler and dips under load, and its query latency sits
+// roughly an order of magnitude above Propeller's.
+#include <cstdio>
+#include <unordered_set>
+
+#include "baseline/spotlight.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/cluster.h"
+#include "core/query_parser.h"
+#include "workload/copier.h"
+#include "workload/dataset.h"
+
+using namespace propeller;
+
+namespace {
+
+double Recall(const std::vector<index::FileId>& returned,
+              const fs::Namespace& ns, const index::Predicate& pred) {
+  std::unordered_set<index::FileId> got(returned.begin(), returned.end());
+  uint64_t relevant = 0, hit = 0;
+  ns.ForEachFile([&](const fs::FileStat& st) {
+    if (!pred.Matches(st.ToAttrSet())) return;
+    ++relevant;
+    if (got.count(st.id) != 0u) ++hit;
+  });
+  return relevant == 0 ? 1.0
+                       : static_cast<double>(hit) / static_cast<double>(relevant);
+}
+
+// Index listener that feeds created/updated files to the Propeller client
+// inline (the real-time indexing path).
+class InlineIndexer : public fs::AccessListener {
+ public:
+  InlineIndexer(core::PropellerClient* client, fs::Vfs* vfs)
+      : client_(client), vfs_(vfs) {}
+
+  void OnEvent(const fs::AccessEvent& event) override {
+    using Type = fs::AccessEvent::Type;
+    if (event.type == Type::kCreate ||
+        (event.type == Type::kClose && event.written)) {
+      dirty_.push_back(event.path);
+    } else if (event.type == Type::kUnlink) {
+      index::FileUpdate del;
+      del.file = event.file;
+      del.is_delete = true;
+      pending_.push_back(std::move(del));
+    }
+  }
+
+  // Flushes dirty files as index updates; returns the simulated cost.
+  sim::Cost Flush(double now_s) {
+    for (const std::string& path : dirty_) {
+      auto st = vfs_->ns().Stat(path);
+      if (!st.ok()) continue;
+      index::FileUpdate u;
+      u.file = st->id;
+      u.attrs = st->ToAttrSet();
+      pending_.push_back(std::move(u));
+    }
+    dirty_.clear();
+    if (pending_.empty()) return sim::Cost::Zero();
+    auto cost = client_->BatchUpdate(std::move(pending_), now_s);
+    pending_.clear();
+    return cost.ok() ? *cost : sim::Cost::Zero();
+  }
+
+ private:
+  core::PropellerClient* client_;
+  fs::Vfs* vfs_;
+  std::vector<std::string> dirty_;
+  std::vector<index::FileUpdate> pending_;
+};
+
+struct RunStats {
+  double avg_recall = 0;
+  double max_recall = 0;
+  double avg_latency_ms = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::Banner("bench_fig11_dynamic_namespace", "Fig. 11(a)/(b)",
+                "Recall and query latency on a dynamic namespace, Spotlight "
+                "vs Propeller at 1/2/5 FPS ('find files larger than 16MB').");
+  const uint64_t base_files = bench::Scaled(13'800);   // Dataset 1 / 10
+  const uint64_t import_files = bench::Scaled(8'900);  // Ubuntu snapshot / 10
+  const double duration_s = 600;
+  auto query = core::ParseQuery("size>16m", 1'000'000);
+
+  TablePrinter table({"FPS", "SL avg recall", "SL max recall", "PP recall",
+                      "SL avg latency", "PP avg latency"});
+
+  for (double fps : {1.0, 2.0, 5.0}) {
+    // --- shared namespace ---
+    fs::Vfs vfs;
+    workload::DatasetSpec spec;
+    spec.num_files = base_files;
+    spec.supported_ext_fraction = 0.82;  // Fig. 11a: SL tops out at 82%
+    spec.large_file_fraction = 0.03;
+    if (!workload::BuildDataset(vfs, spec).ok()) return 1;
+
+    // --- engines ---
+    baseline::SpotlightParams sl_params;
+    baseline::SpotlightSim spotlight(sl_params, &vfs);
+    spotlight.RebuildAll(0);
+
+    core::ClusterConfig cfg;
+    cfg.index_nodes = 1;
+    cfg.net.latency_us = 3;
+    cfg.net.bandwidth_mb_per_s = 4000;
+    cfg.master.acg_policy.cluster_target = 1000;
+    cfg.master.acg_policy.merge_limit = 1000;
+    core::PropellerCluster cluster(cfg);
+    auto& client = cluster.client();
+    (void)client.CreateIndex(
+        {"by_attrs", index::IndexType::kKdTree, {"size", "mtime", "uid"}});
+    InlineIndexer indexer(&client, &vfs);
+    vfs.AddListener(&indexer);
+    (void)client.BatchUpdate(workload::UpdatesForNamespace(vfs.ns()),
+                             cluster.now());
+
+    // --- import the snapshot (events flow to both engines) ---
+    {
+      workload::FpsCopier importer(&vfs, 1e9, "/import/ubuntu", 23);
+      importer.SetLargeFileProb(0.03);
+      double budget = static_cast<double>(import_files) * 1e-9;
+      if (!importer.AdvanceTo(budget).ok()) return 1;
+      (void)indexer.Flush(cluster.now());
+    }
+
+    workload::FpsCopier copier(&vfs, fps, "/data/incoming");
+    copier.SetLargeFileProb(0.05);
+
+    double sl_recall_sum = 0, sl_recall_max = 0, pp_recall_sum = 0;
+    double sl_lat_sum = 0, pp_lat_sum = 0;
+    int samples = 0;
+    for (double t = 5; t <= duration_s; t += 5) {
+      if (!copier.AdvanceTo(t).ok()) return 1;
+      spotlight.Tick(t);
+      (void)indexer.Flush(cluster.now());
+      cluster.AdvanceTime(5.0);
+
+      auto sl = spotlight.Query(query->predicate, t);
+      double sl_recall =
+          sl.rebuilding ? 0.0 : Recall(sl.files, vfs.ns(), query->predicate);
+      auto pp = client.Search(query->predicate);
+      if (!pp.ok()) return 1;
+      double pp_recall = Recall(pp->files, vfs.ns(), query->predicate);
+
+      sl_recall_sum += sl_recall;
+      sl_recall_max = std::max(sl_recall_max, sl_recall);
+      pp_recall_sum += pp_recall;
+      sl_lat_sum += sl.cost.seconds();
+      pp_lat_sum += pp->cost.seconds();
+      ++samples;
+    }
+
+    table.AddRow({Sprintf("%.0f", fps),
+                  Sprintf("%.1f%%", 100 * sl_recall_sum / samples),
+                  Sprintf("%.1f%%", 100 * sl_recall_max),
+                  Sprintf("%.1f%%", 100 * pp_recall_sum / samples),
+                  Sprintf("%.1fms", 1e3 * sl_lat_sum / samples),
+                  Sprintf("%.1fms", 1e3 * pp_lat_sum / samples)});
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper: Propeller recall 100%% at every FPS; Spotlight max recall "
+      "82%%, lower under load; avg latency Propeller 3.1ms vs Spotlight "
+      "28.5ms (~9x).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the index substrate: real
+// wall-clock throughput of the structures themselves, independent of the
+// simulated-disk accounting.  Useful for regression-testing the library.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/partitioner.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "index/index_group.h"
+#include "index/kdtree.h"
+#include "sim/io_context.h"
+
+namespace propeller {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  sim::IoContext io;
+  index::BPlusTree tree(io.CreateStore());
+  Rng rng(1);
+  int64_t i = 0;
+  for (auto _ : state) {
+    tree.Insert(index::AttrValue(static_cast<int64_t>(rng.Next() % 1'000'000)),
+                static_cast<index::FileId>(++i));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeScan(benchmark::State& state) {
+  sim::IoContext io;
+  index::BPlusTree tree(io.CreateStore());
+  Rng rng(1);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    tree.Insert(index::AttrValue(static_cast<int64_t>(rng.Next() % 1'000'000)),
+                static_cast<index::FileId>(i));
+  }
+  for (auto _ : state) {
+    index::KeyRange range;
+    range.lo = index::AttrValue(int64_t{400'000});
+    range.hi = index::AttrValue(int64_t{410'000});
+    auto r = tree.Scan(range);
+    benchmark::DoNotOptimize(r.files);
+  }
+}
+BENCHMARK(BM_BTreeScan)->Arg(10'000)->Arg(100'000);
+
+void BM_HashLookup(benchmark::State& state) {
+  sim::IoContext io;
+  index::HashIndex h(io.CreateStore());
+  Rng rng(1);
+  for (int64_t i = 0; i < 100'000; ++i) {
+    h.Insert(index::AttrValue(static_cast<int64_t>(i)),
+             static_cast<index::FileId>(i));
+  }
+  for (auto _ : state) {
+    auto r = h.Lookup(index::AttrValue(static_cast<int64_t>(rng.Uniform(100'000))));
+    benchmark::DoNotOptimize(r.files);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashLookup);
+
+void BM_KdRangeQuery(benchmark::State& state) {
+  sim::IoContext io;
+  index::KdTree t(io.CreateStore(), 3);
+  Rng rng(1);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    t.Insert({rng.UniformDouble(), rng.UniformDouble(), rng.UniformDouble()},
+             static_cast<index::FileId>(i));
+  }
+  t.Rebuild();
+  for (auto _ : state) {
+    index::KdBox box = index::KdBox::Unbounded(3);
+    box.lo = {0.4, 0.4, 0.4};
+    box.hi = {0.6, 0.6, 0.6};
+    auto r = t.RangeQuery(box);
+    benchmark::DoNotOptimize(r.files);
+  }
+}
+BENCHMARK(BM_KdRangeQuery)->Arg(10'000)->Arg(100'000);
+
+void BM_MultilevelBisect(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  graph::WeightedGraph g(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (int e = 0; e < 8; ++e) {
+      g.AddEdge(v, static_cast<graph::VertexId>(rng.Uniform(n)), 1 + rng.Uniform(4));
+    }
+  }
+  for (auto _ : state) {
+    auto b = graph::MultilevelBisect(g);
+    benchmark::DoNotOptimize(b.cut_weight);
+  }
+}
+BENCHMARK(BM_MultilevelBisect)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_GroupStageUpdate(benchmark::State& state) {
+  sim::IoContext io;
+  index::IndexGroup group(1, &io);
+  (void)group.CreateIndex({"by_size", index::IndexType::kBTree, {"size"}});
+  Rng rng(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    index::FileUpdate u;
+    u.file = ++i;
+    u.attrs.Set("size", index::AttrValue(static_cast<int64_t>(rng.Next() % 1'000'000)));
+    benchmark::DoNotOptimize(group.StageUpdate(std::move(u)));
+    if (group.PendingUpdates() >= 10'000) {
+      state.PauseTiming();
+      group.Commit();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroupStageUpdate);
+
+}  // namespace
+}  // namespace propeller
+
+BENCHMARK_MAIN();

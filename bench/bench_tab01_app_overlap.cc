@@ -1,0 +1,84 @@
+// Table I reproduction: files shared between executions of different
+// programs (apt-get, Firefox, OpenOffice, Linux kernel build).
+//
+// The generator materializes each application's file population (with the
+// pairwise shared system-library pools wired per the paper's numbers),
+// runs one execution of each through the Vfs, and reports the pairwise
+// intersections of the accessed-file sets — plus the causal (ACG)
+// connectivity those shared files induce, which is what Propeller's
+// partitioning actually cares about.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "acg/acg_builder.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "fs/vfs.h"
+#include "trace/trace_gen.h"
+
+using namespace propeller;
+
+int main() {
+  bench::Banner("bench_tab01_app_overlap", "Table I",
+                "Common files accessed by executions of different programs.");
+
+  fs::Vfs vfs;
+  acg::AcgBuilder builder;
+  vfs.AddListener(&builder);
+
+  auto profiles = trace::TableOneProfiles();
+  std::vector<std::unique_ptr<trace::TraceGenerator>> gens;
+  std::map<std::string, std::set<std::string>> accessed;
+
+  uint64_t pid = 1;
+  uint64_t seed = 1;
+  for (const auto& profile : profiles) {
+    auto gen = std::make_unique<trace::TraceGenerator>(profile, seed++);
+    if (auto st = gen->Materialize(vfs); !st.ok()) {
+      std::fprintf(stderr, "materialize failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (auto st = gen->RunExecution(vfs, &pid); !st.ok()) {
+      std::fprintf(stderr, "execution failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto paths = gen->AccessedPaths();
+    accessed[profile.name] = std::set<std::string>(paths.begin(), paths.end());
+    gens.push_back(std::move(gen));
+  }
+
+  std::vector<std::string> names;
+  for (const auto& p : profiles) names.push_back(p.name);
+
+  TablePrinter table({"program", "accessed files", names[0], names[1], names[2],
+                      names[3]});
+  for (const std::string& a : names) {
+    std::vector<std::string> row{a, Sprintf("%zu", accessed[a].size())};
+    for (const std::string& b : names) {
+      if (a == b) {
+        row.push_back("N/A");
+        continue;
+      }
+      std::vector<std::string> common;
+      std::set_intersection(accessed[a].begin(), accessed[a].end(),
+                            accessed[b].begin(), accessed[b].end(),
+                            std::back_inserter(common));
+      row.push_back(Sprintf("%zu (%.2f%%)", common.size(),
+                            100.0 * static_cast<double>(common.size()) /
+                                static_cast<double>(accessed[a].size())));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  acg::Acg acg = builder.TakeDelta();
+  std::printf(
+      "\nCombined ACG: %llu vertices, %llu edges, %zu connected components\n",
+      static_cast<unsigned long long>(acg.NumVertices()),
+      static_cast<unsigned long long>(acg.NumEdges()), acg.Components().size());
+  std::printf(
+      "Paper: 279/2279/2696/19715 accessed files; all pairwise overlaps <= 2.3%%\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Table III reproduction: global file-search times on 10M..50M-file
+// modelled namespaces, Propeller (single-node) vs the SQL baseline.
+//
+//   Query #1:  size > 1GB & mtime < 1 day
+//   Query #2:  keyword "firefox" & mtime < 1 week
+//
+// Namespaces are static (no concurrent updates), queries run cold (caches
+// dropped) like freshly-loaded datasets.  The paper's scales are modelled
+// at 1/50 by default (PROPELLER_SCALE multiplies).
+#include <cstdio>
+#include <memory>
+
+#include "baseline/minisql.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/cluster.h"
+#include "core/query_parser.h"
+#include "workload/dataset.h"
+
+using namespace propeller;
+
+namespace {
+
+constexpr int64_t kNow = 1'000'000;  // matches SyntheticRow's mtime epoch
+
+workload::DatasetSpec SpecFor(uint64_t files) {
+  workload::DatasetSpec spec;
+  spec.num_files = files;
+  spec.keyword = "firefox";
+  spec.keyword_fraction = 0.005;
+  // Some files over 1 GB so Query #1 has hits.
+  spec.large_file_fraction = 0.01;
+  spec.large_size = 1024LL * 1024 * 1024;
+  return spec;
+}
+
+index::Predicate QueryOne() {
+  auto q = core::ParseQuery("size>1g & mtime<1day", kNow);
+  return q->predicate;
+}
+index::Predicate QueryTwo() {
+  auto q = core::ParseQuery("keyword:firefox & mtime<1week", kNow);
+  return q->predicate;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("bench_tab03_global_search", "Table III",
+                "Global file-search seconds; Query #1: size>1GB & mtime<1day; "
+                "Query #2: keyword firefox & mtime<1week.");
+
+  TablePrinter table({"files (modelled)", "rows", "Propeller #1",
+                      "Propeller #2", "MiniSql #1", "MiniSql #2"});
+  double sum_ratio1 = 0, sum_ratio2 = 0;
+  int rows_counted = 0;
+
+  for (uint64_t millions : {10, 20, 30, 40, 50}) {
+    const uint64_t files = bench::Scaled(millions * 10'000);  // 1/100 scale
+    workload::DatasetSpec spec = SpecFor(files);
+
+    // --- Propeller: single-node cluster, groups of 1000 ---
+    core::ClusterConfig cfg;
+    cfg.index_nodes = 1;
+    cfg.net.latency_us = 3;
+    cfg.net.bandwidth_mb_per_s = 4000;
+    cfg.master.acg_policy.cluster_target = 1000;
+    cfg.master.acg_policy.merge_limit = 1000;
+    cfg.index_node.io.cache_pages = 48 * 1024;
+    core::PropellerCluster cluster(cfg);
+    auto& client = cluster.client();
+    (void)client.CreateIndex({"by_size", index::IndexType::kBTree, {"size"}});
+    (void)client.CreateIndex({"by_mtime", index::IndexType::kBTree, {"mtime"}});
+    (void)client.CreateIndex({"by_kw", index::IndexType::kKeyword, {"path"}});
+    for (uint64_t base = 0; base < files; base += 50'000) {
+      uint64_t n = std::min<uint64_t>(50'000, files - base);
+      (void)client.BatchUpdate(workload::SyntheticRows(base + 1, n, spec),
+                               cluster.now());
+      cluster.AdvanceTime(6.0);
+    }
+    cluster.DropAllCaches();
+    auto p1 = client.Search(QueryOne());
+    cluster.DropAllCaches();
+    auto p2 = client.Search(QueryTwo());
+
+    // --- MiniSql: same rows, 2GB-equivalent buffer pool ---
+    baseline::MiniSqlConfig sql_cfg;
+    sql_cfg.buffer_pool_pages = std::max<uint64_t>(1024, files / 10);
+    baseline::MiniSql db(sql_cfg);
+    for (uint64_t id = 1; id <= files; ++id) {
+      Rng row_rng(spec.seed ^ id);
+      db.BulkLoad(workload::SyntheticRow(id, spec, row_rng));
+    }
+    db.io().DropCaches();
+    auto m1 = db.Search(QueryOne());
+    db.io().DropCaches();
+    auto m2 = db.Search(QueryTwo());
+
+    if (!p1.ok() || !p2.ok()) {
+      std::fprintf(stderr, "propeller search failed\n");
+      return 1;
+    }
+    table.AddRow({Sprintf("%lluM", (unsigned long long)millions),
+                  Sprintf("%llu", (unsigned long long)files),
+                  bench::Secs(p1->cost.seconds()),
+                  bench::Secs(p2->cost.seconds()), bench::Secs(m1.cost.seconds()),
+                  bench::Secs(m2.cost.seconds())});
+    sum_ratio1 += m1.cost.seconds() / p1->cost.seconds();
+    sum_ratio2 += m2.cost.seconds() / p2->cost.seconds();
+    ++rows_counted;
+
+    std::printf("  [%lluM] results: P#1=%zu P#2=%zu SQL#1=%zu SQL#2=%zu\n",
+                (unsigned long long)millions, p1->files.size(),
+                p2->files.size(), m1.files.size(), m2.files.size());
+  }
+
+  std::printf("\n");
+  table.Print();
+  std::printf("\nAverage speedup: Query #1 %.1fx, Query #2 %.1fx "
+              "(paper: 9.0x and 26.3x).\n",
+              sum_ratio1 / rows_counted, sum_ratio2 / rows_counted);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Table V reproduction: Propeller vs Spotlight vs brute force on a static
+// namespace ("find files larger than 16MB"), cold and warm.
+//
+// Dataset 1 models the fresh Mac OS X image (138K files, 60.6% of them of
+// Spotlight-indexable types); Dataset 2 models the combined image +
+// home-directory snapshot (487K files, only 13.86% indexable).  The same
+// query runs 60 times at 1 s intervals: the cold number is the first run
+// (caches dropped), the warm number averages the rest.  Recall is measured
+// against the live namespace.
+#include <cstdio>
+#include <unordered_set>
+
+#include "baseline/brute_force.h"
+#include "baseline/spotlight.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/cluster.h"
+#include "core/query_parser.h"
+#include "workload/dataset.h"
+
+using namespace propeller;
+
+namespace {
+
+double Recall(const std::vector<index::FileId>& returned,
+              const fs::Namespace& ns, const index::Predicate& pred) {
+  std::unordered_set<index::FileId> got(returned.begin(), returned.end());
+  uint64_t relevant = 0, hit = 0;
+  ns.ForEachFile([&](const fs::FileStat& st) {
+    if (!pred.Matches(st.ToAttrSet())) return;
+    ++relevant;
+    if (got.count(st.id) != 0u) ++hit;
+  });
+  return relevant == 0 ? 1.0
+                       : static_cast<double>(hit) / static_cast<double>(relevant);
+}
+
+void RunDataset(const char* label, uint64_t files, double supported_fraction,
+                TablePrinter& table) {
+  fs::Vfs vfs;
+  workload::DatasetSpec spec;
+  spec.num_files = files;
+  spec.supported_ext_fraction = supported_fraction;
+  if (!workload::BuildDataset(vfs, spec).ok()) return;
+  auto query = core::ParseQuery("size>16m", 1'000'000);
+
+  // --- Brute force ---
+  baseline::BruteForceSearch brute(&vfs.ns());
+  auto bf_cold = brute.Search(query->predicate);
+  double bf_warm = 0;
+  for (int i = 0; i < 5; ++i) bf_warm += brute.Search(query->predicate).cost.seconds();
+  bf_warm /= 5;
+
+  // --- Spotlight ---
+  baseline::SpotlightParams sl_params;
+  baseline::SpotlightSim spotlight(sl_params, &vfs);
+  spotlight.RebuildAll(0);
+  auto sl_cold = spotlight.Query(query->predicate, 0);
+  double sl_warm = 0;
+  for (int i = 0; i < 59; ++i) {
+    sl_warm += spotlight.Query(query->predicate, 0).cost.seconds();
+  }
+  sl_warm /= 59;
+  double sl_recall = Recall(sl_cold.files, vfs.ns(), query->predicate);
+
+  // --- Propeller (single node; serialized K-D tree index, like the
+  //     prototype in Section V-E) ---
+  core::ClusterConfig cfg;
+  cfg.index_nodes = 1;
+  cfg.net.latency_us = 3;
+  cfg.net.bandwidth_mb_per_s = 4000;
+  cfg.master.acg_policy.cluster_target = 1000;
+  cfg.master.acg_policy.merge_limit = 1000;
+  core::PropellerCluster cluster(cfg);
+  auto& client = cluster.client();
+  (void)client.CreateIndex(
+      {"by_attrs", index::IndexType::kKdTree, {"size", "mtime", "uid"}});
+  auto updates = workload::UpdatesForNamespace(vfs.ns());
+  (void)client.BatchUpdate(std::move(updates), cluster.now());
+  cluster.AdvanceTime(6.0);
+  cluster.DropAllCaches();
+  auto pp_cold = client.Search(query->predicate);
+  if (!pp_cold.ok()) return;
+  double pp_warm = 0;
+  for (int i = 0; i < 59; ++i) {
+    auto w = client.Search(query->predicate);
+    if (!w.ok()) return;
+    pp_warm += w->cost.seconds();
+  }
+  pp_warm /= 59;
+  double pp_recall = Recall(pp_cold->files, vfs.ns(), query->predicate);
+
+  table.AddRow({Sprintf("Brute-Force (cold) %s", label),
+                bench::Secs(bf_cold.cost.seconds()), "100%"});
+  table.AddRow({Sprintf("Spotlight (cold) %s", label),
+                bench::Secs(sl_cold.cost.seconds()),
+                Sprintf("%.1f%%", 100 * sl_recall)});
+  table.AddRow({Sprintf("Propeller (cold) %s", label),
+                bench::Secs(pp_cold->cost.seconds()),
+                Sprintf("%.1f%%", 100 * pp_recall)});
+  table.AddRow({Sprintf("Brute-Force (warm) %s", label), bench::Secs(bf_warm),
+                "100%"});
+  table.AddRow({Sprintf("Spotlight (warm) %s", label), bench::Secs(sl_warm),
+                Sprintf("%.1f%%", 100 * sl_recall)});
+  table.AddRow({Sprintf("Propeller (warm) %s", label), bench::Secs(pp_warm),
+                Sprintf("%.1f%%", 100 * pp_recall)});
+  std::printf("  [%s] warm speedup Propeller over Spotlight: %.1fx\n", label,
+              sl_warm / pp_warm);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("bench_tab05_spotlight_compare", "Table V",
+                "Propeller vs Spotlight vs brute force, cold and warm "
+                "('find files larger than 16MB').");
+  TablePrinter table({"test", "time", "recall"});
+  RunDataset("D1", bench::Scaled(138'000), 0.606, table);
+  RunDataset("D2", bench::Scaled(487'000), 0.1386, table);
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nPaper: cold PP ~= cold SL (2%%-15%% slower); warm PP 14-22x faster "
+      "than SL; recall SL 60.6%% (D1) / 13.86%% (D2) vs PP 100%%.\n");
+  return 0;
+}

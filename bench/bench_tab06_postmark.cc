@@ -1,0 +1,101 @@
+// Table VI reproduction: PostMark (50,000 files, 200 subdirectories) on
+// native file systems (Ext4, Btrfs), FUSE stacks (PTFS pass-through,
+// NTFS-3g, ZFS-fuse), and Propeller (PTFS profile + inline indexing).
+//
+// Per-filesystem metadata-op overheads are calibrated to the paper's
+// measured creation rates; the Propeller row is NOT calibrated — its
+// overhead is PTFS plus the measured cost of its real inline-indexing
+// path (client->IndexNode staging RPC + WAL append), which is exactly
+// what the paper's experiment isolates.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "index/index_group.h"
+#include "sim/net_model.h"
+#include "workload/postmark.h"
+
+using namespace propeller;
+
+int main() {
+  bench::Banner("bench_tab06_postmark", "Table VI",
+                "PostMark across file systems; Propeller = FUSE pass-through "
+                "+ inline indexing.");
+  workload::PostmarkConfig cfg;
+  cfg.num_files = bench::Scaled(50'000);
+  cfg.transactions = bench::Scaled(20'000);
+  workload::Postmark postmark(cfg);
+
+  struct FsRow {
+    fs::FsProfile profile;
+    bool propeller = false;
+  };
+  // meta_us calibrated so the native/FUSE rows land near the paper's
+  // files-per-second column (16747 / 5582 / 6289 / 2392 / 2093).
+  std::vector<FsRow> rows = {
+      {{"ext4", 15.0, 2.0, 2000.0}, false},
+      {{"btrfs", 55.0, 6.0, 1800.0}, false},
+      {{"ptfs", 49.0, 12.0, 1500.0}, false},
+      {{"ntfs-3g", 135.0, 20.0, 900.0}, false},
+      {{"zfs-fuse", 155.0, 22.0, 900.0}, false},
+      {{"propeller", 49.0, 12.0, 1500.0}, true},
+  };
+
+  TablePrinter table({"FS", "files created/s", "read MB/s", "write MB/s",
+                      "elapsed (sim s)"});
+  double ptfs_fps = 0, propeller_fps = 0;
+  for (const FsRow& row : rows) {
+    fs::Vfs vfs(row.profile);
+
+    // Propeller: a real IndexGroup receives a staged update for every
+    // create / written-close / unlink, through a loopback RPC.
+    sim::IoContext io;
+    index::IndexGroup group(1, &io);
+    if (row.propeller) {
+      (void)group.CreateIndex({"by_size", index::IndexType::kBTree, {"size"}});
+      (void)group.CreateIndex({"by_mtime", index::IndexType::kBTree, {"mtime"}});
+      sim::NetModel loopback(sim::NetParams{.latency_us = 90, .bandwidth_mb_per_s = 900});
+      vfs.SetInlineOpCost([&vfs, &group, loopback](const fs::AccessEvent& ev) {
+        // Index once per file version: at written-close (final attributes)
+        // or unlink — not at create, whose attributes are still empty.
+        if (ev.type == fs::AccessEvent::Type::kCreate) return sim::Cost::Zero();
+        index::FileUpdate u;
+        u.file = ev.file;
+        if (ev.type == fs::AccessEvent::Type::kUnlink) {
+          u.is_delete = true;
+        } else {
+          auto st = vfs.ns().Stat(ev.path);
+          if (!st.ok()) return sim::Cost::Zero();
+          u.attrs = st->ToAttrSet();
+        }
+        sim::Cost cost = loopback.RoundTrip(128 + u.attrs.ByteSize(), 32);
+        cost += group.StageUpdate(std::move(u));
+        // Timeout commits drain the staged cache in the background
+        // (Section IV); they are not on PostMark's critical path.
+        if (group.PendingUpdates() >= 2000) (void)group.Commit();
+        return cost;
+      });
+    }
+
+    auto result = postmark.Run(vfs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "postmark failed on %s: %s\n",
+                   row.profile.name.c_str(), result.status().ToString().c_str());
+      return 1;
+    }
+    if (row.profile.name == "ptfs") ptfs_fps = result->files_per_second;
+    if (row.propeller) propeller_fps = result->files_per_second;
+    table.AddRow({row.profile.name, Sprintf("%.0f", result->files_per_second),
+                  Sprintf("%.2f", result->read_mb_s),
+                  Sprintf("%.2f", result->write_mb_s),
+                  Sprintf("%.1f", result->elapsed_s)});
+  }
+  table.Print();
+  std::printf(
+      "\nPropeller / PTFS creation-rate ratio: %.2fx slower (paper: 2.37x "
+      "slower: 6289 vs 2644 files/s).\n"
+      "Paper column (files/s): ext4 16747, btrfs 5582, ptfs 6289, ntfs-3g "
+      "2392, zfs-fuse 2093, propeller 2644.\n",
+      ptfs_fps / propeller_fps);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench accepts PROPELLER_SCALE (float, default 1.0) to shrink or
+// grow its dataset relative to its default modelled scale, and prints the
+// scale it ran at so EXPERIMENTS.md entries are self-describing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/fmt.h"
+
+namespace propeller::bench {
+
+inline double ScaleFactor() {
+  const char* env = std::getenv("PROPELLER_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  auto v = static_cast<uint64_t>(static_cast<double>(base) * ScaleFactor());
+  return v == 0 ? 1 : v;
+}
+
+inline void Banner(const std::string& experiment, const std::string& paper_ref,
+                   const std::string& note) {
+  std::printf("\n=== %s — %s ===\n", experiment.c_str(), paper_ref.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("(scale factor %.3g; set PROPELLER_SCALE to change)\n\n",
+              ScaleFactor());
+}
+
+inline std::string Secs(double s) {
+  if (s >= 100) return Sprintf("%.1f", s);
+  if (s >= 1) return Sprintf("%.3f", s);
+  if (s >= 1e-3) return Sprintf("%.3fms", s * 1e3);
+  return Sprintf("%.1fus", s * 1e6);
+}
+
+}  // namespace propeller::bench

@@ -1,0 +1,113 @@
+// Drug-discovery screening: the paper's motivating analytics application
+// (Molegro Virtual Docker, Section II).
+//
+// A protein-structure dataset stores one file per protein with hundreds of
+// attributes (structure/energy characteristics).  The screening pipeline
+// repeatedly (1) queries for a refined candidate set sharing characteristics
+// observed in the previous round, (2) "docks" the candidates (computes new
+// scores), and (3) re-indexes the updated files — exactly the
+// search-compute-update loop Propeller's real-time indexing accelerates:
+// every round's query sees the previous round's results immediately.
+#include <cstdio>
+#include <vector>
+
+#include "common/fmt.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/query_parser.h"
+
+using namespace propeller;
+
+namespace {
+
+index::FileUpdate Protein(uint64_t id, Rng& rng) {
+  index::FileUpdate u;
+  u.file = id;
+  u.attrs.Set("path", index::AttrValue(Sprintf("/proteins/p%llu.pdb",
+                                               (unsigned long long)id)));
+  u.attrs.Set("size", index::AttrValue(static_cast<int64_t>(
+                          50'000 + rng.Uniform(500'000))));
+  // User-defined attributes: Propeller indexes arbitrary fields, not just
+  // inode metadata (Section IV).
+  u.attrs.Set("mass_kda", index::AttrValue(20.0 + rng.UniformDouble() * 180.0));
+  u.attrs.Set("binding_energy",
+              index::AttrValue(-12.0 + rng.UniformDouble() * 10.0));
+  u.attrs.Set("dock_score", index::AttrValue(0.0));
+  return u;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kProteins = 100'000;
+  core::ClusterConfig config;
+  config.index_nodes = 8;
+  core::PropellerCluster cluster(config);
+  auto& client = cluster.client();
+
+  // A K-D tree over the screening dimensions and a B-tree over the score.
+  (void)client.CreateIndex({"by_structure",
+                            index::IndexType::kKdTree,
+                            {"mass_kda", "binding_energy"}});
+  (void)client.CreateIndex(
+      {"by_score", index::IndexType::kBTree, {"dock_score"}});
+
+  std::printf("loading %llu protein structures...\n",
+              static_cast<unsigned long long>(kProteins));
+  Rng rng(99);
+  std::vector<index::FileUpdate> load;
+  load.reserve(kProteins);
+  for (uint64_t id = 1; id <= kProteins; ++id) load.push_back(Protein(id, rng));
+  if (auto st = client.BatchUpdate(std::move(load), cluster.now()); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.status().ToString().c_str());
+    return 1;
+  }
+  cluster.AdvanceTime(6.0);
+
+  // Screening loop: refine candidates by structural window, dock them,
+  // record scores, then narrow by score next round.
+  index::Predicate window;
+  window.And("mass_kda", index::CmpOp::kGe, index::AttrValue(40.0))
+      .And("mass_kda", index::CmpOp::kLe, index::AttrValue(60.0))
+      .And("binding_energy", index::CmpOp::kLe, index::AttrValue(-8.0));
+  double score_cut = 0.0;
+
+  for (int round = 1; round <= 4; ++round) {
+    index::Predicate pred = window;
+    if (round > 1) {
+      pred.And("dock_score", index::CmpOp::kGt, index::AttrValue(score_cut));
+    }
+    auto hits = client.Search(pred);
+    if (!hits.ok()) {
+      std::fprintf(stderr, "search failed: %s\n",
+                   hits.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("round %d: %zu candidates (query %.2fms over %zu nodes)\n",
+                round, hits->files.size(), hits->cost.millis(),
+                hits->nodes_queried);
+    if (hits->files.empty()) break;
+
+    // "Dock" the candidates: compute a score, update their files — the
+    // real-time indexing path keeps the next round's query consistent.
+    std::vector<index::FileUpdate> rescored;
+    Rng dock(static_cast<uint64_t>(round) * 1234);
+    for (index::FileId f : hits->files) {
+      index::FileUpdate u;
+      u.file = f;
+      Rng attr_rng(f);  // regenerate the protein's static attributes
+      u = Protein(f, attr_rng);
+      u.attrs.Set("dock_score",
+                  index::AttrValue(dock.UniformDouble() * (1.0 + 0.2 * round)));
+      rescored.push_back(std::move(u));
+    }
+    auto cost = client.BatchUpdate(std::move(rescored), cluster.now());
+    std::printf("  re-indexed %zu docked structures in %.2fms (simulated)\n",
+                hits->files.size(), cost.ok() ? cost->millis() : -1.0);
+    score_cut = 0.4 + 0.2 * round;  // tighten the score bar every round
+  }
+
+  std::printf("screening finished; groups in cluster: %llu\n",
+              static_cast<unsigned long long>(cluster.TotalGroups()));
+  return 0;
+}

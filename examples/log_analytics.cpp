@@ -1,0 +1,126 @@
+// Log analytics: the paper's time-critical indexing scenario ("log
+// analytic workloads can index petabytes of logs in real-time before
+// dozens of ad-hoc queries issued by either data scientists or
+// applications", Section I).
+//
+// A fleet of services appends to per-service log files through the client
+// file system; every rotation is indexed inline.  Meanwhile an analyst
+// issues ad-hoc queries ("big error logs modified in the last hour") whose
+// results are guaranteed to reflect every rotation that already happened —
+// the property crawler-based engines cannot give.
+#include <cstdio>
+#include <vector>
+
+#include "common/fmt.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/query_parser.h"
+#include "fs/vfs.h"
+
+using namespace propeller;
+
+namespace {
+
+// One service writing (and rotating) its log through the Vfs.
+class LogWriter {
+ public:
+  LogWriter(fs::Vfs* vfs, core::PropellerClient* client, std::string service,
+            uint64_t pid)
+      : vfs_(vfs), client_(client), service_(std::move(service)), pid_(pid) {}
+
+  // Appends `bytes`; rotates into a fresh indexed file every `rotate_at`.
+  Status Append(int64_t bytes, int64_t rotate_at, double now_s) {
+    std::string path = Sprintf("/var/log/%s/%s.%llu.log", service_.c_str(),
+                               service_.c_str(),
+                               static_cast<unsigned long long>(generation_));
+    auto open = vfs_->Open(pid_, path, fs::OpenMode::kWrite, /*create=*/true);
+    if (!open.ok()) return open.status();
+    PROPELLER_RETURN_IF_ERROR(vfs_->Write(open->fd, bytes).status());
+    PROPELLER_RETURN_IF_ERROR(vfs_->Close(open->fd).status());
+
+    // Real-time indexing: the rotation's metadata is searchable NOW.
+    auto st = vfs_->ns().Stat(path);
+    if (!st.ok()) return st.status();
+    index::FileUpdate u;
+    u.file = st->id;
+    u.attrs = st->ToAttrSet();
+    u.attrs.Set("service", index::AttrValue(service_));
+    auto cost = client_->BatchUpdate({std::move(u)}, now_s);
+    PROPELLER_RETURN_IF_ERROR(cost.status());
+
+    if (st->size >= rotate_at) ++generation_;
+    return Status::Ok();
+  }
+
+ private:
+  fs::Vfs* vfs_;
+  core::PropellerClient* client_;
+  std::string service_;
+  uint64_t pid_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  core::ClusterConfig config;
+  config.index_nodes = 4;
+  core::PropellerCluster cluster(config);
+  auto& client = cluster.client();
+  (void)client.CreateIndex({"by_size", index::IndexType::kBTree, {"size"}});
+  (void)client.CreateIndex({"by_mtime", index::IndexType::kBTree, {"mtime"}});
+  (void)client.CreateIndex({"by_kw", index::IndexType::kKeyword, {"path"}});
+
+  fs::Vfs vfs;
+  client.AttachVfs(&vfs);
+
+  const char* services[] = {"apache", "mysqld", "sshd", "cron", "etl"};
+  std::vector<LogWriter> writers;
+  uint64_t pid = 1000;
+  for (const char* s : services) writers.emplace_back(&vfs, &client, s, pid++);
+
+  // Simulate ten minutes of logging with an analyst query every minute.
+  Rng rng(7);
+  for (int minute = 1; minute <= 10; ++minute) {
+    for (double t = 0; t < 60; t += 5) {
+      for (auto& w : writers) {
+        int64_t burst = 64 * 1024 + static_cast<int64_t>(rng.Uniform(8 * 1024 * 1024));
+        if (auto st = w.Append(burst, /*rotate_at=*/32 * 1024 * 1024,
+                               cluster.now());
+            !st.ok()) {
+          std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      vfs.AdvanceTime(5);
+      cluster.AdvanceTime(5);
+    }
+    (void)client.FlushAcg();
+
+    // Ad-hoc query: large, recently-modified apache logs.
+    std::string q = "size>4m & mtime<5min & keyword:apache";
+    auto result = client.SearchQuery(q, vfs.now());
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    // Cross-check against the live namespace: recall must be 100%.
+    auto parsed = core::ParseQuery(q, vfs.now());
+    uint64_t truth = 0;
+    vfs.ns().ForEachFile([&](const fs::FileStat& st) {
+      if (parsed->predicate.Matches(st.ToAttrSet())) ++truth;
+    });
+    std::printf(
+        "minute %2d: '%s' -> %zu file(s), ground truth %llu, latency %.2fms "
+        "%s\n",
+        minute, q.c_str(), result->files.size(),
+        static_cast<unsigned long long>(truth), result->cost.millis(),
+        result->files.size() == truth ? "(consistent)" : "(STALE!)");
+  }
+
+  std::printf("\ntotal log files indexed: %llu across %llu groups\n",
+              static_cast<unsigned long long>(vfs.ns().NumFiles()),
+              static_cast<unsigned long long>(cluster.TotalGroups()));
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "acg/acg.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+
+namespace propeller::acg {
+
+Acg::Projection Acg::Project() const {
+  Projection p;
+  p.vertex_to_file.reserve(vertices_.size());
+  for (FileId f : vertices_) {
+    p.file_to_vertex.emplace(f, static_cast<graph::VertexId>(p.vertex_to_file.size()));
+    p.vertex_to_file.push_back(f);
+  }
+  p.graph = graph::WeightedGraph(static_cast<graph::VertexId>(p.vertex_to_file.size()));
+  ForEachEdge([&](FileId from, FileId to, uint64_t w) {
+    p.graph.AddEdge(p.file_to_vertex.at(from), p.file_to_vertex.at(to),
+                    static_cast<graph::Weight>(w));
+  });
+  return p;
+}
+
+std::vector<std::vector<FileId>> Acg::Components() const {
+  Projection p = Project();
+  graph::ComponentInfo info = graph::ConnectedComponents(p.graph);
+  std::vector<std::vector<FileId>> comps(info.num_components);
+  for (graph::VertexId v = 0; v < p.graph.NumVertices(); ++v) {
+    comps[info.component_of[v]].push_back(p.vertex_to_file[v]);
+  }
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return comps;
+}
+
+void Acg::Serialize(BinaryWriter& w) const {
+  w.PutU64(vertices_.size());
+  for (FileId f : vertices_) w.PutU64(f);
+  w.PutU64(num_edges_);
+  ForEachEdge([&](FileId from, FileId to, uint64_t weight) {
+    w.PutU64(from);
+    w.PutU64(to);
+    w.PutU64(weight);
+  });
+}
+
+Status Acg::Deserialize(BinaryReader& r, Acg& out) {
+  out = Acg();
+  uint64_t nv = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(nv));
+  for (uint64_t i = 0; i < nv; ++i) {
+    FileId f = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(f));
+    out.AddVertex(f);
+  }
+  uint64_t ne = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(ne));
+  for (uint64_t i = 0; i < ne; ++i) {
+    FileId from = 0, to = 0;
+    uint64_t w = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(from));
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(to));
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(w));
+    if (w == 0) return Status::Corruption("zero-weight ACG edge");
+    out.AddEdge(from, to, w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace propeller::acg

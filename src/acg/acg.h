@@ -1,0 +1,86 @@
+// Access-Causality Graph (ACG).
+//
+// Vertices are files; a directed weighted edge fA -> fB means "a process
+// opened fA (for read or write) at t0 and opened fB for write at t1 > t0"
+// — fA is a content producer of fB (Section III).  Edge weight counts how
+// many times the pair was co-accessed in that order.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "index/attr.h"
+
+namespace propeller::acg {
+
+using index::FileId;
+
+class Acg {
+ public:
+  void AddVertex(FileId file) { vertices_.insert(file); }
+
+  void AddEdge(FileId from, FileId to, uint64_t weight = 1) {
+    if (from == to || weight == 0) return;
+    vertices_.insert(from);
+    vertices_.insert(to);
+    uint64_t& w = out_[from][to];
+    if (w == 0) ++num_edges_;
+    w += weight;
+    total_weight_ += weight;
+  }
+
+  void Merge(const Acg& other) {
+    for (FileId v : other.vertices_) vertices_.insert(v);
+    for (const auto& [from, tos] : other.out_) {
+      for (const auto& [to, w] : tos) AddEdge(from, to, w);
+    }
+  }
+
+  bool empty() const { return vertices_.empty(); }
+  uint64_t NumVertices() const { return vertices_.size(); }
+  uint64_t NumEdges() const { return num_edges_; }
+  uint64_t TotalWeight() const { return total_weight_; }
+  const std::unordered_set<FileId>& vertices() const { return vertices_; }
+
+  uint64_t EdgeWeight(FileId from, FileId to) const {
+    auto it = out_.find(from);
+    if (it == out_.end()) return 0;
+    auto jt = it->second.find(to);
+    return jt == it->second.end() ? 0 : jt->second;
+  }
+
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (const auto& [from, tos] : out_) {
+      for (const auto& [to, w] : tos) fn(from, to, w);
+    }
+  }
+
+  // Undirected projection for partitioning: reverse/parallel edges
+  // accumulate; `vertex_to_file[v]` maps graph vertices back to files.
+  struct Projection {
+    graph::WeightedGraph graph;
+    std::vector<FileId> vertex_to_file;
+    std::unordered_map<FileId, graph::VertexId> file_to_vertex;
+  };
+  Projection Project() const;
+
+  // Connected components as file sets (largest first).
+  std::vector<std::vector<FileId>> Components() const;
+
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, Acg& out);
+
+ private:
+  std::unordered_set<FileId> vertices_;
+  std::unordered_map<FileId, std::unordered_map<FileId, uint64_t>> out_;
+  uint64_t num_edges_ = 0;
+  uint64_t total_weight_ = 0;
+};
+
+}  // namespace propeller::acg

@@ -1,0 +1,50 @@
+#include "acg/acg_builder.h"
+
+namespace propeller::acg {
+
+void AcgBuilder::OnEvent(const fs::AccessEvent& event) {
+  using Type = fs::AccessEvent::Type;
+  switch (event.type) {
+    case Type::kCreate:
+    case Type::kUnlink:
+      // Creation/deletion affects file->ACG placement, which the client
+      // reports through the same delta (vertex-only entries).
+      pending_.AddVertex(event.file);
+      return;
+    case Type::kOpen: {
+      ProcState& ps = procs_[event.pid];
+      ++ps.open_fds;
+      ps.delta.AddVertex(event.file);
+      const bool is_write = event.mode != fs::OpenMode::kRead;
+      if (is_write) {
+        // Every distinct earlier-opened file is a producer of this file.
+        for (FileId producer : ps.opened_order) {
+          if (producer != event.file) ps.delta.AddEdge(producer, event.file);
+        }
+      }
+      if (ps.opened_set.insert(event.file).second) {
+        ps.opened_order.push_back(event.file);
+      }
+      return;
+    }
+    case Type::kClose: {
+      auto it = procs_.find(event.pid);
+      if (it == procs_.end()) return;  // close without tracked open
+      ProcState& ps = it->second;
+      if (--ps.open_fds <= 0) {
+        // Process finished its I/O: stage its delta for flushing.
+        pending_.Merge(ps.delta);
+        procs_.erase(it);
+      }
+      return;
+    }
+  }
+}
+
+Acg AcgBuilder::TakeDelta() {
+  Acg out = std::move(pending_);
+  pending_ = Acg();
+  return out;
+}
+
+}  // namespace propeller::acg

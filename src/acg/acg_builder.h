@@ -1,0 +1,52 @@
+// AcgBuilder: the client-side File Access Management module.
+//
+// Subscribes to the Vfs event stream (the FUSE-intercept stand-in) and
+// applies the access-causality rule from Section III: when process P opens
+// fB for writing at t1, an edge fA -> fB is recorded for every file fA
+// that P opened (for read OR write) at some t0 < t1.  Each distinct
+// producer counts once per write-open.
+//
+// Per-process deltas accumulate in client RAM and become flushable when
+// the process closes its last descriptor ("flushed to the Index Nodes
+// after the I/O process finishes").  ACGs are weakly consistent by
+// design: losing a delta only degrades partition quality, never search
+// accuracy.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "acg/acg.h"
+#include "fs/vfs.h"
+
+namespace propeller::acg {
+
+class AcgBuilder : public fs::AccessListener {
+ public:
+  void OnEvent(const fs::AccessEvent& event) override;
+
+  // True when completed-process deltas are waiting to be flushed.
+  bool HasPendingDelta() const { return !pending_.empty(); }
+
+  // Takes the accumulated delta (completed processes only) and resets it.
+  Acg TakeDelta();
+
+  // Number of processes currently tracked (descriptors still open).
+  size_t ActiveProcesses() const { return procs_.size(); }
+
+ private:
+  struct ProcState {
+    // Files opened so far, in open order (t0 ordering), with dedup set.
+    std::vector<FileId> opened_order;
+    std::unordered_set<FileId> opened_set;
+    int open_fds = 0;
+    Acg delta;
+  };
+
+  std::unordered_map<uint64_t, ProcState> procs_;
+  Acg pending_;
+};
+
+}  // namespace propeller::acg

@@ -1,0 +1,39 @@
+// Brute-force file search: walk the whole namespace, stat every inode,
+// test the predicate.  The paper's baseline for Table V.  Cold runs pay
+// one random access per directory plus a sequential read of each
+// directory's inode pages; warm runs are CPU-bound scans.
+#pragma once
+
+#include <vector>
+
+#include "fs/namespace.h"
+#include "index/query.h"
+#include "sim/io_context.h"
+
+namespace propeller::baseline {
+
+struct BruteForceParams {
+  uint32_t inodes_per_page = 16;
+  double cpu_us_per_file = 35.0;  // stat + predicate evaluation
+};
+
+class BruteForceSearch {
+ public:
+  BruteForceSearch(const fs::Namespace* ns, BruteForceParams params = {});
+
+  struct Result {
+    std::vector<index::FileId> files;
+    sim::Cost cost;
+  };
+  Result Search(const index::Predicate& pred);
+
+  sim::IoContext& io() { return io_; }
+
+ private:
+  const fs::Namespace* ns_;
+  BruteForceParams params_;
+  sim::IoContext io_;
+  sim::PageStore inode_store_;
+};
+
+}  // namespace propeller::baseline

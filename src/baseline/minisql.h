@@ -1,0 +1,65 @@
+// MiniSql: the centralized SQL-database baseline (the paper's MySQL).
+//
+// Mirrors the paper's schema (Section V-B): one table holding the full
+// path + inode attributes and one keyword table mapping path tokens to
+// files, "only B-tree based index is used".  Everything lives in ONE
+// global namespace on ONE machine: every update descends global B+trees
+// whose size grows with the whole dataset — exactly the scaling behaviour
+// Propeller's partitioning removes.  Updates are applied synchronously
+// (InnoDB-style: redo-log append + in-place index update).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/attr.h"
+#include "index/btree.h"
+#include "index/index_group.h"
+#include "index/query.h"
+#include "index/record_store.h"
+#include "sim/io_context.h"
+
+namespace propeller::baseline {
+
+struct MiniSqlConfig {
+  // Buffer pool (paper: 2 GB).  Expressed in 4 KiB pages.
+  uint64_t buffer_pool_pages = 512 * 1024;
+  sim::DiskParams disk;
+};
+
+class MiniSql {
+ public:
+  explicit MiniSql(MiniSqlConfig config = {});
+
+  // INSERT ... ON DUPLICATE KEY UPDATE of one file row (+ keyword rows).
+  sim::Cost Upsert(const index::FileUpdate& update);
+  sim::Cost Delete(index::FileId file);
+
+  // Loads a row without charging simulated I/O — used to pre-populate the
+  // multi-million-row datasets whose construction the paper does not time.
+  void BulkLoad(const index::FileUpdate& update);
+
+  struct SearchResult {
+    std::vector<index::FileId> files;
+    sim::Cost cost;
+  };
+  SearchResult Search(const index::Predicate& pred);
+
+  uint64_t NumRows() const { return rows_->NumRecords(); }
+  sim::IoContext& io() { return io_; }
+
+ private:
+  sim::Cost IndexRow(index::FileId file, const index::AttrSet& attrs);
+  sim::Cost DeindexRow(index::FileId file, const index::AttrSet& attrs);
+
+  sim::IoContext io_;
+  std::unique_ptr<index::RecordStore> rows_;        // the files table
+  std::unique_ptr<index::BPlusTree> by_size_;       // secondary indexes
+  std::unique_ptr<index::BPlusTree> by_mtime_;
+  std::unique_ptr<index::BPlusTree> by_keyword_;    // the keyword table
+  sim::PageStore redo_log_;
+};
+
+}  // namespace propeller::baseline

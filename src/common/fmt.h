@@ -1,0 +1,47 @@
+// Minimal string-formatting helpers (libstdc++ 12 ships no <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace propeller {
+
+// printf-style formatting into a std::string.
+inline std::string Sprintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string Sprintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+// Stream-based concatenation: StrCat("x=", 3, " y=", 4.5).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// Human-readable counts: 1234567 -> "1.23M".
+inline std::string HumanCount(double n) {
+  if (n >= 1e9) return Sprintf("%.2fG", n / 1e9);
+  if (n >= 1e6) return Sprintf("%.2fM", n / 1e6);
+  if (n >= 1e3) return Sprintf("%.2fK", n / 1e3);
+  return Sprintf("%.0f", n);
+}
+
+}  // namespace propeller

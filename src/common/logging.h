@@ -1,0 +1,51 @@
+// Tiny leveled logger.  Thread-safe; writes to stderr.
+//
+// Usage:  PLOG(INFO) << "loaded " << n << " groups";
+// Level is controlled globally (SetLogLevel) or via PROPELLER_LOG env var.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace propeller {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+inline constexpr LogLevel LOG_SEVERITY_DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel LOG_SEVERITY_INFO = LogLevel::kInfo;
+inline constexpr LogLevel LOG_SEVERITY_WARNING = LogLevel::kWarning;
+inline constexpr LogLevel LOG_SEVERITY_ERROR = LogLevel::kError;
+
+}  // namespace internal
+
+#define PLOG(severity)                                                 \
+  if (::propeller::internal::LOG_SEVERITY_##severity <                 \
+      ::propeller::GetLogLevel()) {                                    \
+  } else                                                               \
+    ::propeller::internal::LogMessage(                                 \
+        ::propeller::internal::LOG_SEVERITY_##severity, __FILE__,      \
+        __LINE__)                                                      \
+        .stream()
+
+}  // namespace propeller

@@ -1,0 +1,108 @@
+// Deterministic, fast pseudo-random generators.
+//
+// All simulation components seed explicitly so experiments are reproducible
+// run-to-run.  Rng wraps xoshiro256** (public-domain algorithm by Blackman &
+// Vigna) and offers the handful of distributions the workloads need.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace propeller {
+
+// splitmix64: used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedf11e5eedf11eULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean) {
+    double u = UniformDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Zipf-like rank selection over [0, n): heavy head, long tail.  theta in
+  // (0, 1); larger theta = more skew.  Uses the simple inverse-CDF
+  // approximation, good enough for workload shaping.
+  uint64_t Zipf(uint64_t n, double theta) {
+    // Power-law mapping of a uniform variate onto ranks.
+    double u = UniformDouble();
+    double r = std::pow(u, 1.0 / (1.0 - theta));
+    auto rank = static_cast<uint64_t>(r * static_cast<double>(n));
+    return rank >= n ? n - 1 : rank;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (k <= n), in selection order.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k) {
+    // Floyd's algorithm.
+    std::vector<uint64_t> out;
+    out.reserve(k);
+    for (uint64_t j = n - k; j < n; ++j) {
+      uint64_t t = Uniform(j + 1);
+      bool seen = false;
+      for (uint64_t prev : out) {
+        if (prev == t) {
+          seen = true;
+          break;
+        }
+      }
+      out.push_back(seen ? j : t);
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace propeller

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for the measurements the paper takes in real time
+// (e.g. Table II partitioning time).
+#pragma once
+
+#include <chrono>
+
+namespace propeller {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace propeller

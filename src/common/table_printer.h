@@ -1,0 +1,28 @@
+// Column-aligned plain-text tables for the bench harnesses, so every bench
+// binary prints paper-style rows that are easy to eyeball and to diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace propeller {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  // Convenience: render and write to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace propeller

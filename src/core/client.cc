@@ -1,0 +1,132 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <map>
+
+namespace propeller::core {
+
+PropellerClient::PropellerClient(NodeId id, net::Transport* transport,
+                                 NodeId master, ClientConfig config)
+    : id_(id), transport_(transport), master_(master), config_(config) {}
+
+void PropellerClient::AttachVfs(fs::Vfs* vfs) { vfs->AddListener(&builder_); }
+
+Result<sim::Cost> PropellerClient::FlushAcg() {
+  if (!builder_.HasPendingDelta()) return sim::Cost::Zero();
+  FlushAcgRequest req;
+  req.delta = builder_.TakeDelta();
+  auto call = transport_->Call(id_, master_, "mn.flush_acg", Encode(req));
+  if (!call.status.ok()) return call.status;
+  return call.cost;
+}
+
+Result<sim::Cost> PropellerClient::CreateIndex(const IndexSpec& spec) {
+  CreateIndexRequest req;
+  req.spec = spec;
+  auto call = transport_->Call(id_, master_, "mn.create_index", Encode(req));
+  if (!call.status.ok()) return call.status;
+  return call.cost;
+}
+
+Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
+                                               double now_s) {
+  if (updates.empty()) return sim::Cost::Zero();
+  sim::Cost cost;
+
+  // Ask the master where every file lives (one batched request).
+  ResolveUpdateRequest rreq;
+  rreq.files.reserve(updates.size());
+  for (const FileUpdate& u : updates) rreq.files.push_back(u.file);
+  auto rcall = transport_->Call(id_, master_, "mn.resolve_update", Encode(rreq));
+  if (!rcall.status.ok()) return rcall.status;
+  cost += rcall.cost;
+  auto resolved = Decode<ResolveUpdateResponse>(rcall.payload);
+  if (!resolved.ok()) return resolved.status();
+
+  std::map<FileId, ResolveUpdateResponse::Placement> where;
+  for (const auto& p : resolved->placements) where[p.file] = p;
+
+  // Bucket updates per (node, group).
+  struct Bucket {
+    NodeId node;
+    GroupId group;
+    std::vector<FileUpdate> updates;
+  };
+  std::map<std::pair<NodeId, GroupId>, Bucket> buckets;
+  for (FileUpdate& u : updates) {
+    auto it = where.find(u.file);
+    if (it == where.end()) {
+      return Status::Internal("master did not place file");
+    }
+    Bucket& b = buckets[{it->second.node, it->second.group}];
+    b.node = it->second.node;
+    b.group = it->second.group;
+    b.updates.push_back(std::move(u));
+  }
+
+  // Stage on the Index Nodes.  Requests to *different* nodes proceed in
+  // parallel (cost = slowest node); a node handles its batches serially.
+  std::map<NodeId, sim::Cost> per_node;
+  for (auto& [key, bucket] : buckets) {
+    for (size_t off = 0; off < bucket.updates.size(); off += config_.update_batch) {
+      StageUpdatesRequest sreq;
+      sreq.group = bucket.group;
+      sreq.now_s = now_s;
+      size_t end = std::min(off + config_.update_batch, bucket.updates.size());
+      sreq.updates.assign(
+          std::make_move_iterator(bucket.updates.begin() + static_cast<long>(off)),
+          std::make_move_iterator(bucket.updates.begin() + static_cast<long>(end)));
+      auto call =
+          transport_->Call(id_, bucket.node, "in.stage_updates", Encode(sreq));
+      if (!call.status.ok()) return call.status;
+      per_node[bucket.node] += call.cost;
+    }
+  }
+  std::vector<sim::Cost> branches;
+  branches.reserve(per_node.size());
+  for (const auto& [node, c] : per_node) branches.push_back(c);
+  cost += sim::Cost::ParallelMax(branches);
+  return cost;
+}
+
+Result<PropellerClient::SearchOutcome> PropellerClient::Search(
+    const Predicate& predicate, const std::string& index_name) {
+  SearchOutcome out;
+
+  ResolveSearchRequest rreq;
+  rreq.index_name = index_name;
+  auto rcall = transport_->Call(id_, master_, "mn.resolve_search", Encode(rreq));
+  if (!rcall.status.ok()) return rcall.status;
+  out.cost += rcall.cost;
+  auto targets = Decode<ResolveSearchResponse>(rcall.payload);
+  if (!targets.ok()) return targets.status();
+
+  // Fan out to every Index Node in parallel; aggregate file ids.
+  std::vector<sim::Cost> branches;
+  for (const auto& target : targets->targets) {
+    SearchRequest sreq;
+    sreq.groups = target.groups;
+    sreq.predicate = predicate;
+    auto call = transport_->Call(id_, target.node, "in.search", Encode(sreq));
+    if (!call.status.ok()) return call.status;
+    branches.push_back(call.cost);
+    auto resp = Decode<SearchResponse>(call.payload);
+    if (!resp.ok()) return resp.status();
+    out.files.insert(out.files.end(), resp->files.begin(), resp->files.end());
+    ++out.nodes_queried;
+  }
+  out.cost += sim::Cost::ParallelMax(branches);
+  std::sort(out.files.begin(), out.files.end());
+  out.files.erase(std::unique(out.files.begin(), out.files.end()),
+                  out.files.end());
+  return out;
+}
+
+Result<PropellerClient::SearchOutcome> PropellerClient::SearchQuery(
+    const std::string& query, int64_t now_s) {
+  auto parsed = ParseQuery(query, now_s);
+  if (!parsed.ok()) return parsed.status();
+  return Search(parsed->predicate);
+}
+
+}  // namespace propeller::core

@@ -1,0 +1,69 @@
+// Propeller client: File Access Management + File Query Engine.
+//
+// Sits "under the existing file system on the client side" (Section IV):
+// attach it to a Vfs and it captures ACG deltas transparently; its query
+// engine parses query strings / predicates, resolves routing through the
+// Master Node, and fans requests out to Index Nodes in parallel (the
+// simulated latency of a fan-out is the slowest branch).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acg/acg_builder.h"
+#include "core/proto.h"
+#include "core/query_parser.h"
+#include "fs/vfs.h"
+#include "net/transport.h"
+
+namespace propeller::core {
+
+struct ClientConfig {
+  // Updates per stage-request message (paper: batch size 128).
+  size_t update_batch = 128;
+};
+
+class PropellerClient {
+ public:
+  PropellerClient(NodeId id, net::Transport* transport, NodeId master,
+                  ClientConfig config = {});
+
+  NodeId id() const { return id_; }
+
+  // --- File Access Management ---
+  // Registers the ACG capture hooks on a Vfs (FUSE-intercept stand-in).
+  void AttachVfs(fs::Vfs* vfs);
+  // Ships the captured ACG delta to the Master Node ("flushed to the
+  // Index Nodes after the I/O process finishes").  No-op when empty.
+  Result<sim::Cost> FlushAcg();
+  acg::AcgBuilder& builder() { return builder_; }
+
+  // --- Index management ---
+  Result<sim::Cost> CreateIndex(const IndexSpec& spec);
+
+  // --- File indexing (real-time path) ---
+  // Batches updates by target group (resolved through the master) and
+  // stages them on the owning Index Nodes in parallel.
+  Result<sim::Cost> BatchUpdate(std::vector<FileUpdate> updates, double now_s);
+
+  // --- File search ---
+  struct SearchOutcome {
+    std::vector<FileId> files;
+    sim::Cost cost;            // end-to-end simulated latency
+    size_t nodes_queried = 0;
+  };
+  // `index_name` may be empty (all groups are eligible).
+  Result<SearchOutcome> Search(const Predicate& predicate,
+                               const std::string& index_name = "");
+  // Query-string form, e.g. "size>16m" or "/data/?size>1m&mtime<1day".
+  Result<SearchOutcome> SearchQuery(const std::string& query, int64_t now_s);
+
+ private:
+  NodeId id_;
+  net::Transport* transport_;
+  NodeId master_;
+  ClientConfig config_;
+  acg::AcgBuilder builder_;
+};
+
+}  // namespace propeller::core

@@ -1,0 +1,96 @@
+#include "core/cluster.h"
+
+namespace propeller::core {
+
+PropellerCluster::PropellerCluster(ClusterConfig config)
+    : config_(config), transport_(sim::NetModel(config.net)) {
+  master_ = std::make_unique<MasterNode>(kMasterId, &transport_, config_.master);
+  transport_.Register(kMasterId, master_.get());
+
+  for (int i = 0; i < config_.index_nodes; ++i) {
+    auto node = std::make_unique<IndexNode>(
+        kFirstIndexNodeId + static_cast<NodeId>(i), config_.index_node);
+    transport_.Register(node->id(), node.get());
+    master_->AddIndexNode(node->id());
+    index_nodes_.push_back(std::move(node));
+  }
+  AddClient();
+}
+
+PropellerClient& PropellerCluster::AddClient() {
+  auto id = static_cast<NodeId>(kFirstClientId + clients_.size());
+  clients_.push_back(std::make_unique<PropellerClient>(id, &transport_,
+                                                       kMasterId, config_.client));
+  return *clients_.back();
+}
+
+void PropellerCluster::AdvanceTime(double seconds) {
+  now_s_ += seconds;
+
+  // Commit-timeout ticks.
+  TickRequest tick;
+  tick.now_s = now_s_;
+  const std::string payload = Encode(tick);
+  for (auto& node : index_nodes_) {
+    if (transport_.IsDown(node->id())) continue;
+    transport_.Call(node->id(), node->id(), "in.tick", payload);
+  }
+
+  // Heartbeats (IN -> MN) on the configured cadence.
+  if (now_s_ - last_heartbeat_s_ >= config_.heartbeat_interval_s) {
+    last_heartbeat_s_ = now_s_;
+    for (auto& node : index_nodes_) {
+      if (transport_.IsDown(node->id())) continue;
+      HeartbeatRequest hb;
+      hb.node = node->id();
+      hb.groups = node->GroupStats();
+      transport_.Call(node->id(), kMasterId, "mn.heartbeat", Encode(hb));
+    }
+  }
+}
+
+void PropellerCluster::DropAllCaches() {
+  for (auto& node : index_nodes_) node->io().DropCaches();
+}
+
+void PropellerCluster::EnableStandbyMaster() {
+  if (standby_ != nullptr) return;
+  standby_ = std::make_unique<MasterNode>(kMasterId + 1, &transport_,
+                                          config_.master);
+  for (auto& node : index_nodes_) standby_->AddIndexNode(node->id());
+  master_->SetMetadataSink(
+      [this](const std::string& image) { replicated_image_ = image; });
+  // Seed the standby with the current state.
+  (void)master_->ForceMetadataFlush();
+}
+
+Status PropellerCluster::FailoverToStandby() {
+  if (standby_ == nullptr) {
+    return Status::FailedPrecondition("no standby master enabled");
+  }
+  if (!replicated_image_.empty()) {
+    PROPELLER_RETURN_IF_ERROR(standby_->RestoreMetadata(replicated_image_));
+  }
+  // The failed primary leaves the cluster; the standby takes its address
+  // (clients keep talking to kMasterId).
+  transport_.Unregister(kMasterId);
+  transport_.Register(kMasterId, standby_.get());
+  master_ = std::move(standby_);
+  master_->SetMetadataSink(
+      [this](const std::string& image) { replicated_image_ = image; });
+  return Status::Ok();
+}
+
+uint64_t PropellerCluster::TotalGroups() const {
+  uint64_t total = 0;
+  for (const auto& node : index_nodes_) total += node->NumGroups();
+  return total;
+}
+
+uint64_t PropellerCluster::TotalIndexPages() const {
+  uint64_t total = 0;
+  for (const auto& node : index_nodes_) total += node->TotalPages();
+  return total;
+}
+
+}  // namespace propeller::core

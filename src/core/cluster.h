@@ -1,0 +1,77 @@
+// PropellerCluster: wires one Master Node, N Index Nodes, and clients onto
+// a shared transport — the equivalent of the paper's 9-node testbed in one
+// process.  Owns the cluster's virtual clock: AdvanceTime() drives the
+// Index Nodes' commit-timeout ticks and the heartbeat protocol.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/index_node.h"
+#include "core/master_node.h"
+#include "net/transport.h"
+
+namespace propeller::core {
+
+struct ClusterConfig {
+  int index_nodes = 8;
+  MasterConfig master;
+  IndexNodeConfig index_node;
+  ClientConfig client;
+  sim::NetParams net;
+  double heartbeat_interval_s = 1.0;
+};
+
+class PropellerCluster {
+ public:
+  explicit PropellerCluster(ClusterConfig config = {});
+
+  net::Transport& transport() { return transport_; }
+  MasterNode& master() { return *master_; }
+  IndexNode& index_node(size_t i) { return *index_nodes_[i]; }
+  size_t num_index_nodes() const { return index_nodes_.size(); }
+
+  // The default client (id 100); AddClient() creates more.
+  PropellerClient& client() { return *clients_[0]; }
+  PropellerClient& AddClient();
+
+  // Virtual cluster time.  Advancing it fires in.tick on every Index Node
+  // (commit timeouts) and heartbeats to the master.
+  double now() const { return now_s_; }
+  void AdvanceTime(double seconds);
+
+  // Drops every node's page cache (cold-run preparation).
+  void DropAllCaches();
+
+  // Aggregate stats.
+  uint64_t TotalGroups() const;
+  uint64_t TotalIndexPages() const;
+
+  // --- Master high availability (extension beyond the paper) ---
+  // Starts a standby master that receives every flushed metadata image.
+  void EnableStandbyMaster();
+  bool HasStandbyMaster() const { return standby_ != nullptr; }
+  // Simulates a primary failure and promotes the standby: the standby
+  // takes over the master's address, restores the last replicated image,
+  // and resumes routing.  Mutations since the last flush are re-derived
+  // lazily (unknown files are simply re-placed).
+  Status FailoverToStandby();
+
+  static constexpr NodeId kMasterId = 1;
+  static constexpr NodeId kFirstIndexNodeId = 10;
+  static constexpr NodeId kFirstClientId = 100;
+
+ private:
+  ClusterConfig config_;
+  net::Transport transport_;
+  std::unique_ptr<MasterNode> master_;
+  std::unique_ptr<MasterNode> standby_;
+  std::string replicated_image_;
+  std::vector<std::unique_ptr<IndexNode>> index_nodes_;
+  std::vector<std::unique_ptr<PropellerClient>> clients_;
+  double now_s_ = 0;
+  double last_heartbeat_s_ = 0;
+};
+
+}  // namespace propeller::core

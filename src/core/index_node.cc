@@ -1,0 +1,200 @@
+#include "core/index_node.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace propeller::core {
+
+IndexNode::IndexNode(NodeId id, IndexNodeConfig config)
+    : id_(id), config_(config), io_(config.io) {}
+
+index::IndexGroup* IndexNode::FindGroup(GroupId id) {
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : it->second.group.get();
+}
+
+IndexNode::GroupState* IndexNode::Find(GroupId id) {
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+Status IndexNode::EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs) {
+  auto it = groups_.find(id);
+  if (it == groups_.end()) {
+    GroupState state;
+    state.group = std::make_unique<index::IndexGroup>(id, &io_);
+    it = groups_.emplace(id, std::move(state)).first;
+  }
+  for (const IndexSpec& spec : specs) {
+    if (it->second.group->HasIndex(spec.name)) continue;
+    PROPELLER_RETURN_IF_ERROR(it->second.group->CreateIndex(spec));
+  }
+  return Status::Ok();
+}
+
+net::RpcHandler::Response IndexNode::Handle(const std::string& method,
+                                            const std::string& payload) {
+  if (method == "in.create_group") return HandleCreateGroup(payload);
+  if (method == "in.stage_updates") return HandleStageUpdates(payload);
+  if (method == "in.search") return HandleSearch(payload);
+  if (method == "in.tick") return HandleTick(payload);
+  if (method == "in.migrate_out") return HandleMigrateOut(payload);
+  if (method == "in.install_group") return HandleInstallGroup(payload);
+  return Response{Status::NotFound("unknown method " + method), {}, {}};
+}
+
+net::RpcHandler::Response IndexNode::HandleCreateGroup(const std::string& payload) {
+  auto req = Decode<CreateGroupRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  Status st = EnsureGroup(req->group, req->specs);
+  return Response{st, {}, sim::Cost(10e-6)};  // metadata-only work
+}
+
+net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& payload) {
+  auto req = Decode<StageUpdatesRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  GroupState* state = Find(req->group);
+  if (state == nullptr) {
+    return Response{Status::NotFound("no such group"), {}, {}};
+  }
+  sim::Cost cost;
+  for (FileUpdate& u : req->updates) {
+    cost += state->group->StageUpdate(std::move(u));
+  }
+  if (state->oldest_pending_s < 0) state->oldest_pending_s = req->now_s;
+  return Response{Status::Ok(), {}, cost};
+}
+
+net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
+  auto req = Decode<SearchRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+
+  // Run the per-group searches; schedule their simulated costs onto
+  // `search_threads` workers (longest-processing-time greedy) — the node's
+  // latency is the makespan of that schedule.
+  SearchResponse resp;
+  std::vector<double> group_costs;
+  for (GroupId gid : req->groups) {
+    GroupState* state = Find(gid);
+    if (state == nullptr) continue;  // stale routing: group migrated away
+    auto r = state->group->Search(req->predicate);
+    state->oldest_pending_s = -1;  // search committed everything
+    group_costs.push_back(r.cost.seconds());
+    resp.files.insert(resp.files.end(), r.files.begin(), r.files.end());
+  }
+
+  std::sort(group_costs.begin(), group_costs.end(), std::greater<>());
+  const size_t workers =
+      std::max<size_t>(1, static_cast<size_t>(config_.search_threads));
+  std::priority_queue<double, std::vector<double>, std::greater<>> loads;
+  for (size_t i = 0; i < workers; ++i) loads.push(0.0);
+  for (double c : group_costs) {
+    double least = loads.top();
+    loads.pop();
+    loads.push(least + c);
+  }
+  double makespan = 0;
+  while (!loads.empty()) {
+    makespan = loads.top();
+    loads.pop();
+  }
+  return Response{Status::Ok(), Encode(resp), sim::Cost(makespan)};
+}
+
+net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
+  auto req = Decode<TickRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  sim::Cost cost;
+  for (auto& [gid, state] : groups_) {
+    if (state.oldest_pending_s >= 0 &&
+        req->now_s - state.oldest_pending_s >= config_.commit_timeout_s) {
+      cost += state.group->Commit();
+      cost += state.group->MaintainIndexes();
+      state.oldest_pending_s = -1;
+    }
+  }
+  // Background commits overlap foreground work; report the cost so callers
+  // can account it, but it is not on any request's critical path.
+  return Response{Status::Ok(), {}, cost};
+}
+
+net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload) {
+  auto req = Decode<MigrateOutRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  GroupState* state = Find(req->group);
+  if (state == nullptr) return Response{Status::NotFound("no such group"), {}, {}};
+
+  sim::Cost cost = state->group->Commit();  // migrate committed state only
+  state->oldest_pending_s = -1;
+
+  MigrateOutResponse resp;
+  std::unordered_set<FileId> wanted(req->files.begin(), req->files.end());
+  const bool take_all = req->files.empty();
+  cost += state->group->ForEachRecord(
+      [&](FileId f, const index::AttrSet& attrs) {
+        if (take_all || wanted.count(f) != 0u) {
+          FileUpdate u;
+          u.file = f;
+          u.attrs = attrs;
+          resp.records.push_back(std::move(u));
+        }
+      });
+
+  // Retire the moved files locally (delete-updates through the group so
+  // every index drops its postings).
+  for (const FileUpdate& rec : resp.records) {
+    FileUpdate del;
+    del.file = rec.file;
+    del.is_delete = true;
+    cost += state->group->StageUpdate(std::move(del));
+  }
+  cost += state->group->Commit();
+
+  if (req->drop_group && state->group->NumFiles() == 0) {
+    groups_.erase(req->group);
+  }
+  return Response{Status::Ok(), Encode(resp), cost};
+}
+
+net::RpcHandler::Response IndexNode::HandleInstallGroup(const std::string& payload) {
+  auto req = Decode<InstallGroupRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  Status st = EnsureGroup(req->group, req->specs);
+  if (!st.ok()) return Response{st, {}, {}};
+  GroupState* state = Find(req->group);
+  sim::Cost cost;
+  for (FileUpdate& u : req->records) {
+    cost += state->group->StageUpdate(std::move(u));
+  }
+  cost += state->group->Commit();
+  return Response{Status::Ok(), {}, cost};
+}
+
+std::vector<HeartbeatRequest::GroupStat> IndexNode::GroupStats() const {
+  std::vector<HeartbeatRequest::GroupStat> stats;
+  stats.reserve(groups_.size());
+  for (const auto& [gid, state] : groups_) {
+    stats.push_back({gid, state.group->NumFiles(), state.group->ApproxPages()});
+  }
+  return stats;
+}
+
+uint64_t IndexNode::TotalPages() const {
+  uint64_t total = 0;
+  for (const auto& [gid, state] : groups_) total += state.group->ApproxPages();
+  return total;
+}
+
+Status IndexNode::CrashAndRecover() {
+  for (auto& [gid, state] : groups_) {
+    state.group->SimulateCrashLosingMemoryState();
+    PROPELLER_RETURN_IF_ERROR(state.group->RecoverPendingFromWal());
+    // Recovered updates will commit on the next tick or search.
+  }
+  io_.DropCaches();  // restart loses the page cache
+  return Status::Ok();
+}
+
+}  // namespace propeller::core

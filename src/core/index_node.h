@@ -1,0 +1,69 @@
+// Index Node: stores partitioned file indices (one IndexGroup per ACG) and
+// serves file-indexing / file-search / migration requests.
+//
+// Staged updates go to the group's WAL + cache; commits happen when the
+// cluster clock passes stage-time + timeout (in.tick) or on the next
+// search touching the group (inside IndexGroup::Search).  Searches across
+// a node's groups run on a bounded worker pool (the paper uses 16 threads
+// per node); the node's simulated latency is the pool's makespan.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/proto.h"
+#include "index/index_group.h"
+#include "net/transport.h"
+#include "sim/io_context.h"
+
+namespace propeller::core {
+
+struct IndexNodeConfig {
+  sim::IoParams io;
+  double commit_timeout_s = 5.0;  // paper: 5 seconds
+  int search_threads = 16;        // paper: 16 threads per node
+};
+
+class IndexNode : public net::RpcHandler {
+ public:
+  IndexNode(NodeId id, IndexNodeConfig config = {});
+
+  NodeId id() const { return id_; }
+  sim::IoContext& io() { return io_; }
+
+  Response Handle(const std::string& method, const std::string& payload) override;
+
+  // --- direct accessors (tests, stats, heartbeats) ---
+  size_t NumGroups() const { return groups_.size(); }
+  index::IndexGroup* FindGroup(GroupId id);
+  std::vector<HeartbeatRequest::GroupStat> GroupStats() const;
+  uint64_t TotalPages() const;
+
+  // Test hook: drops every group's staged in-memory state (the WALs
+  // survive), then recovers from the WALs — an IN crash/restart.
+  Status CrashAndRecover();
+
+ private:
+  struct GroupState {
+    std::unique_ptr<index::IndexGroup> group;
+    double oldest_pending_s = -1;  // stage time of oldest uncommitted update
+  };
+
+  Response HandleCreateGroup(const std::string& payload);
+  Response HandleStageUpdates(const std::string& payload);
+  Response HandleSearch(const std::string& payload);
+  Response HandleTick(const std::string& payload);
+  Response HandleMigrateOut(const std::string& payload);
+  Response HandleInstallGroup(const std::string& payload);
+
+  GroupState* Find(GroupId id);
+  Status EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs);
+
+  NodeId id_;
+  IndexNodeConfig config_;
+  sim::IoContext io_;
+  std::map<GroupId, GroupState> groups_;
+};
+
+}  // namespace propeller::core

@@ -1,0 +1,411 @@
+#include "core/master_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace propeller::core {
+
+MasterNode::MasterNode(NodeId id, net::Transport* transport, MasterConfig config)
+    : id_(id),
+      transport_(transport),
+      config_(config),
+      acg_(config.acg_policy),
+      metadata_store_(shared_storage_.CreateStore()) {}
+
+void MasterNode::AddIndexNode(NodeId node) {
+  index_nodes_.push_back(node);
+  node_load_.emplace(node, 0);
+}
+
+NodeId MasterNode::LeastLoadedNode() const {
+  NodeId best = index_nodes_.front();
+  uint64_t best_load = ~0ull;
+  for (NodeId n : index_nodes_) {
+    if (transport_->IsDown(n)) continue;
+    auto it = node_load_.find(n);
+    uint64_t load = it == node_load_.end() ? 0 : it->second;
+    if (load < best_load) {
+      best_load = load;
+      best = n;
+    }
+  }
+  return best;
+}
+
+net::RpcHandler::Response MasterNode::Handle(const std::string& method,
+                                             const std::string& payload) {
+  if (method == "mn.resolve_update") return HandleResolveUpdate(payload);
+  if (method == "mn.resolve_search") return HandleResolveSearch(payload);
+  if (method == "mn.create_index") return HandleCreateIndex(payload);
+  if (method == "mn.flush_acg") return HandleFlushAcg(payload);
+  if (method == "mn.heartbeat") return HandleHeartbeat(payload);
+  return Response{Status::NotFound("unknown method " + method), {}, {}};
+}
+
+Result<NodeId> MasterNode::EnsureGroupPlaced(GroupId group, sim::Cost& cost) {
+  auto it = group_node_.find(group);
+  if (it != group_node_.end()) return it->second;
+  if (index_nodes_.empty()) return Status::FailedPrecondition("no index nodes");
+
+  NodeId node = LeastLoadedNode();
+  CreateGroupRequest req;
+  req.group = group;
+  req.specs = catalog_;
+  auto call = transport_->Call(id_, node, "in.create_group", Encode(req));
+  cost += call.cost;
+  if (!call.status.ok()) return call.status;
+  group_node_[group] = node;
+  ++node_load_[node];
+  ++mutations_since_flush_;
+  return node;
+}
+
+sim::Cost MasterNode::ApplyAcgResult(const acg::AcgManager::ApplyResult& result) {
+  sim::Cost cost;
+  // New placements: make sure the group exists somewhere.
+  for (const auto& [file, group] : result.placements) {
+    sim::Cost c;
+    auto placed = EnsureGroupPlaced(group, c);
+    cost += c;
+    if (!placed.ok()) {
+      PLOG(WARNING) << "placement failed for group " << group << ": "
+                    << placed.status().ToString();
+    }
+    ++mutations_since_flush_;
+  }
+  // Merges: group `from` dissolved into `into`; move its index data.
+  for (const auto& merge : result.merges) {
+    auto from_it = group_node_.find(merge.from);
+    if (from_it == group_node_.end()) continue;  // never materialized
+    NodeId from_node = from_it->second;
+    sim::Cost c;
+    auto into_node = EnsureGroupPlaced(merge.into, c);
+    cost += c;
+    if (!into_node.ok()) continue;
+
+    MigrateOutRequest out_req;
+    out_req.group = merge.from;
+    out_req.drop_group = true;
+    auto out_call =
+        transport_->Call(id_, from_node, "in.migrate_out", Encode(out_req));
+    cost += out_call.cost;
+    if (!out_call.status.ok()) {
+      PLOG(WARNING) << "migrate_out failed: " << out_call.status.ToString();
+      continue;
+    }
+    auto out_resp = Decode<MigrateOutResponse>(out_call.payload);
+    if (!out_resp.ok()) continue;
+
+    InstallGroupRequest in_req;
+    in_req.group = merge.into;
+    in_req.specs = catalog_;
+    in_req.records = std::move(out_resp->records);
+    auto in_call =
+        transport_->Call(id_, *into_node, "in.install_group", Encode(in_req));
+    cost += in_call.cost;
+
+    if (node_load_[from_node] > 0) --node_load_[from_node];
+    group_node_.erase(merge.from);
+    ++mutations_since_flush_;
+  }
+  return cost;
+}
+
+net::RpcHandler::Response MasterNode::HandleResolveUpdate(
+    const std::string& payload) {
+  auto req = Decode<ResolveUpdateRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+
+  sim::Cost cost(config_.lookup_us / 1e6 * static_cast<double>(req->files.size()));
+  ResolveUpdateResponse resp;
+  for (FileId f : req->files) {
+    auto group = acg_.GroupOf(f);
+    if (!group) {
+      // Unknown file: the master allocates metadata for it (Section IV:
+      // "MN first allocates the metadata for this new ACG").
+      acg::Acg singleton;
+      singleton.AddVertex(f);
+      auto result = acg_.ApplyDelta(singleton);
+      cost += ApplyAcgResult(result);
+      group = acg_.GroupOf(f);
+    }
+    sim::Cost place_cost;
+    auto node = EnsureGroupPlaced(*group, place_cost);
+    cost += place_cost;
+    if (!node.ok()) return Response{node.status(), {}, cost};
+    resp.placements.push_back({f, *group, *node});
+  }
+  MaybeFlushMetadata(cost);
+  return Response{Status::Ok(), Encode(resp), cost};
+}
+
+net::RpcHandler::Response MasterNode::HandleResolveSearch(
+    const std::string& payload) {
+  auto req = Decode<ResolveSearchRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+
+  // Index name filtering: an empty name targets all groups; otherwise only
+  // groups exist once the catalog carries the name (all groups share the
+  // catalog, so presence is a catalog check).
+  if (!req->index_name.empty()) {
+    bool known = std::any_of(
+        catalog_.begin(), catalog_.end(),
+        [&](const IndexSpec& s) { return s.name == req->index_name; });
+    if (!known) return Response{Status::NotFound("unknown index"), {}, {}};
+  }
+
+  std::unordered_map<NodeId, std::vector<GroupId>> by_node;
+  for (const auto& [group, node] : group_node_) by_node[node].push_back(group);
+
+  ResolveSearchResponse resp;
+  for (auto& [node, groups] : by_node) {
+    std::sort(groups.begin(), groups.end());
+    resp.targets.push_back({node, std::move(groups)});
+  }
+  std::sort(resp.targets.begin(), resp.targets.end(),
+            [](const auto& a, const auto& b) { return a.node < b.node; });
+  sim::Cost cost(config_.lookup_us / 1e6 *
+                 static_cast<double>(group_node_.size() + 1));
+  return Response{Status::Ok(), Encode(resp), cost};
+}
+
+net::RpcHandler::Response MasterNode::HandleCreateIndex(
+    const std::string& payload) {
+  auto req = Decode<CreateIndexRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  for (const IndexSpec& s : catalog_) {
+    if (s.name == req->spec.name) {
+      return Response{Status::AlreadyExists(s.name), {}, {}};
+    }
+  }
+  catalog_.push_back(req->spec);
+  ++mutations_since_flush_;
+
+  // Push the new index to every existing group.
+  sim::Cost cost;
+  for (const auto& [group, node] : group_node_) {
+    CreateGroupRequest creq;
+    creq.group = group;
+    creq.specs = {req->spec};
+    auto call = transport_->Call(id_, node, "in.create_group", Encode(creq));
+    cost += call.cost;
+    if (!call.status.ok()) return Response{call.status, {}, cost};
+  }
+  // Catalog changes are rare and losing one across a master failover makes
+  // every index unusable — flush synchronously rather than on the counter.
+  cost += ForceMetadataFlush();
+  return Response{Status::Ok(), {}, cost};
+}
+
+net::RpcHandler::Response MasterNode::HandleFlushAcg(const std::string& payload) {
+  auto req = Decode<FlushAcgRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+
+  sim::Cost cost(config_.lookup_us / 1e6 *
+                 static_cast<double>(req->delta.NumEdges() + 1));
+  auto result = acg_.ApplyDelta(req->delta);
+  cost += ApplyAcgResult(result);
+  cost += RunSplitMaintenance();
+  MaybeFlushMetadata(cost);
+  return Response{Status::Ok(), {}, cost};
+}
+
+sim::Cost MasterNode::RunSplitMaintenance() {
+  sim::Cost cost;
+  auto plans = acg_.SplitOversizedGroups();
+  for (const auto& plan : plans) {
+    auto src_it = group_node_.find(plan.group);
+    if (src_it == group_node_.end()) continue;
+    NodeId src_node = src_it->second;
+
+    sim::Cost place_cost;
+    auto dst = EnsureGroupPlaced(plan.new_group, place_cost);
+    cost += place_cost;
+    if (!dst.ok()) continue;
+
+    MigrateOutRequest out_req;
+    out_req.group = plan.group;
+    out_req.files = plan.move_out;
+    auto out_call =
+        transport_->Call(id_, src_node, "in.migrate_out", Encode(out_req));
+    cost += out_call.cost;
+    if (!out_call.status.ok()) continue;
+    auto out_resp = Decode<MigrateOutResponse>(out_call.payload);
+    if (!out_resp.ok()) continue;
+
+    InstallGroupRequest in_req;
+    in_req.group = plan.new_group;
+    in_req.specs = catalog_;
+    in_req.records = std::move(out_resp->records);
+    auto in_call =
+        transport_->Call(id_, *dst, "in.install_group", Encode(in_req));
+    cost += in_call.cost;
+    ++mutations_since_flush_;
+  }
+  return cost;
+}
+
+size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
+  size_t moved = 0;
+  if (index_nodes_.size() < 2) return moved;
+  for (;;) {
+    // Recompute the current spread from the placement table (the load view
+    // from heartbeats can lag behind our own migrations).
+    std::unordered_map<NodeId, std::vector<GroupId>> by_node;
+    for (NodeId n : index_nodes_) by_node[n];
+    for (const auto& [group, node] : group_node_) by_node[node].push_back(group);
+
+    NodeId busiest = 0, idlest = 0;
+    size_t hi = 0, lo = ~size_t{0};
+    for (const auto& [node, groups] : by_node) {
+      if (transport_->IsDown(node)) continue;
+      if (groups.size() > hi || busiest == 0) {
+        if (groups.size() >= hi) {
+          hi = groups.size();
+          busiest = node;
+        }
+      }
+      if (groups.size() < lo) {
+        lo = groups.size();
+        idlest = node;
+      }
+    }
+    if (busiest == 0 || idlest == 0 || busiest == idlest) break;
+    if (hi <= lo + slack) break;  // balanced enough
+
+    // Move one (smallest) group from the busiest to the idlest node.
+    GroupId victim = by_node[busiest].front();
+    uint64_t victim_size = ~0ull;
+    for (GroupId g : by_node[busiest]) {
+      uint64_t size = acg_.GroupSize(g);
+      if (size < victim_size) {
+        victim_size = size;
+        victim = g;
+      }
+    }
+
+    MigrateOutRequest out_req;
+    out_req.group = victim;
+    out_req.drop_group = true;
+    auto out_call =
+        transport_->Call(id_, busiest, "in.migrate_out", Encode(out_req));
+    if (cost != nullptr) *cost += out_call.cost;
+    if (!out_call.status.ok()) break;
+    auto out_resp = Decode<MigrateOutResponse>(out_call.payload);
+    if (!out_resp.ok()) break;
+
+    InstallGroupRequest in_req;
+    in_req.group = victim;
+    in_req.specs = catalog_;
+    in_req.records = std::move(out_resp->records);
+    auto in_call =
+        transport_->Call(id_, idlest, "in.install_group", Encode(in_req));
+    if (cost != nullptr) *cost += in_call.cost;
+    if (!in_call.status.ok()) break;
+
+    group_node_[victim] = idlest;
+    if (node_load_[busiest] > 0) --node_load_[busiest];
+    ++node_load_[idlest];
+    ++mutations_since_flush_;
+    ++moved;
+  }
+  sim::Cost flush_cost;
+  MaybeFlushMetadata(flush_cost);
+  if (cost != nullptr) *cost += flush_cost;
+  return moved;
+}
+
+net::RpcHandler::Response MasterNode::HandleHeartbeat(const std::string& payload) {
+  auto req = Decode<HeartbeatRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  node_load_[req->node] = req->groups.size();
+  return Response{Status::Ok(), {}, sim::Cost(config_.lookup_us / 1e6)};
+}
+
+std::optional<NodeId> MasterNode::NodeOfGroup(GroupId group) const {
+  auto it = group_node_.find(group);
+  if (it == group_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string MasterNode::SnapshotMetadata() const {
+  BinaryWriter w;
+  // Catalog.
+  w.PutU32(static_cast<uint32_t>(catalog_.size()));
+  for (const IndexSpec& s : catalog_) s.Serialize(w);
+  // Group placements.
+  w.PutU32(static_cast<uint32_t>(group_node_.size()));
+  for (const auto& [group, node] : group_node_) {
+    w.PutU64(group);
+    w.PutU32(node);
+  }
+  // File -> group mapping (via the groups of the ACG manager).
+  std::vector<GroupId> groups = acg_.Groups();
+  w.PutU32(static_cast<uint32_t>(groups.size()));
+  for (GroupId g : groups) {
+    w.PutU64(g);
+    const acg::Acg* a = acg_.GroupAcg(g);
+    BinaryWriter inner;
+    if (a != nullptr) a->Serialize(inner);
+    w.PutString(inner.data());
+  }
+  return std::move(w).Take();
+}
+
+Status MasterNode::RestoreMetadata(const std::string& image) {
+  BinaryReader r(image);
+  uint32_t nc = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(nc));
+  catalog_.clear();
+  for (uint32_t i = 0; i < nc; ++i) {
+    IndexSpec s;
+    PROPELLER_RETURN_IF_ERROR(IndexSpec::Deserialize(r, s));
+    catalog_.push_back(std::move(s));
+  }
+  uint32_t ng = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(ng));
+  group_node_.clear();
+  for (auto& [node, load] : node_load_) load = 0;
+  for (uint32_t i = 0; i < ng; ++i) {
+    GroupId g = 0;
+    NodeId n = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(g));
+    PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+    group_node_[g] = n;
+    ++node_load_[n];
+  }
+  // Rebuild the ACG manager from the per-group subgraphs, preserving the
+  // original group ids so the placement table stays valid.
+  acg_ = acg::AcgManager(config_.acg_policy);
+  uint32_t na = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(na));
+  for (uint32_t i = 0; i < na; ++i) {
+    GroupId g = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(g));
+    std::string blob;
+    PROPELLER_RETURN_IF_ERROR(r.GetString(blob));
+    if (blob.empty()) continue;
+    BinaryReader ar(blob);
+    acg::Acg a;
+    PROPELLER_RETURN_IF_ERROR(acg::Acg::Deserialize(ar, a));
+    acg_.RestoreGroup(g, a);
+  }
+  return Status::Ok();
+}
+
+void MasterNode::MaybeFlushMetadata(sim::Cost& cost) {
+  if (mutations_since_flush_ < config_.metadata_flush_interval) return;
+  cost += ForceMetadataFlush();
+}
+
+sim::Cost MasterNode::ForceMetadataFlush() {
+  std::string image = SnapshotMetadata();
+  sim::Cost cost = metadata_store_.Append(image.size());
+  mutations_since_flush_ = 0;
+  ++flush_count_;
+  if (metadata_sink_) metadata_sink_(image);
+  return cost;
+}
+
+}  // namespace propeller::core

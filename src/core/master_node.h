@@ -1,0 +1,119 @@
+// Master Node: central index metadata and coordination server.
+//
+// Responsibilities (Section IV):
+//   * owns the file -> ACG mapping and ACG -> Index Node locations
+//     (delegating graph policy to acg::AcgManager);
+//   * routes client file-indexing and file-search requests;
+//   * assigns new ACGs to the least-loaded Index Node;
+//   * keeps the global index catalog (named index specs) and pushes it to
+//     every group;
+//   * orchestrates ACG splits and the resulting group migrations;
+//   * periodically flushes its metadata to shared storage so a crash
+//     loses at most the most recent mutations.
+//
+// Like the paper's prototype, the master only routes — it never touches
+// index data — so a single master scales to hundreds of Index Nodes.
+// The paper leaves master high-availability to future work; this
+// implementation goes one step further than the prototype: a metadata
+// sink can replicate every flushed image to a standby master
+// (PropellerCluster::EnableStandbyMaster), which takes over routing after
+// a failover with at most the mutations since the last flush re-derived
+// on demand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "acg/acg_manager.h"
+#include "core/proto.h"
+#include "net/transport.h"
+#include "sim/io_context.h"
+
+namespace propeller::core {
+
+struct MasterConfig {
+  acg::AcgPolicy acg_policy;
+  // Flush metadata to shared storage every this many mutations.
+  uint64_t metadata_flush_interval = 4096;
+  // CPU cost of one routing-table lookup/insert.
+  double lookup_us = 0.3;
+};
+
+class MasterNode : public net::RpcHandler {
+ public:
+  // `io` models the shared storage the metadata is flushed to.
+  MasterNode(NodeId id, net::Transport* transport, MasterConfig config = {});
+
+  NodeId id() const { return id_; }
+
+  // Registers an Index Node as placement target.
+  void AddIndexNode(NodeId node);
+
+  Response Handle(const std::string& method, const std::string& payload) override;
+
+  // --- direct accessors ---
+  const acg::AcgManager& acg_manager() const { return acg_; }
+  std::optional<NodeId> NodeOfGroup(GroupId group) const;
+  std::vector<IndexSpec> Catalog() const { return catalog_; }
+  uint64_t NumGroups() const { return group_node_.size(); }
+
+  // Serialized metadata image (what the periodic flush writes); paired
+  // with RestoreMetadata for master-recovery tests.
+  std::string SnapshotMetadata() const;
+  Status RestoreMetadata(const std::string& image);
+  uint64_t FlushCount() const { return flush_count_; }
+
+  // Invoked with every flushed metadata image (standby replication).
+  using MetadataSink = std::function<void(const std::string&)>;
+  void SetMetadataSink(MetadataSink sink) { metadata_sink_ = std::move(sink); }
+  // Flushes immediately regardless of the mutation counter; returns the
+  // simulated cost of the shared-storage write.
+  sim::Cost ForceMetadataFlush();
+
+  // Runs split maintenance immediately (normally piggy-backed on
+  // mn.flush_acg).  Returns the simulated migration cost.
+  sim::Cost RunSplitMaintenance();
+
+  // Load balancing (Fig. 6: the master instructs Index Nodes to migrate
+  // groups).  Moves whole groups from the most- to the least-loaded
+  // nodes until no node holds more than ceil(avg) + slack groups.
+  // Returns the number of groups moved; migration cost in *cost.
+  size_t RunRebalance(sim::Cost* cost, uint64_t slack = 1);
+
+ private:
+  Response HandleResolveUpdate(const std::string& payload);
+  Response HandleResolveSearch(const std::string& payload);
+  Response HandleCreateIndex(const std::string& payload);
+  Response HandleFlushAcg(const std::string& payload);
+  Response HandleHeartbeat(const std::string& payload);
+
+  // Ensures `group` exists on some Index Node; creates it (with the
+  // catalog's indices) on the least-loaded node if new.
+  Result<NodeId> EnsureGroupPlaced(GroupId group, sim::Cost& cost);
+  NodeId LeastLoadedNode() const;
+  // Applies AcgManager placement/merge decisions: creates groups, moves
+  // merged files' index data between nodes.
+  sim::Cost ApplyAcgResult(const acg::AcgManager::ApplyResult& result);
+  void MaybeFlushMetadata(sim::Cost& cost);
+
+  NodeId id_;
+  net::Transport* transport_;
+  MasterConfig config_;
+  acg::AcgManager acg_;
+  std::vector<NodeId> index_nodes_;
+  std::unordered_map<GroupId, NodeId> group_node_;
+  // Load view (updated by heartbeats + own placements): groups per node.
+  std::unordered_map<NodeId, uint64_t> node_load_;
+  std::vector<IndexSpec> catalog_;
+  MetadataSink metadata_sink_;
+  sim::IoContext shared_storage_;
+  sim::PageStore metadata_store_;
+  uint64_t mutations_since_flush_ = 0;
+  uint64_t flush_count_ = 0;
+};
+
+}  // namespace propeller::core

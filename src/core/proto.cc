@@ -1,0 +1,257 @@
+#include "core/proto.h"
+
+namespace propeller::core {
+
+void ResolveUpdateRequest::Serialize(BinaryWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(files.size()));
+  for (FileId f : files) w.PutU64(f);
+}
+Status ResolveUpdateRequest::Deserialize(BinaryReader& r,
+                                         ResolveUpdateRequest& out) {
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.files.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    FileId f = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(f));
+    out.files.push_back(f);
+  }
+  return Status::Ok();
+}
+
+void ResolveUpdateResponse::Serialize(BinaryWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(placements.size()));
+  for (const Placement& p : placements) {
+    w.PutU64(p.file);
+    w.PutU64(p.group);
+    w.PutU32(p.node);
+  }
+}
+Status ResolveUpdateResponse::Deserialize(BinaryReader& r,
+                                          ResolveUpdateResponse& out) {
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.placements.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Placement p;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(p.file));
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(p.group));
+    PROPELLER_RETURN_IF_ERROR(r.GetU32(p.node));
+    out.placements.push_back(p);
+  }
+  return Status::Ok();
+}
+
+void ResolveSearchRequest::Serialize(BinaryWriter& w) const {
+  w.PutString(index_name);
+}
+Status ResolveSearchRequest::Deserialize(BinaryReader& r,
+                                         ResolveSearchRequest& out) {
+  return r.GetString(out.index_name);
+}
+
+void ResolveSearchResponse::Serialize(BinaryWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(targets.size()));
+  for (const NodeGroups& t : targets) {
+    w.PutU32(t.node);
+    w.PutU32(static_cast<uint32_t>(t.groups.size()));
+    for (GroupId g : t.groups) w.PutU64(g);
+  }
+}
+Status ResolveSearchResponse::Deserialize(BinaryReader& r,
+                                          ResolveSearchResponse& out) {
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.targets.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    NodeGroups t;
+    PROPELLER_RETURN_IF_ERROR(r.GetU32(t.node));
+    uint32_t ng = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU32(ng));
+    for (uint32_t j = 0; j < ng; ++j) {
+      GroupId g = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetU64(g));
+      t.groups.push_back(g);
+    }
+    out.targets.push_back(std::move(t));
+  }
+  return Status::Ok();
+}
+
+void CreateIndexRequest::Serialize(BinaryWriter& w) const { spec.Serialize(w); }
+Status CreateIndexRequest::Deserialize(BinaryReader& r, CreateIndexRequest& out) {
+  return IndexSpec::Deserialize(r, out.spec);
+}
+
+void FlushAcgRequest::Serialize(BinaryWriter& w) const { delta.Serialize(w); }
+Status FlushAcgRequest::Deserialize(BinaryReader& r, FlushAcgRequest& out) {
+  return acg::Acg::Deserialize(r, out.delta);
+}
+
+void HeartbeatRequest::Serialize(BinaryWriter& w) const {
+  w.PutU32(node);
+  w.PutU32(static_cast<uint32_t>(groups.size()));
+  for (const GroupStat& g : groups) {
+    w.PutU64(g.group);
+    w.PutU64(g.files);
+    w.PutU64(g.pages);
+  }
+}
+Status HeartbeatRequest::Deserialize(BinaryReader& r, HeartbeatRequest& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(out.node));
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.groups.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    GroupStat g;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(g.group));
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(g.files));
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(g.pages));
+    out.groups.push_back(g);
+  }
+  return Status::Ok();
+}
+
+void CreateGroupRequest::Serialize(BinaryWriter& w) const {
+  w.PutU64(group);
+  w.PutU32(static_cast<uint32_t>(specs.size()));
+  for (const IndexSpec& s : specs) s.Serialize(w);
+}
+Status CreateGroupRequest::Deserialize(BinaryReader& r, CreateGroupRequest& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.group));
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.specs.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    IndexSpec s;
+    PROPELLER_RETURN_IF_ERROR(IndexSpec::Deserialize(r, s));
+    out.specs.push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+void StageUpdatesRequest::Serialize(BinaryWriter& w) const {
+  w.PutU64(group);
+  w.PutDouble(now_s);
+  w.PutU32(static_cast<uint32_t>(updates.size()));
+  for (const FileUpdate& u : updates) u.Serialize(w);
+}
+Status StageUpdatesRequest::Deserialize(BinaryReader& r, StageUpdatesRequest& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.group));
+  PROPELLER_RETURN_IF_ERROR(r.GetDouble(out.now_s));
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.updates.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    FileUpdate u;
+    PROPELLER_RETURN_IF_ERROR(FileUpdate::Deserialize(r, u));
+    out.updates.push_back(std::move(u));
+  }
+  return Status::Ok();
+}
+
+void SearchRequest::Serialize(BinaryWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(groups.size()));
+  for (GroupId g : groups) w.PutU64(g);
+  predicate.Serialize(w);
+}
+Status SearchRequest::Deserialize(BinaryReader& r, SearchRequest& out) {
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.groups.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    GroupId g = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(g));
+    out.groups.push_back(g);
+  }
+  return Predicate::Deserialize(r, out.predicate);
+}
+
+void SearchResponse::Serialize(BinaryWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(files.size()));
+  for (FileId f : files) w.PutU64(f);
+}
+Status SearchResponse::Deserialize(BinaryReader& r, SearchResponse& out) {
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.files.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    FileId f = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(f));
+    out.files.push_back(f);
+  }
+  return Status::Ok();
+}
+
+void TickRequest::Serialize(BinaryWriter& w) const { w.PutDouble(now_s); }
+Status TickRequest::Deserialize(BinaryReader& r, TickRequest& out) {
+  return r.GetDouble(out.now_s);
+}
+
+void MigrateOutRequest::Serialize(BinaryWriter& w) const {
+  w.PutU64(group);
+  w.PutU8(drop_group ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(files.size()));
+  for (FileId f : files) w.PutU64(f);
+}
+Status MigrateOutRequest::Deserialize(BinaryReader& r, MigrateOutRequest& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.group));
+  uint8_t drop = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU8(drop));
+  out.drop_group = drop != 0;
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.files.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    FileId f = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(f));
+    out.files.push_back(f);
+  }
+  return Status::Ok();
+}
+
+void MigrateOutResponse::Serialize(BinaryWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(records.size()));
+  for (const FileUpdate& u : records) u.Serialize(w);
+}
+Status MigrateOutResponse::Deserialize(BinaryReader& r, MigrateOutResponse& out) {
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.records.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    FileUpdate u;
+    PROPELLER_RETURN_IF_ERROR(FileUpdate::Deserialize(r, u));
+    out.records.push_back(std::move(u));
+  }
+  return Status::Ok();
+}
+
+void InstallGroupRequest::Serialize(BinaryWriter& w) const {
+  w.PutU64(group);
+  w.PutU32(static_cast<uint32_t>(specs.size()));
+  for (const IndexSpec& s : specs) s.Serialize(w);
+  w.PutU32(static_cast<uint32_t>(records.size()));
+  for (const FileUpdate& u : records) u.Serialize(w);
+}
+Status InstallGroupRequest::Deserialize(BinaryReader& r, InstallGroupRequest& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.group));
+  uint32_t ns = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(ns));
+  out.specs.clear();
+  for (uint32_t i = 0; i < ns; ++i) {
+    IndexSpec s;
+    PROPELLER_RETURN_IF_ERROR(IndexSpec::Deserialize(r, s));
+    out.specs.push_back(std::move(s));
+  }
+  uint32_t nr = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(nr));
+  out.records.clear();
+  for (uint32_t i = 0; i < nr; ++i) {
+    FileUpdate u;
+    PROPELLER_RETURN_IF_ERROR(FileUpdate::Deserialize(r, u));
+    out.records.push_back(std::move(u));
+  }
+  return Status::Ok();
+}
+
+}  // namespace propeller::core

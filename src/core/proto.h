@@ -1,0 +1,181 @@
+// Wire protocol between Propeller clients, the Master Node, and Index
+// Nodes.  Every request/response is a plain struct with binary
+// Serialize/Deserialize, so the transport charges real message sizes.
+//
+// Method names (see master_node.cc / index_node.cc for handlers):
+//   Master:  mn.resolve_update  mn.resolve_search  mn.create_index
+//            mn.flush_acg       mn.heartbeat
+//   Index:   in.create_group    in.stage_updates   in.search
+//            in.tick            in.migrate_out     in.install_group
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acg/acg.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "index/index_group.h"
+#include "index/query.h"
+#include "net/transport.h"
+
+namespace propeller::core {
+
+using index::FileId;
+using index::FileUpdate;
+using index::GroupId;
+using index::IndexSpec;
+using index::Predicate;
+using net::NodeId;
+
+// ---- mn.resolve_update ----
+// Client: "I am about to index these files; where do they live?"
+// The master places unknown files and answers (file, group, node) triples.
+struct ResolveUpdateRequest {
+  std::vector<FileId> files;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, ResolveUpdateRequest& out);
+};
+struct ResolveUpdateResponse {
+  struct Placement {
+    FileId file = 0;
+    GroupId group = 0;
+    NodeId node = 0;
+  };
+  std::vector<Placement> placements;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, ResolveUpdateResponse& out);
+};
+
+// ---- mn.resolve_search ----
+// Client: "which Index Nodes hold groups carrying index `index_name`?"
+// Empty name = all groups.
+struct ResolveSearchRequest {
+  std::string index_name;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, ResolveSearchRequest& out);
+};
+struct ResolveSearchResponse {
+  struct NodeGroups {
+    NodeId node = 0;
+    std::vector<GroupId> groups;
+  };
+  std::vector<NodeGroups> targets;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, ResolveSearchResponse& out);
+};
+
+// ---- mn.create_index ----
+struct CreateIndexRequest {
+  IndexSpec spec;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, CreateIndexRequest& out);
+};
+
+// ---- mn.flush_acg ----
+struct FlushAcgRequest {
+  acg::Acg delta;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, FlushAcgRequest& out);
+};
+
+// ---- mn.heartbeat ----
+struct HeartbeatRequest {
+  NodeId node = 0;
+  struct GroupStat {
+    GroupId group = 0;
+    uint64_t files = 0;
+    uint64_t pages = 0;
+  };
+  std::vector<GroupStat> groups;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, HeartbeatRequest& out);
+};
+
+// ---- in.create_group ----
+struct CreateGroupRequest {
+  GroupId group = 0;
+  std::vector<IndexSpec> specs;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, CreateGroupRequest& out);
+};
+
+// ---- in.stage_updates ----
+struct StageUpdatesRequest {
+  GroupId group = 0;
+  double now_s = 0;  // cluster virtual time, drives the commit timeout
+  std::vector<FileUpdate> updates;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, StageUpdatesRequest& out);
+};
+
+// ---- in.search ----
+struct SearchRequest {
+  std::vector<GroupId> groups;
+  Predicate predicate;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, SearchRequest& out);
+};
+struct SearchResponse {
+  std::vector<FileId> files;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, SearchResponse& out);
+};
+
+// ---- in.tick ----
+// Commits every group whose oldest staged update has aged past the
+// timeout ("after a predetermined time interval, e.g. 5 seconds").
+struct TickRequest {
+  double now_s = 0;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, TickRequest& out);
+};
+
+// ---- in.migrate_out ----
+// Extracts (and deletes locally) the given files of a group; the response
+// carries their committed records so the master can install them on the
+// target node.
+struct MigrateOutRequest {
+  GroupId group = 0;
+  std::vector<FileId> files;  // empty = everything in the group
+  bool drop_group = false;    // also delete the (now empty) group
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, MigrateOutRequest& out);
+};
+struct MigrateOutResponse {
+  std::vector<FileUpdate> records;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, MigrateOutResponse& out);
+};
+
+// ---- in.install_group ----
+struct InstallGroupRequest {
+  GroupId group = 0;
+  std::vector<IndexSpec> specs;
+  std::vector<FileUpdate> records;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, InstallGroupRequest& out);
+};
+
+// ---- generic helpers ----
+
+// Serializes a request struct to a payload string.
+template <typename T>
+std::string Encode(const T& msg) {
+  BinaryWriter w;
+  msg.Serialize(w);
+  return std::move(w).Take();
+}
+
+// Parses a payload into a message struct.
+template <typename T>
+Result<T> Decode(const std::string& payload) {
+  BinaryReader r(payload);
+  T out{};
+  Status st = T::Deserialize(r, out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace propeller::core

@@ -1,0 +1,35 @@
+// Query string parser for the File Query Engine.
+//
+// Accepts the paper's two query surfaces:
+//   * query-directories:  "/foo/bar/?size>1m&mtime<1day"
+//   * plain API queries:  "size>1g & mtime<1day & keyword:firefox"
+//
+// Grammar (conjunctions only, like the prototype):
+//   query   := term (('&'|'&&') term)*
+//   term    := attr op value | "keyword:" word
+//   op      := '>' '>=' '<' '<=' '=' '=='
+//   value   := integer [k|m|g|t]            (sizes, powers of 1024)
+//            | integer [s|min|hour|day|week] (ages, converted to seconds)
+//            | float | quoted or bare string
+//
+// Age semantics: "mtime<1day" means "modified less than one day ago",
+// i.e. mtime > now - 86400 — the parser flips the comparison around
+// `now`, matching how the paper's Query #1/#2 read.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "index/query.h"
+
+namespace propeller::core {
+
+struct ParsedQuery {
+  index::Predicate predicate;
+  std::string directory;  // non-empty for query-directory form
+};
+
+// `now_s` anchors relative ages.  Returns InvalidArgument on bad syntax.
+Result<ParsedQuery> ParseQuery(const std::string& query, int64_t now_s);
+
+}  // namespace propeller::core

@@ -1,0 +1,81 @@
+// In-memory file-system namespace: a directory tree of files with inode
+// attributes.  This is the "shared storage" view the Propeller client sits
+// under; datasets for the experiments are materialized into it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "index/attr.h"
+
+namespace propeller::fs {
+
+using index::FileId;
+
+struct FileStat {
+  FileId id = 0;
+  std::string path;
+  int64_t size = 0;
+  int64_t mtime = 0;   // seconds since epoch (simulated)
+  int64_t uid = 0;
+  bool is_dir = false;
+
+  // Inode attribute view used by the indexing pipeline.
+  index::AttrSet ToAttrSet() const;
+};
+
+class Namespace {
+ public:
+  Namespace();
+
+  // Creates all missing ancestor directories.
+  Status MkdirAll(std::string_view path);
+
+  // Creates a regular file (parents auto-created).  Fails on duplicates.
+  Result<FileId> CreateFile(std::string_view path, int64_t size, int64_t mtime,
+                            int64_t uid = 0);
+
+  Result<FileStat> Stat(std::string_view path) const;
+  Result<FileStat> StatById(FileId id) const;
+  bool Exists(std::string_view path) const;
+
+  // Updates size/mtime of an existing file.
+  Status Update(std::string_view path, int64_t size, int64_t mtime);
+
+  Status Unlink(std::string_view path);
+
+  // Children names (not paths) of a directory.
+  Result<std::vector<std::string>> List(std::string_view dir) const;
+
+  // Visits every regular file (not dirs).
+  void ForEachFile(const std::function<void(const FileStat&)>& fn) const;
+
+  uint64_t NumFiles() const { return num_files_; }
+  uint64_t NumDirs() const { return num_dirs_; }
+
+ private:
+  struct Node {
+    FileStat stat;
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+  };
+
+  static std::vector<std::string_view> SplitPath(std::string_view path);
+  Node* Walk(std::string_view path) const;
+  // Walks to the parent of `path`, creating directories when `create`.
+  Node* WalkParent(std::string_view path, bool create, std::string_view* leaf);
+
+  std::unique_ptr<Node> root_;
+  // Secondary index for StatById.
+  std::map<FileId, Node*> by_id_;
+  FileId next_id_ = 1;
+  uint64_t num_files_ = 0;
+  uint64_t num_dirs_ = 0;
+};
+
+}  // namespace propeller::fs

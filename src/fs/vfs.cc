@@ -1,0 +1,121 @@
+#include "fs/vfs.h"
+
+namespace propeller::fs {
+
+Vfs::Vfs(FsProfile profile, sim::DiskParams disk)
+    : profile_(std::move(profile)), disk_(disk) {}
+
+sim::Cost Vfs::Emit(AccessEvent event) {
+  event.seq = ++seq_;
+  for (AccessListener* l : listeners_) l->OnEvent(event);
+  if (inline_cost_ && (event.type == AccessEvent::Type::kCreate ||
+                       event.type == AccessEvent::Type::kUnlink ||
+                       (event.type == AccessEvent::Type::kClose && event.written))) {
+    return inline_cost_(event);
+  }
+  return sim::Cost::Zero();
+}
+
+Result<Vfs::OpenResult> Vfs::Open(uint64_t pid, const std::string& path,
+                                  OpenMode mode, bool create) {
+  OpenResult out;
+  out.cost += MetaCost();
+
+  FileId id;
+  if (!ns_.Exists(path)) {
+    if (!create) return Status::NotFound(path);
+    auto created = ns_.CreateFile(path, /*size=*/0, /*mtime=*/now_);
+    if (!created.ok()) return created.status();
+    id = *created;
+    out.cost += MetaCost();  // create is its own metadata op
+    AccessEvent ev;
+    ev.type = AccessEvent::Type::kCreate;
+    ev.pid = pid;
+    ev.file = id;
+    ev.path = path;
+    ev.mode = mode;
+    out.cost += Emit(std::move(ev));
+  } else {
+    auto stat = ns_.Stat(path);
+    if (!stat.ok()) return stat.status();
+    if (stat->is_dir) return Status::InvalidArgument("is a directory");
+    id = stat->id;
+  }
+
+  Fd fd = next_fd_++;
+  out.fd = fd;
+  open_[fd] = OpenFile{pid, id, path, mode, /*written=*/false};
+
+  AccessEvent ev;
+  ev.type = AccessEvent::Type::kOpen;
+  ev.pid = pid;
+  ev.file = id;
+  ev.path = path;
+  ev.mode = mode;
+  out.cost += Emit(std::move(ev));
+  return out;
+}
+
+Result<sim::Cost> Vfs::Write(Fd fd, int64_t bytes) {
+  auto it = open_.find(fd);
+  if (it == open_.end()) return Status::InvalidArgument("bad fd");
+  OpenFile& of = it->second;
+  if (of.mode == OpenMode::kRead) {
+    return Status::FailedPrecondition("fd not writable");
+  }
+  auto stat = ns_.Stat(of.path);
+  if (!stat.ok()) return stat.status();
+  PROPELLER_RETURN_IF_ERROR(ns_.Update(of.path, stat->size + bytes, now_));
+  of.written = true;
+  return sim::Cost(profile_.data_op_us / 1e6) + DataCost(bytes);
+}
+
+Result<sim::Cost> Vfs::Read(Fd fd, int64_t bytes) {
+  auto it = open_.find(fd);
+  if (it == open_.end()) return Status::InvalidArgument("bad fd");
+  if (it->second.mode == OpenMode::kWrite) {
+    return Status::FailedPrecondition("fd not readable");
+  }
+  return sim::Cost(profile_.data_op_us / 1e6) + DataCost(bytes);
+}
+
+sim::Cost Vfs::DataCost(int64_t bytes) const {
+  if (profile_.buffered_bandwidth_mb_s > 0) {
+    return sim::Cost(static_cast<double>(bytes) /
+                     (profile_.buffered_bandwidth_mb_s * 1e6));
+  }
+  return disk_.AppendBytes(static_cast<uint64_t>(bytes));
+}
+
+Result<sim::Cost> Vfs::Close(Fd fd) {
+  auto it = open_.find(fd);
+  if (it == open_.end()) return Status::InvalidArgument("bad fd");
+  OpenFile of = std::move(it->second);
+  open_.erase(it);
+
+  AccessEvent ev;
+  ev.type = AccessEvent::Type::kClose;
+  ev.pid = of.pid;
+  ev.file = of.file;
+  ev.path = of.path;
+  ev.mode = of.mode;
+  ev.written = of.written;
+  return MetaCost() + Emit(std::move(ev));
+}
+
+Result<sim::Cost> Vfs::Unlink(uint64_t pid, const std::string& path) {
+  auto stat = ns_.Stat(path);
+  if (!stat.ok()) return stat.status();
+  PROPELLER_RETURN_IF_ERROR(ns_.Unlink(path));
+  if (!stat->is_dir) {
+    AccessEvent ev;
+    ev.type = AccessEvent::Type::kUnlink;
+    ev.pid = pid;
+    ev.file = stat->id;
+    ev.path = path;
+    return MetaCost() + Emit(std::move(ev));
+  }
+  return MetaCost();
+}
+
+}  // namespace propeller::fs

@@ -1,0 +1,125 @@
+// VFS shim: the stand-in for Propeller's FUSE client file system.
+//
+// The paper implements the client inside a FUSE file system so it can
+// transparently intercept every open/close (Section IV).  The Vfs plays
+// that role here: a POSIX-ish API over `Namespace` that (a) emits an
+// AccessEvent to registered listeners on every open/close/create/unlink —
+// the feed the File Access Management module builds ACGs from — and
+// (b) charges each operation through a pluggable per-filesystem overhead
+// profile plus the disk model, which is what Table VI (PostMark) measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/namespace.h"
+#include "sim/cost.h"
+#include "sim/disk_model.h"
+
+namespace propeller::fs {
+
+enum class OpenMode : uint8_t { kRead = 0, kWrite = 1, kReadWrite = 2 };
+
+struct AccessEvent {
+  enum class Type : uint8_t { kOpen, kClose, kCreate, kUnlink };
+
+  Type type = Type::kOpen;
+  uint64_t pid = 0;       // issuing process
+  FileId file = 0;
+  std::string path;
+  OpenMode mode = OpenMode::kRead;
+  // On close: whether the file was written through this descriptor.
+  bool written = false;
+  uint64_t seq = 0;       // global logical timestamp (strictly increasing)
+};
+
+class AccessListener {
+ public:
+  virtual ~AccessListener() = default;
+  virtual void OnEvent(const AccessEvent& event) = 0;
+};
+
+// Per-filesystem operation overhead (calibrated per Table VI).  `meta_us`
+// is the fixed per-metadata-op cost (create/open/close/unlink); data ops
+// add bandwidth cost from the disk model.
+struct FsProfile {
+  std::string name = "ext4";
+  double meta_us = 60.0;
+  // FUSE stacks pay user/kernel crossings on data ops too.
+  double data_op_us = 5.0;
+  // > 0: data ops go through the (RAM-speed) page cache at this bandwidth
+  // instead of the raw disk model — PostMark-style buffered I/O.
+  double buffered_bandwidth_mb_s = 0.0;
+};
+
+using Fd = int64_t;
+
+class Vfs {
+ public:
+  explicit Vfs(FsProfile profile = {}, sim::DiskParams disk = {});
+
+  Namespace& ns() { return ns_; }
+  const Namespace& ns() const { return ns_; }
+
+  void AddListener(AccessListener* listener) { listeners_.push_back(listener); }
+
+  // Inline work riding on the I/O critical path (Propeller's real-time
+  // indexing in Table VI): called for create / written-close / unlink
+  // events; the returned cost is added to the triggering operation.
+  using InlineOpCost = std::function<sim::Cost(const AccessEvent&)>;
+  void SetInlineOpCost(InlineOpCost fn) { inline_cost_ = std::move(fn); }
+
+  // --- POSIX-ish surface; every call returns its simulated cost. ---
+  struct OpenResult {
+    Fd fd = -1;
+    sim::Cost cost;
+  };
+  // Opens (optionally creating) a file.  Emits kCreate and/or kOpen.
+  Result<OpenResult> Open(uint64_t pid, const std::string& path, OpenMode mode,
+                          bool create = false);
+
+  // Appends `bytes` to the file (size grows, mtime bumps).
+  Result<sim::Cost> Write(Fd fd, int64_t bytes);
+  Result<sim::Cost> Read(Fd fd, int64_t bytes);
+
+  // Emits kClose (with the written flag).
+  Result<sim::Cost> Close(Fd fd);
+
+  Result<sim::Cost> Unlink(uint64_t pid, const std::string& path);
+
+  // Simulated wall time (advances with mtimes); one tick per metadata op.
+  int64_t now() const { return now_; }
+  void AdvanceTime(int64_t seconds) { now_ += seconds; }
+
+  uint64_t NumOpenFds() const { return open_.size(); }
+
+ private:
+  struct OpenFile {
+    uint64_t pid = 0;
+    FileId file = 0;
+    std::string path;
+    OpenMode mode = OpenMode::kRead;
+    bool written = false;
+  };
+
+  // Emits the event to listeners; returns any inline-op cost it incurred.
+  sim::Cost Emit(AccessEvent event);
+  sim::Cost DataCost(int64_t bytes) const;
+  sim::Cost MetaCost() const { return sim::Cost(profile_.meta_us / 1e6); }
+
+  FsProfile profile_;
+  sim::DiskModel disk_;
+  Namespace ns_;
+  std::vector<AccessListener*> listeners_;
+  InlineOpCost inline_cost_;
+  std::unordered_map<Fd, OpenFile> open_;
+  Fd next_fd_ = 1;
+  uint64_t seq_ = 0;
+  int64_t now_ = 1'000'000;  // arbitrary epoch
+};
+
+}  // namespace propeller::fs

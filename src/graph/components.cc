@@ -1,0 +1,35 @@
+#include "graph/components.h"
+
+#include <deque>
+
+namespace propeller::graph {
+
+ComponentInfo ConnectedComponents(const WeightedGraph& g) {
+  ComponentInfo info;
+  const VertexId n = g.NumVertices();
+  constexpr uint32_t kUnvisited = ~0u;
+  info.component_of.assign(n, kUnvisited);
+
+  std::deque<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (info.component_of[start] != kUnvisited) continue;
+    const uint32_t comp = info.num_components++;
+    info.sizes.push_back(0);
+    info.component_of[start] = comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      ++info.sizes[comp];
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        if (info.component_of[nb.to] == kUnvisited) {
+          info.component_of[nb.to] = comp;
+          queue.push_back(nb.to);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace propeller::graph

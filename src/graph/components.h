@@ -1,0 +1,22 @@
+// Connected components — Propeller's first-level partitioning: each
+// component of an ACG can be indexed independently with zero cut.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace propeller::graph {
+
+struct ComponentInfo {
+  // component id per vertex, dense in [0, num_components)
+  std::vector<uint32_t> component_of;
+  uint32_t num_components = 0;
+  // number of vertices per component
+  std::vector<uint32_t> sizes;
+};
+
+ComponentInfo ConnectedComponents(const WeightedGraph& g);
+
+}  // namespace propeller::graph

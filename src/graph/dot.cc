@@ -1,0 +1,50 @@
+#include "graph/dot.h"
+
+#include <map>
+#include <vector>
+
+#include "common/fmt.h"
+
+namespace propeller::graph {
+
+std::string ToDot(const WeightedGraph& g, const DotOptions& opts) {
+  std::string out = "graph " + opts.graph_name + " {\n";
+  out += "  node [shape=circle, fontsize=8];\n";
+
+  auto label_of = [&](VertexId v) {
+    return opts.label ? opts.label(v) : StrCat(v);
+  };
+
+  if (opts.cluster) {
+    std::map<int, std::vector<VertexId>> clusters;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      clusters[opts.cluster(v)].push_back(v);
+    }
+    for (const auto& [cid, members] : clusters) {
+      if (cid >= 0) {
+        out += Sprintf("  subgraph cluster_%d {\n    label=\"partition %d\";\n",
+                       cid, cid);
+      }
+      for (VertexId v : members) {
+        out += Sprintf("    v%u [label=\"%s\"];\n", v, label_of(v).c_str());
+      }
+      if (cid >= 0) out += "  }\n";
+    }
+  } else {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      out += Sprintf("  v%u [label=\"%s\"];\n", v, label_of(v).c_str());
+    }
+  }
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (nb.to <= v) continue;
+      out += Sprintf("  v%u -- v%u [label=\"%llu\"];\n", v, nb.to,
+                     static_cast<unsigned long long>(nb.weight));
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace propeller::graph

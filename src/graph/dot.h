@@ -1,0 +1,22 @@
+// Graphviz DOT export — used to render ACGs the way the paper draws
+// Fig. 7 (the Thrift-compile ACG with its disconnected components).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace propeller::graph {
+
+struct DotOptions {
+  // Optional vertex labeler; defaults to the vertex id.
+  std::function<std::string(VertexId)> label;
+  // Optional per-vertex cluster/partition id; -1 = no cluster.
+  std::function<int(VertexId)> cluster;
+  std::string graph_name = "acg";
+};
+
+std::string ToDot(const WeightedGraph& g, const DotOptions& opts = {});
+
+}  // namespace propeller::graph

@@ -1,0 +1,66 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace propeller::graph {
+
+void WeightedGraph::AddEdge(VertexId u, VertexId v, Weight w) {
+  assert(u < NumVertices() && v < NumVertices());
+  if (u == v || w == 0) return;
+  // Accumulate if the edge already exists (ACG projections produce
+  // parallel edges).  Linear probe is fine: ACG degrees are small.
+  for (Neighbor& n : adj_[u]) {
+    if (n.to == v) {
+      n.weight += w;
+      for (Neighbor& m : adj_[v]) {
+        if (m.to == u) {
+          m.weight += w;
+          break;
+        }
+      }
+      total_edge_weight_ += w;
+      return;
+    }
+  }
+  adj_[u].push_back(Neighbor{v, w});
+  adj_[v].push_back(Neighbor{u, w});
+  ++num_edges_;
+  total_edge_weight_ += w;
+}
+
+WeightedGraph WeightedGraph::FromAdjacency(std::vector<std::vector<Neighbor>> adj,
+                                           std::vector<Weight> vertex_weights) {
+  assert(adj.size() == vertex_weights.size());
+  WeightedGraph g;
+  g.adj_ = std::move(adj);
+  g.vertex_weight_ = std::move(vertex_weights);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Neighbor& n : g.adj_[v]) {
+      if (n.to > v) {
+        ++g.num_edges_;
+        g.total_edge_weight_ += n.weight;
+      }
+    }
+  }
+  return g;
+}
+
+Weight WeightedGraph::TotalVertexWeight() const {
+  Weight total = 0;
+  for (Weight w : vertex_weight_) total += w;
+  return total;
+}
+
+Bisection EvaluateBisection(const WeightedGraph& g, std::vector<uint8_t> side) {
+  Bisection b;
+  b.side = std::move(side);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    b.side_weight[b.side[v]] += g.VertexWeight(v);
+    for (const Neighbor& n : g.Neighbors(v)) {
+      if (n.to > v && b.side[n.to] != b.side[v]) b.cut_weight += n.weight;
+    }
+  }
+  return b;
+}
+
+}  // namespace propeller::graph

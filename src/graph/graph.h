@@ -1,0 +1,96 @@
+// Undirected weighted graph used by the partitioning pipeline.
+//
+// ACGs are directed (producer -> consumer), but partitioning minimizes
+// co-access cut regardless of direction, so the ACG module projects its
+// edge multiset onto this undirected representation (parallel/reverse
+// edges accumulate weight).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace propeller::graph {
+
+using VertexId = uint32_t;
+using Weight = uint64_t;
+
+struct Neighbor {
+  VertexId to = 0;
+  Weight weight = 0;
+};
+
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(VertexId num_vertices)
+      : adj_(num_vertices), vertex_weight_(num_vertices, 1) {}
+
+  VertexId NumVertices() const { return static_cast<VertexId>(adj_.size()); }
+  uint64_t NumEdges() const { return num_edges_; }
+
+  VertexId AddVertex(Weight vertex_weight = 1) {
+    adj_.emplace_back();
+    vertex_weight_.push_back(vertex_weight);
+    return static_cast<VertexId>(adj_.size() - 1);
+  }
+
+  // Adds (or accumulates onto an existing) undirected edge u—v.
+  // Self-loops are ignored: they never contribute to any cut.
+  void AddEdge(VertexId u, VertexId v, Weight w);
+
+  // Bulk constructor from a ready adjacency list.  `adj[u]` must mirror
+  // `adj[v]` (each undirected edge present in both directions, equal
+  // weights, no self-loops, no duplicates); used by the coarsener, which
+  // builds deduplicated adjacency in one pass.
+  static WeightedGraph FromAdjacency(std::vector<std::vector<Neighbor>> adj,
+                                     std::vector<Weight> vertex_weights);
+
+  const std::vector<Neighbor>& Neighbors(VertexId v) const { return adj_[v]; }
+  Weight VertexWeight(VertexId v) const { return vertex_weight_[v]; }
+  void SetVertexWeight(VertexId v, Weight w) { vertex_weight_[v] = w; }
+
+  // Sum of all edge weights (each undirected edge counted once).
+  Weight TotalEdgeWeight() const { return total_edge_weight_; }
+  // Sum of all vertex weights.
+  Weight TotalVertexWeight() const;
+
+  // Degree in number of incident edges.
+  size_t Degree(VertexId v) const { return adj_[v].size(); }
+
+ private:
+  std::vector<std::vector<Neighbor>> adj_;
+  std::vector<Weight> vertex_weight_;
+  uint64_t num_edges_ = 0;
+  Weight total_edge_weight_ = 0;
+};
+
+// Fraction of a graph's total edge weight represented by `cut_weight`.
+inline double CutFractionOf(Weight cut_weight, const WeightedGraph& g) {
+  Weight total = g.TotalEdgeWeight();
+  return total == 0 ? 0.0
+                    : static_cast<double>(cut_weight) / static_cast<double>(total);
+}
+
+// Partition of a graph's vertices into two sides (0/1).
+struct Bisection {
+  std::vector<uint8_t> side;   // side[v] in {0, 1}
+  Weight cut_weight = 0;       // sum of weights of edges crossing the cut
+  Weight side_weight[2] = {0, 0};  // total vertex weight per side
+
+  double CutFraction(const WeightedGraph& g) const {
+    return CutFractionOf(cut_weight, g);
+  }
+  double Imbalance() const {
+    Weight total = side_weight[0] + side_weight[1];
+    if (total == 0) return 0.0;
+    Weight hi = side_weight[0] > side_weight[1] ? side_weight[0] : side_weight[1];
+    return static_cast<double>(hi) / (static_cast<double>(total) / 2.0) - 1.0;
+  }
+};
+
+// Recomputes cut weight and side weights from `side`; used after edits and
+// by tests to validate incremental bookkeeping.
+Bisection EvaluateBisection(const WeightedGraph& g, std::vector<uint8_t> side);
+
+}  // namespace propeller::graph

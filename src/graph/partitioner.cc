@@ -1,0 +1,541 @@
+#include "graph/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <deque>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace propeller::graph {
+namespace {
+
+constexpr VertexId kNone = ~0u;
+
+// One coarsening level: the coarse graph plus the fine->coarse vertex map.
+struct Level {
+  WeightedGraph coarse;
+  std::vector<VertexId> fine_to_coarse;
+};
+
+// Heavy-edge matching: random vertex order; each unmatched vertex matches
+// its heaviest unmatched neighbor.  Returns the fine->coarse map and the
+// number of coarse vertices.
+std::pair<std::vector<VertexId>, VertexId> HeavyEdgeMatch(const WeightedGraph& g,
+                                                          Rng& rng) {
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> match(n, kNone);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  for (VertexId v : order) {
+    if (match[v] != kNone) continue;
+    VertexId best = kNone;
+    Weight best_w = 0;
+    Weight max_incident = 0;
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      max_incident = std::max(max_incident, nb.weight);
+      if (match[nb.to] == kNone && nb.to != v && nb.weight > best_w) {
+        best = nb.to;
+        best_w = nb.weight;
+      }
+    }
+    // Never coarsen across an edge much lighter than the vertex's
+    // heaviest incident edge: gluing two clusters through a flimsy bridge
+    // (the natural cut!) makes the cut unrecoverable at finer levels.
+    if (best != kNone && best_w * 4 < max_incident) best = kNone;
+    if (best == kNone) {
+      match[v] = v;  // singleton
+    } else {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+
+  std::vector<VertexId> fine_to_coarse(n, kNone);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (fine_to_coarse[v] != kNone) continue;
+    fine_to_coarse[v] = next;
+    if (match[v] != v) fine_to_coarse[match[v]] = next;
+    ++next;
+  }
+  return {std::move(fine_to_coarse), next};
+}
+
+WeightedGraph BuildCoarse(const WeightedGraph& g,
+                          const std::vector<VertexId>& fine_to_coarse,
+                          VertexId coarse_n) {
+  std::vector<Weight> vweight(coarse_n, 0);
+  // Group fine vertices by coarse vertex (counting sort).
+  std::vector<uint32_t> counts(coarse_n + 1, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) ++counts[fine_to_coarse[v] + 1];
+  for (VertexId c = 0; c < coarse_n; ++c) counts[c + 1] += counts[c];
+  std::vector<VertexId> members(g.NumVertices());
+  {
+    std::vector<uint32_t> fill(counts.begin(), counts.end() - 1);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      members[fill[fine_to_coarse[v]]++] = v;
+    }
+  }
+
+  // Per-coarse-vertex neighbor accumulation with a timestamped scratch
+  // array: O(sum of fine degrees), no per-edge probing.
+  std::vector<std::vector<Neighbor>> adj(coarse_n);
+  std::vector<Weight> acc(coarse_n, 0);
+  std::vector<VertexId> stamp(coarse_n, kNone);
+  std::vector<VertexId> touched;
+  for (VertexId c = 0; c < coarse_n; ++c) {
+    touched.clear();
+    for (uint32_t i = counts[c]; i < counts[c + 1]; ++i) {
+      VertexId v = members[i];
+      vweight[c] += g.VertexWeight(v);
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        VertexId cn = fine_to_coarse[nb.to];
+        if (cn == c) continue;  // interior edge collapses
+        if (stamp[cn] != c) {
+          stamp[cn] = c;
+          acc[cn] = 0;
+          touched.push_back(cn);
+        }
+        acc[cn] += nb.weight;
+      }
+    }
+    adj[c].reserve(touched.size());
+    for (VertexId cn : touched) adj[c].push_back(Neighbor{cn, acc[cn]});
+  }
+  return WeightedGraph::FromAdjacency(std::move(adj), std::move(vweight));
+}
+
+struct SideCaps {
+  Weight cap[2];
+};
+
+SideCaps MakeSideCaps(Weight total, double frac0, double epsilon) {
+  // floor((1+eps) * target_i), but never below ceil(target_i) so an exact
+  // proportional split is always feasible; bump the larger cap if the two
+  // caps cannot jointly hold the whole graph.
+  auto one = [&](double frac) {
+    double target = frac * static_cast<double>(total);
+    auto cap = static_cast<Weight>((1.0 + epsilon) * target);
+    return std::max(cap, static_cast<Weight>(target + 0.999999));
+  };
+  SideCaps caps{{one(frac0), one(1.0 - frac0)}};
+  if (caps.cap[0] + caps.cap[1] < total) {
+    (caps.cap[0] >= caps.cap[1] ? caps.cap[0] : caps.cap[1]) +=
+        total - (caps.cap[0] + caps.cap[1]);
+  }
+  return caps;
+}
+
+// Restores the balance constraint after an unbalanced initial partition:
+// greedily moves the cheapest boundary-or-any vertex out of the heavy side
+// until both sides fit.  FM alone never repairs balance (its cap only
+// blocks moves; rollback optimizes cut).
+void Rebalance(const WeightedGraph& g, Bisection& b, const SideCaps& caps) {
+  while (b.side_weight[0] > caps.cap[0] || b.side_weight[1] > caps.cap[1]) {
+    uint8_t heavy = b.side_weight[0] > caps.cap[0] ? 0 : 1;
+    // Pick the heavy-side vertex with the best (external - internal) gain
+    // whose move does not overload the light side.
+    VertexId best = kNone;
+    int64_t best_gain = std::numeric_limits<int64_t>::min();
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (b.side[v] != heavy) continue;
+      Weight vw = g.VertexWeight(v);
+      if (b.side_weight[heavy ^ 1] + vw > caps.cap[heavy ^ 1]) continue;
+      int64_t gain = 0;
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        gain += b.side[nb.to] != heavy ? static_cast<int64_t>(nb.weight)
+                                       : -static_cast<int64_t>(nb.weight);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == kNone) break;  // infeasible (huge vertex weights)
+    Weight vw = g.VertexWeight(best);
+    b.side[best] = heavy ^ 1;
+    b.side_weight[heavy] -= vw;
+    b.side_weight[heavy ^ 1] += vw;
+    b.cut_weight = static_cast<Weight>(static_cast<int64_t>(b.cut_weight) -
+                                       best_gain);
+  }
+}
+
+// Greedy graph growing (GGGP): grow side 0 from a random seed until it
+// holds its target share of the vertex weight, always absorbing the frontier vertex
+// with the highest affinity (total edge weight into the grown region).
+// Affinity-ordering keeps growth inside dense clusters instead of leaking
+// across light bridge edges the way FIFO BFS does.  Remaining vertices
+// (including other components) form side 1.
+Bisection GreedyGrow(const WeightedGraph& g, Rng& rng, double frac0) {
+  const VertexId n = g.NumVertices();
+  const Weight total = g.TotalVertexWeight();
+  const auto half = static_cast<Weight>(frac0 * static_cast<double>(total));
+
+  std::vector<uint8_t> side(n, 2);  // 2 = unassigned
+  std::vector<Weight> affinity(n, 0);
+  Weight grown = 0;
+
+  struct Entry {
+    Weight affinity;
+    uint64_t tiebreak;
+    VertexId v;
+    bool operator<(const Entry& o) const {
+      if (affinity != o.affinity) return affinity < o.affinity;
+      return tiebreak < o.tiebreak;
+    }
+  };
+  std::priority_queue<Entry> frontier;
+
+  auto absorb = [&](VertexId v) {
+    side[v] = 0;
+    grown += g.VertexWeight(v);
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (side[nb.to] != 2) continue;
+      affinity[nb.to] += nb.weight;
+      frontier.push(Entry{affinity[nb.to], rng.Next(), nb.to});
+    }
+  };
+
+  absorb(static_cast<VertexId>(rng.Uniform(n)));
+  VertexId scan = 0;  // for jumping to other components
+  while (grown < half) {
+    VertexId pick = kNone;
+    while (!frontier.empty()) {
+      Entry top = frontier.top();
+      frontier.pop();
+      if (side[top.v] == 2 && top.affinity == affinity[top.v]) {
+        pick = top.v;
+        break;
+      }
+    }
+    if (pick == kNone) {
+      // Component exhausted: jump to an unassigned vertex.
+      while (scan < n && side[scan] != 2) ++scan;
+      if (scan == n) break;
+      pick = scan;
+    }
+    absorb(pick);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (side[v] == 2) side[v] = 1;
+  }
+  return EvaluateBisection(g, std::move(side));
+}
+
+// Fiduccia–Mattheyses refinement: hill-climbing moves with rollback to the
+// best prefix.  Respects the balance cap; locked vertices move once per
+// pass.  Returns true if the pass improved the cut or balance.
+bool FmPass(const WeightedGraph& g, Bisection& b, const SideCaps& caps, Rng& rng) {
+  const VertexId n = g.NumVertices();
+
+  // gain[v] = cut reduction if v switches sides = external - internal.
+  std::vector<int64_t> gain(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    int64_t e = 0;
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (b.side[nb.to] != b.side[v]) {
+        e += static_cast<int64_t>(nb.weight);
+      } else {
+        e -= static_cast<int64_t>(nb.weight);
+      }
+    }
+    gain[v] = e;
+  }
+
+  // Lazy max-heap keyed by (gain, random tiebreak).
+  struct Entry {
+    int64_t gain;
+    uint64_t tiebreak;
+    VertexId v;
+    bool operator<(const Entry& o) const {
+      if (gain != o.gain) return gain < o.gain;
+      return tiebreak < o.tiebreak;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  std::vector<uint8_t> locked(n, 0);
+  // Seed every vertex, not just the boundary: negative-gain interior moves
+  // (e.g. pushing leaf vertices across as balance filler) are exactly what
+  // enables the big positive hub moves on hub-and-spoke graphs.
+  for (VertexId v = 0; v < n; ++v) heap.push(Entry{gain[v], rng.Next(), v});
+
+  std::vector<VertexId> moves;
+  moves.reserve(n);
+  int64_t cum_gain = 0;
+  int64_t best_gain = 0;
+  size_t best_prefix = 0;
+
+  Weight side_w[2] = {b.side_weight[0], b.side_weight[1]};
+
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    VertexId v = top.v;
+    if (locked[v] || top.gain != gain[v]) continue;  // stale entry
+
+    uint8_t from = b.side[v];
+    uint8_t to = from ^ 1u;
+    Weight vw = g.VertexWeight(v);
+    if (side_w[to] + vw > caps.cap[to]) continue;  // would violate balance
+
+    // Apply the move.
+    locked[v] = 1;
+    b.side[v] = to;
+    side_w[from] -= vw;
+    side_w[to] += vw;
+    cum_gain += gain[v];
+    moves.push_back(v);
+    if (cum_gain > best_gain) {
+      best_gain = cum_gain;
+      best_prefix = moves.size();
+    }
+
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (locked[nb.to]) continue;
+      // v left nb's side: was-internal edges become external and vice versa.
+      if (b.side[nb.to] == from) {
+        gain[nb.to] += 2 * static_cast<int64_t>(nb.weight);
+      } else {
+        gain[nb.to] -= 2 * static_cast<int64_t>(nb.weight);
+      }
+      heap.push(Entry{gain[nb.to], rng.Next(), nb.to});
+    }
+  }
+
+  // Roll back moves past the best prefix.
+  for (size_t i = moves.size(); i > best_prefix; --i) {
+    VertexId v = moves[i - 1];
+    uint8_t cur = b.side[v];
+    b.side[v] = cur ^ 1u;
+    side_w[cur] -= g.VertexWeight(v);
+    side_w[cur ^ 1u] += g.VertexWeight(v);
+  }
+
+  Bisection fresh = EvaluateBisection(g, std::move(b.side));
+  bool improved = fresh.cut_weight < b.cut_weight ||
+                  (fresh.cut_weight == b.cut_weight && best_prefix > 0);
+  b = std::move(fresh);
+  return improved && best_gain > 0;
+}
+
+}  // namespace
+
+namespace {
+Bisection MultilevelBisectOnce(const WeightedGraph& g,
+                               const PartitionOptions& opts, uint64_t seed);
+}  // namespace
+
+Bisection MultilevelBisect(const WeightedGraph& g, const PartitionOptions& opts) {
+  Bisection best;
+  bool have_best = false;
+  uint64_t seed = opts.seed;
+  const int attempts = std::max(1, opts.max_restarts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Bisection b = MultilevelBisectOnce(g, opts, seed + static_cast<uint64_t>(attempt) * 0x9e37ULL);
+    if (!have_best || b.cut_weight < best.cut_weight) {
+      best = std::move(b);
+      have_best = true;
+    }
+    if (best.CutFraction(g) <= opts.restart_cut_fraction) break;
+  }
+  return best;
+}
+
+namespace {
+
+Bisection MultilevelBisectOnce(const WeightedGraph& g,
+                               const PartitionOptions& opts, uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = g.NumVertices();
+  if (n == 0) return Bisection{};
+  if (n == 1) return EvaluateBisection(g, {0});
+
+  // --- Coarsening phase ---
+  std::vector<Level> levels;
+  const WeightedGraph* current = &g;
+  while (current->NumVertices() > opts.coarsen_target) {
+    auto [fine_to_coarse, coarse_n] = HeavyEdgeMatch(*current, rng);
+    // Matching stalled (e.g. star graphs shrink slowly): stop coarsening.
+    if (coarse_n >= current->NumVertices() * 95 / 100) break;
+    Level level;
+    level.fine_to_coarse = std::move(fine_to_coarse);
+    level.coarse = BuildCoarse(*current, level.fine_to_coarse, coarse_n);
+    levels.push_back(std::move(level));
+    current = &levels.back().coarse;
+  }
+
+  // --- Initial partition on the coarsest graph ---
+  const SideCaps caps =
+      MakeSideCaps(g.TotalVertexWeight(), opts.side0_fraction, opts.balance_epsilon);
+  Bisection best;
+  bool have_best = false;
+  for (int attempt = 0; attempt < std::max(1, opts.initial_tries); ++attempt) {
+    Bisection b = GreedyGrow(*current, rng, opts.side0_fraction);
+    // Prefer balanced solutions; among balanced, prefer min cut.
+    auto better = [&](const Bisection& x, const Bisection& y) {
+      bool xb = x.side_weight[0] <= caps.cap[0] && x.side_weight[1] <= caps.cap[1];
+      bool yb = y.side_weight[0] <= caps.cap[0] && y.side_weight[1] <= caps.cap[1];
+      if (xb != yb) return xb;
+      if (x.cut_weight != y.cut_weight) return x.cut_weight < y.cut_weight;
+      return x.Imbalance() < y.Imbalance();
+    };
+    if (!have_best || better(b, best)) {
+      best = std::move(b);
+      have_best = true;
+    }
+  }
+
+  // --- Uncoarsening + refinement ---
+  // Restore balance first (greedy growing can overshoot on heavy coarse
+  // vertices), then refine at the coarsest level.
+  Rebalance(*current, best, caps);
+  best = EvaluateBisection(*current, std::move(best.side));
+  for (int p = 0; p < opts.refine_passes; ++p) {
+    if (!FmPass(*current, best, caps, rng)) break;
+  }
+  for (size_t li = levels.size(); li > 0; --li) {
+    const Level& level = levels[li - 1];
+    const WeightedGraph& fine =
+        (li - 1 == 0) ? g : levels[li - 2].coarse;
+    std::vector<uint8_t> fine_side(fine.NumVertices());
+    for (VertexId v = 0; v < fine.NumVertices(); ++v) {
+      fine_side[v] = best.side[level.fine_to_coarse[v]];
+    }
+    best = EvaluateBisection(fine, std::move(fine_side));
+    for (int p = 0; p < opts.refine_passes; ++p) {
+      if (!FmPass(fine, best, caps, rng)) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+namespace {
+
+// Extracts the subgraph induced by `members` (original vertex ids), with a
+// mapping back to the parent's vertex ids.
+struct Subgraph {
+  WeightedGraph graph;
+  std::vector<VertexId> to_parent;
+};
+
+Subgraph Induce(const WeightedGraph& g, const std::vector<VertexId>& members) {
+  Subgraph sub;
+  sub.to_parent = members;
+  std::unordered_map<VertexId, VertexId> to_sub;
+  to_sub.reserve(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    to_sub.emplace(members[i], static_cast<VertexId>(i));
+  }
+  sub.graph = WeightedGraph(static_cast<VertexId>(members.size()));
+  for (size_t i = 0; i < members.size(); ++i) {
+    VertexId v = members[i];
+    sub.graph.SetVertexWeight(static_cast<VertexId>(i), g.VertexWeight(v));
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      auto it = to_sub.find(nb.to);
+      if (it != to_sub.end() && it->second > i) {
+        sub.graph.AddEdge(static_cast<VertexId>(i), it->second, nb.weight);
+      }
+    }
+  }
+  return sub;
+}
+
+// Recursively assigns parts [part_lo, part_lo + parts) to `members`.
+void KwayRecurse(const WeightedGraph& g, const std::vector<VertexId>& members,
+                 uint32_t part_lo, uint32_t parts, const PartitionOptions& opts,
+                 uint64_t seed, std::vector<uint32_t>& out) {
+  if (parts == 1 || members.size() <= 1) {
+    for (VertexId v : members) out[v] = part_lo;
+    return;
+  }
+  Subgraph sub = Induce(g, members);
+  // Split weight proportionally to the part counts on each side (odd part
+  // counts get a 1/3-2/3 style bisection).
+  uint32_t left_parts = parts / 2;
+  uint32_t right_parts = parts - left_parts;
+  PartitionOptions sub_opts = opts;
+  sub_opts.seed = seed;
+  sub_opts.side0_fraction =
+      static_cast<double>(left_parts) / static_cast<double>(parts);
+  Bisection cut = MultilevelBisect(sub.graph, sub_opts);
+  std::vector<VertexId> left, right;
+  for (VertexId i = 0; i < sub.graph.NumVertices(); ++i) {
+    (cut.side[i] == 0 ? left : right).push_back(sub.to_parent[i]);
+  }
+  if (left.empty() || right.empty()) {
+    // Degenerate (e.g. one giant vertex): split arbitrarily to terminate.
+    // Copy out first: assigning a vector from its own iterator range is UB.
+    std::vector<VertexId> full = std::move(left.empty() ? right : left);
+    size_t half_n = full.size() / 2;
+    left.assign(full.begin(), full.begin() + static_cast<long>(half_n));
+    right.assign(full.begin() + static_cast<long>(half_n), full.end());
+  }
+  KwayRecurse(g, left, part_lo, left_parts, opts, seed * 2 + 1, out);
+  KwayRecurse(g, right, part_lo + left_parts, right_parts, opts, seed * 2 + 2, out);
+}
+
+}  // namespace
+
+KwayPartition MultilevelKway(const WeightedGraph& g, uint32_t k,
+                             const PartitionOptions& opts) {
+  KwayPartition result;
+  const VertexId n = g.NumVertices();
+  result.part.assign(n, 0);
+  if (k == 0) k = 1;
+  result.part_weight.assign(k, 0);
+  if (n == 0) return result;
+
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  KwayRecurse(g, all, 0, k, opts, opts.seed, result.part);
+
+  for (VertexId v = 0; v < n; ++v) {
+    result.part_weight[result.part[v]] += g.VertexWeight(v);
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (nb.to > v && result.part[nb.to] != result.part[v]) {
+        result.cut_weight += nb.weight;
+      }
+    }
+  }
+  return result;
+}
+
+Bisection StreamingBisect(const WeightedGraph& g, const PartitionOptions& opts) {
+  const VertexId n = g.NumVertices();
+  std::vector<uint8_t> side(n, 0);
+  const double capacity = static_cast<double>(g.TotalVertexWeight()) / 2.0 *
+                          (1.0 + opts.balance_epsilon);
+  double load[2] = {0.0, 0.0};
+  for (VertexId v = 0; v < n; ++v) {
+    double score[2] = {0.0, 0.0};
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (nb.to < v) score[side[nb.to]] += static_cast<double>(nb.weight);
+    }
+    // Linear-weighted deterministic greedy: neighbor affinity scaled by
+    // remaining capacity.
+    double s0 = score[0] * (1.0 - load[0] / capacity);
+    double s1 = score[1] * (1.0 - load[1] / capacity);
+    uint8_t pick;
+    if (s0 == s1) {
+      pick = load[0] <= load[1] ? 0 : 1;
+    } else {
+      pick = s0 > s1 ? 0 : 1;
+    }
+    if (load[pick] + static_cast<double>(g.VertexWeight(v)) > capacity) pick ^= 1u;
+    side[v] = pick;
+    load[pick] += static_cast<double>(g.VertexWeight(v));
+  }
+  return EvaluateBisection(g, std::move(side));
+}
+
+}  // namespace propeller::graph

@@ -1,0 +1,123 @@
+#include "index/attr.h"
+
+#include <algorithm>
+
+#include "common/fmt.h"
+
+namespace propeller::index {
+
+int AttrValue::Compare(const AttrValue& other) const {
+  const bool a_str = is_string();
+  const bool b_str = other.is_string();
+  if (a_str != b_str) return a_str ? 1 : -1;  // numerics sort before strings
+  if (a_str) {
+    int c = as_string().compare(other.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Exact compare when both are ints; otherwise numeric (double) compare.
+  if (is_int() && other.is_int()) {
+    int64_t a = as_int(), b = other.as_int();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = numeric(), b = other.numeric();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string AttrValue::ToString() const {
+  if (is_int()) return StrCat(as_int());
+  if (is_double()) return Sprintf("%g", as_double());
+  return as_string();
+}
+
+void AttrValue::Serialize(BinaryWriter& w) const {
+  if (is_int()) {
+    w.PutU8(0);
+    w.PutI64(as_int());
+  } else if (is_double()) {
+    w.PutU8(1);
+    w.PutDouble(as_double());
+  } else {
+    w.PutU8(2);
+    w.PutString(as_string());
+  }
+}
+
+Status AttrValue::Deserialize(BinaryReader& r, AttrValue& out) {
+  uint8_t tag = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU8(tag));
+  switch (tag) {
+    case 0: {
+      int64_t v = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetI64(v));
+      out = AttrValue(v);
+      return Status::Ok();
+    }
+    case 1: {
+      double v = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetDouble(v));
+      out = AttrValue(v);
+      return Status::Ok();
+    }
+    case 2: {
+      std::string v;
+      PROPELLER_RETURN_IF_ERROR(r.GetString(v));
+      out = AttrValue(std::move(v));
+      return Status::Ok();
+    }
+    default:
+      return Status::Corruption("bad AttrValue tag");
+  }
+}
+
+void AttrSet::Set(std::string name, AttrValue value) {
+  for (auto& [n, v] : entries_) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+const AttrValue* AttrSet::Find(std::string_view name) const {
+  for (const auto& [n, v] : entries_) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<int64_t> AttrSet::FindInt(std::string_view name) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr || !v->is_int()) return std::nullopt;
+  return v->as_int();
+}
+
+void AttrSet::Serialize(BinaryWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [n, v] : entries_) {
+    w.PutString(n);
+    v.Serialize(w);
+  }
+}
+
+Status AttrSet::Deserialize(BinaryReader& r, AttrSet& out) {
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.entries_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    PROPELLER_RETURN_IF_ERROR(r.GetString(name));
+    AttrValue v;
+    PROPELLER_RETURN_IF_ERROR(AttrValue::Deserialize(r, v));
+    out.entries_.emplace_back(std::move(name), std::move(v));
+  }
+  return Status::Ok();
+}
+
+size_t AttrSet::ByteSize() const {
+  size_t total = 4;
+  for (const auto& [n, v] : entries_) total += 5 + n.size() + v.ByteSize();
+  return total;
+}
+
+}  // namespace propeller::index

@@ -1,0 +1,92 @@
+// Typed attribute values.
+//
+// Propeller is a general-purpose file-search service: it indexes inode
+// metadata (size, mtime, uid, ...) and arbitrary user-defined attributes
+// (Section IV).  AttrValue is the common currency between the VFS, the
+// index structures, and the query engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace propeller::index {
+
+using FileId = uint64_t;
+
+class AttrValue {
+ public:
+  AttrValue() : v_(int64_t{0}) {}
+  AttrValue(int64_t v) : v_(v) {}                 // NOLINT(runtime/explicit)
+  AttrValue(double v) : v_(v) {}                  // NOLINT(runtime/explicit)
+  AttrValue(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  AttrValue(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return !is_string(); }
+
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  // Numeric view: ints promote to double for cross-type comparison.
+  double numeric() const { return is_int() ? static_cast<double>(as_int()) : as_double(); }
+
+  // Total order: numerics compare numerically (int/double interoperate),
+  // strings lexicographically, and all numerics sort before all strings.
+  // Returns <0, 0, >0.
+  int Compare(const AttrValue& other) const;
+
+  friend bool operator<(const AttrValue& a, const AttrValue& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator==(const AttrValue& a, const AttrValue& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator<=(const AttrValue& a, const AttrValue& b) {
+    return a.Compare(b) <= 0;
+  }
+
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, AttrValue& out);
+
+  // Approximate serialized footprint in bytes (used for page sizing).
+  size_t ByteSize() const {
+    return is_string() ? 5 + as_string().size() : 9;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+// A file's attribute set: small ordered list of (name, value).
+class AttrSet {
+ public:
+  void Set(std::string name, AttrValue value);
+  const AttrValue* Find(std::string_view name) const;
+  std::optional<int64_t> FindInt(std::string_view name) const;
+
+  const std::vector<std::pair<std::string, AttrValue>>& entries() const {
+    return entries_;
+  }
+  size_t size() const { return entries_.size(); }
+
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, AttrSet& out);
+  size_t ByteSize() const;
+
+ private:
+  std::vector<std::pair<std::string, AttrValue>> entries_;
+};
+
+}  // namespace propeller::index

@@ -1,0 +1,433 @@
+#include "index/index_group.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace propeller::index {
+
+const char* IndexTypeName(IndexType t) {
+  switch (t) {
+    case IndexType::kBTree:
+      return "btree";
+    case IndexType::kHash:
+      return "hash";
+    case IndexType::kKdTree:
+      return "kdtree";
+    case IndexType::kKeyword:
+      return "keyword";
+    case IndexType::kKdTreePaged:
+      return "kdtree-paged";
+  }
+  return "?";
+}
+
+void IndexSpec::Serialize(BinaryWriter& w) const {
+  w.PutString(name);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(static_cast<uint32_t>(attrs.size()));
+  for (const std::string& a : attrs) w.PutString(a);
+}
+
+Status IndexSpec::Deserialize(BinaryReader& r, IndexSpec& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetString(out.name));
+  uint8_t t = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU8(t));
+  if (t > static_cast<uint8_t>(IndexType::kKdTreePaged)) {
+    return Status::Corruption("bad IndexType");
+  }
+  out.type = static_cast<IndexType>(t);
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.attrs.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string a;
+    PROPELLER_RETURN_IF_ERROR(r.GetString(a));
+    out.attrs.push_back(std::move(a));
+  }
+  return Status::Ok();
+}
+
+void FileUpdate::Serialize(BinaryWriter& w) const {
+  w.PutU64(file);
+  w.PutU8(is_delete ? 1 : 0);
+  attrs.Serialize(w);
+}
+
+Status FileUpdate::Deserialize(BinaryReader& r, FileUpdate& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.file));
+  uint8_t d = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU8(d));
+  out.is_delete = d != 0;
+  return AttrSet::Deserialize(r, out.attrs);
+}
+
+std::vector<std::string> ExtractKeywords(const std::string& path) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/' || c == '.' || c == '-' || c == '_') {
+      if (!cur.empty()) words.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+IndexGroup::IndexGroup(GroupId id, sim::IoContext* io)
+    : id_(id),
+      io_(io),
+      records_(io->CreateStore()),
+      wal_(io->CreateStore()) {}
+
+Status IndexGroup::CreateIndex(const IndexSpec& spec) {
+  if (spec.name.empty()) return Status::InvalidArgument("index name empty");
+  if (HasIndex(spec.name)) return Status::AlreadyExists(spec.name);
+  if (IsKdType(spec.type)) {
+    if (spec.attrs.empty()) {
+      return Status::InvalidArgument("kd-tree needs >= 1 dimension attr");
+    }
+  } else if (spec.attrs.size() != 1) {
+    return Status::InvalidArgument("index needs exactly one attribute");
+  }
+
+  NamedIndex idx;
+  idx.spec = spec;
+  switch (spec.type) {
+    case IndexType::kBTree:
+      idx.btree = std::make_unique<BPlusTree>(io_->CreateStore());
+      break;
+    case IndexType::kHash:
+    case IndexType::kKeyword:
+      idx.hash = std::make_unique<HashIndex>(io_->CreateStore());
+      break;
+    case IndexType::kKdTree:
+      idx.kd = std::make_unique<KdTree>(io_->CreateStore(), spec.attrs.size(),
+                                        KdLayout::kSerialized);
+      break;
+    case IndexType::kKdTreePaged:
+      idx.kd = std::make_unique<KdTree>(io_->CreateStore(), spec.attrs.size(),
+                                        KdLayout::kPaged);
+      break;
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::Ok();
+}
+
+bool IndexGroup::HasIndex(const std::string& name) const {
+  return std::any_of(indexes_.begin(), indexes_.end(),
+                     [&](const NamedIndex& i) { return i.spec.name == name; });
+}
+
+std::vector<IndexSpec> IndexGroup::Specs() const {
+  std::vector<IndexSpec> out;
+  out.reserve(indexes_.size());
+  for (const NamedIndex& i : indexes_) out.push_back(i.spec);
+  return out;
+}
+
+sim::Cost IndexGroup::StageUpdate(FileUpdate update) {
+  BinaryWriter w;
+  update.Serialize(w);
+  sim::Cost cost = wal_.Append(std::move(w).Take());
+  pending_.push_back(std::move(update));
+  return cost;
+}
+
+sim::Cost IndexGroup::Commit() {
+  sim::Cost cost;
+  if (pending_.empty()) return cost;
+  for (const FileUpdate& u : pending_) cost += Apply(u);
+  pending_.clear();
+  cost += wal_.Truncate();
+  return cost;
+}
+
+sim::Cost IndexGroup::Apply(const FileUpdate& update) {
+  sim::Cost cost;
+  if (update.is_delete) {
+    auto erased = records_.Erase(update.file);
+    cost += erased.cost;
+    if (erased.previous) {
+      for (const NamedIndex& idx : indexes_) {
+        cost += RemovePostings(idx, update.file, *erased.previous);
+      }
+    }
+    return cost;
+  }
+  auto put = records_.Put(update.file, update.attrs);
+  cost += put.cost;
+  for (const NamedIndex& idx : indexes_) {
+    if (put.previous) cost += RemovePostings(idx, update.file, *put.previous);
+    cost += InsertPostings(idx, update.file, update.attrs);
+  }
+  return cost;
+}
+
+sim::Cost IndexGroup::RemovePostings(const NamedIndex& idx, FileId file,
+                                     const AttrSet& attrs) {
+  sim::Cost cost;
+  switch (idx.spec.type) {
+    case IndexType::kBTree: {
+      const AttrValue* v = attrs.Find(idx.spec.attrs[0]);
+      if (v != nullptr) cost += idx.btree->Remove(*v, file);
+      break;
+    }
+    case IndexType::kHash: {
+      const AttrValue* v = attrs.Find(idx.spec.attrs[0]);
+      if (v != nullptr) cost += idx.hash->Remove(*v, file);
+      break;
+    }
+    case IndexType::kKeyword: {
+      const AttrValue* v = attrs.Find(idx.spec.attrs[0]);
+      if (v != nullptr && v->is_string()) {
+        for (const std::string& word : ExtractKeywords(v->as_string())) {
+          cost += idx.hash->Remove(AttrValue(word), file);
+        }
+      }
+      break;
+    }
+    case IndexType::kKdTree:
+    case IndexType::kKdTreePaged: {
+      std::vector<double> point;
+      point.reserve(idx.spec.attrs.size());
+      for (const std::string& a : idx.spec.attrs) {
+        const AttrValue* v = attrs.Find(a);
+        if (v == nullptr || !v->is_numeric()) return cost;  // never indexed
+        point.push_back(v->numeric());
+      }
+      cost += idx.kd->Remove(point, file);
+      break;
+    }
+  }
+  return cost;
+}
+
+sim::Cost IndexGroup::InsertPostings(const NamedIndex& idx, FileId file,
+                                     const AttrSet& attrs) {
+  sim::Cost cost;
+  switch (idx.spec.type) {
+    case IndexType::kBTree: {
+      const AttrValue* v = attrs.Find(idx.spec.attrs[0]);
+      if (v != nullptr) cost += idx.btree->Insert(*v, file);
+      break;
+    }
+    case IndexType::kHash: {
+      const AttrValue* v = attrs.Find(idx.spec.attrs[0]);
+      if (v != nullptr) cost += idx.hash->Insert(*v, file);
+      break;
+    }
+    case IndexType::kKeyword: {
+      const AttrValue* v = attrs.Find(idx.spec.attrs[0]);
+      if (v != nullptr && v->is_string()) {
+        for (const std::string& word : ExtractKeywords(v->as_string())) {
+          cost += idx.hash->Insert(AttrValue(word), file);
+        }
+      }
+      break;
+    }
+    case IndexType::kKdTree:
+    case IndexType::kKdTreePaged: {
+      std::vector<double> point;
+      point.reserve(idx.spec.attrs.size());
+      for (const std::string& a : idx.spec.attrs) {
+        const AttrValue* v = attrs.Find(a);
+        if (v == nullptr || !v->is_numeric()) return cost;  // unindexable
+        point.push_back(v->numeric());
+      }
+      cost += idx.kd->Insert(point, file);
+      break;
+    }
+  }
+  return cost;
+}
+
+const IndexGroup::NamedIndex* IndexGroup::ChooseAccessPath(
+    const Predicate& pred) const {
+  const NamedIndex* best = nullptr;
+  int best_score = 0;
+  for (const NamedIndex& idx : indexes_) {
+    int score = 0;
+    switch (idx.spec.type) {
+      case IndexType::kHash: {
+        // Exact-match only.
+        for (const Term& t : pred.terms) {
+          if (t.attr == idx.spec.attrs[0] && t.op == CmpOp::kEq) score = 100;
+        }
+        break;
+      }
+      case IndexType::kKeyword: {
+        for (const Term& t : pred.terms) {
+          if (t.attr == idx.spec.attrs[0] && t.op == CmpOp::kContainsWord) {
+            score = 90;
+          }
+        }
+        break;
+      }
+      case IndexType::kBTree: {
+        auto range = RangeForAttr(pred, idx.spec.attrs[0]);
+        if (range) score = (range->lo && range->hi) ? 80 : 60;
+        break;
+      }
+      case IndexType::kKdTree:
+      case IndexType::kKdTreePaged: {
+        int constrained = 0;
+        for (const std::string& a : idx.spec.attrs) {
+          if (RangeForAttr(pred, a)) ++constrained;
+        }
+        // The paged layout does not pay the full-load tax: prefer it.
+        if (constrained > 0) {
+          score = (idx.spec.type == IndexType::kKdTreePaged ? 44 : 40) +
+                  constrained;
+        }
+        break;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = &idx;
+    }
+  }
+  return best;
+}
+
+IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
+  SearchResult out;
+  // Strong consistency: staged updates must be visible to this search.
+  out.cost += Commit();
+
+  const NamedIndex* idx = ChooseAccessPath(pred);
+  if (idx == nullptr) {
+    // Full scan of the record store.
+    out.access_path = "scan";
+    out.cost += records_.ForEach([&](FileId file, const AttrSet& attrs) {
+      if (pred.Matches(attrs)) out.files.push_back(file);
+    });
+    return out;
+  }
+
+  std::vector<FileId> candidates;
+  switch (idx->spec.type) {
+    case IndexType::kHash: {
+      out.access_path = "hash:" + idx->spec.name;
+      for (const Term& t : pred.terms) {
+        if (t.attr == idx->spec.attrs[0] && t.op == CmpOp::kEq) {
+          auto r = idx->hash->Lookup(t.value);
+          out.cost += r.cost;
+          candidates = std::move(r.files);
+          break;
+        }
+      }
+      break;
+    }
+    case IndexType::kKeyword: {
+      out.access_path = "keyword:" + idx->spec.name;
+      for (const Term& t : pred.terms) {
+        if (t.attr == idx->spec.attrs[0] && t.op == CmpOp::kContainsWord) {
+          auto r = idx->hash->Lookup(t.value);
+          out.cost += r.cost;
+          candidates = std::move(r.files);
+          break;
+        }
+      }
+      break;
+    }
+    case IndexType::kBTree: {
+      out.access_path = "btree:" + idx->spec.name;
+      auto range = RangeForAttr(pred, idx->spec.attrs[0]);
+      auto r = idx->btree->Scan(range ? *range : KeyRange::Everything());
+      out.cost += r.cost;
+      candidates = std::move(r.files);
+      break;
+    }
+    case IndexType::kKdTree:
+    case IndexType::kKdTreePaged: {
+      out.access_path = std::string(IndexTypeName(idx->spec.type)) + ":" +
+                        idx->spec.name;
+      KdBox box = KdBox::Unbounded(idx->spec.attrs.size());
+      for (size_t d = 0; d < idx->spec.attrs.size(); ++d) {
+        auto range = RangeForAttr(pred, idx->spec.attrs[d]);
+        if (!range) continue;
+        if (range->lo && range->lo->is_numeric()) {
+          box.lo[d] = range->lo->numeric();
+          // Exclusive numeric bounds: nudge by one ULP-ish step.  Integer
+          // attribute domains make the +-1 exact.
+          if (!range->lo_inclusive) box.lo[d] += 1.0;
+        }
+        if (range->hi && range->hi->is_numeric()) {
+          box.hi[d] = range->hi->numeric();
+          if (!range->hi_inclusive) box.hi[d] -= 1.0;
+        }
+      }
+      auto r = idx->kd->RangeQuery(box);
+      out.cost += r.cost;
+      candidates = std::move(r.files);
+      break;
+    }
+  }
+
+  // Verify residual terms against the record store.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (pred.terms.size() <= 1 && !IsKdType(idx->spec.type) &&
+      idx->spec.type != IndexType::kKeyword) {
+    // Single-term queries served exactly by a btree/hash index need no
+    // verification pass.
+    out.files = std::move(candidates);
+    return out;
+  }
+  for (FileId f : candidates) {
+    auto got = records_.Get(f);
+    out.cost += got.cost;
+    if (got.attrs && pred.Matches(*got.attrs)) out.files.push_back(f);
+  }
+  return out;
+}
+
+sim::Cost IndexGroup::MaintainIndexes() {
+  sim::Cost cost;
+  for (NamedIndex& idx : indexes_) {
+    if (IsKdType(idx.spec.type) && idx.kd->NeedsRebuild()) {
+      cost += idx.kd->Rebuild();
+    }
+  }
+  return cost;
+}
+
+Status IndexGroup::RecoverPendingFromWal() {
+  pending_.clear();
+  return wal_.Replay([&](const std::string& rec) {
+    BinaryReader r(rec);
+    FileUpdate u;
+    PROPELLER_RETURN_IF_ERROR(FileUpdate::Deserialize(r, u));
+    pending_.push_back(std::move(u));
+    return Status::Ok();
+  });
+}
+
+uint64_t IndexGroup::ApproxPages() const {
+  uint64_t pages = records_.NumPages();
+  for (const NamedIndex& idx : indexes_) {
+    switch (idx.spec.type) {
+      case IndexType::kBTree:
+        pages += idx.btree->NumPages();
+        break;
+      case IndexType::kHash:
+      case IndexType::kKeyword:
+        pages += idx.hash->NumPages();
+        break;
+      case IndexType::kKdTree:
+      case IndexType::kKdTreePaged:
+        pages += idx.kd->NumPages();
+        break;
+    }
+  }
+  return pages;
+}
+
+}  // namespace propeller::index

@@ -1,0 +1,145 @@
+// IndexGroup: the unit of partitioning.
+//
+// Each ACG maps to one IndexGroup living on exactly one Index Node.  A
+// group bundles a record store with any number of *named* indices (B-tree,
+// hash table, K-D tree, or keyword — Section IV: "users can define an
+// arbitrary index with a globally unique name with the supported index
+// structures").
+//
+// Real-time indexing follows the paper's protocol: updates are appended to
+// a write-ahead log and staged in an in-memory cache; they are committed
+// into the index structures on a timeout or — to keep results strongly
+// consistent — by the next search request touching the group.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/attr.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "index/kdtree.h"
+#include "index/query.h"
+#include "index/record_store.h"
+#include "index/wal.h"
+#include "sim/io_context.h"
+
+namespace propeller::index {
+
+using GroupId = uint64_t;
+
+enum class IndexType : uint8_t {
+  kBTree = 0,
+  kHash = 1,
+  kKdTree = 2,       // the prototype's serialized (load-whole) layout
+  kKeyword = 3,
+  kKdTreePaged = 4,  // paged on-disk K-D layout (the paper's future work)
+};
+
+const char* IndexTypeName(IndexType t);
+inline bool IsKdType(IndexType t) {
+  return t == IndexType::kKdTree || t == IndexType::kKdTreePaged;
+}
+
+struct IndexSpec {
+  std::string name;                // globally unique index name
+  IndexType type = IndexType::kBTree;
+  // B-tree/hash/keyword: exactly one attribute.  K-D tree: the dimension
+  // attributes, in order.
+  std::vector<std::string> attrs;
+
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, IndexSpec& out);
+};
+
+// One staged file-indexing request.
+struct FileUpdate {
+  FileId file = 0;
+  AttrSet attrs;
+  bool is_delete = false;
+
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, FileUpdate& out);
+};
+
+class IndexGroup {
+ public:
+  IndexGroup(GroupId id, sim::IoContext* io);
+
+  IndexGroup(IndexGroup&&) = default;
+  IndexGroup& operator=(IndexGroup&&) = default;
+
+  GroupId id() const { return id_; }
+
+  Status CreateIndex(const IndexSpec& spec);
+  bool HasIndex(const std::string& name) const;
+  std::vector<IndexSpec> Specs() const;
+
+  // --- Real-time indexing path ---
+  // WAL append + in-memory staging; cheap and on the I/O critical path.
+  sim::Cost StageUpdate(FileUpdate update);
+  // Applies all staged updates to the index structures; truncates the WAL.
+  sim::Cost Commit();
+  size_t PendingUpdates() const { return pending_.size(); }
+
+  // --- Search path ---
+  struct SearchResult {
+    std::vector<FileId> files;
+    sim::Cost cost;
+    std::string access_path;  // which index served the query (diagnostics)
+  };
+  // Commits pending updates first (strong consistency), then answers.
+  SearchResult Search(const Predicate& pred);
+
+  // --- Maintenance (Propeller runs this off the critical path) ---
+  // Rebuilds K-D trees that insert-order growth left unbalanced.
+  sim::Cost MaintainIndexes();
+
+  // --- Crash recovery ---
+  // Rebuilds the staged-update cache from the WAL (models an Index Node
+  // restart that lost its memory state but kept its log).
+  Status RecoverPendingFromWal();
+  // Drops in-memory staged state *without* touching the WAL (test hook
+  // that simulates the crash itself).
+  void SimulateCrashLosingMemoryState() { pending_.clear(); }
+
+  // --- Split / migration support ---
+  uint64_t NumFiles() const { return records_.NumRecords(); }
+  // All (file, attrs) currently committed; used to move files to a new
+  // group during an ACG split.
+  template <typename Fn>
+  sim::Cost ForEachRecord(Fn&& fn) const {
+    return records_.ForEach(fn);
+  }
+  // Size estimate for migration cost accounting.
+  uint64_t ApproxPages() const;
+
+ private:
+  struct NamedIndex {
+    IndexSpec spec;
+    std::unique_ptr<BPlusTree> btree;
+    std::unique_ptr<HashIndex> hash;
+    std::unique_ptr<KdTree> kd;
+  };
+
+  sim::Cost Apply(const FileUpdate& update);
+  sim::Cost RemovePostings(const NamedIndex& idx, FileId file, const AttrSet& attrs);
+  sim::Cost InsertPostings(const NamedIndex& idx, FileId file, const AttrSet& attrs);
+  // Picks the best index for `pred`; returns nullptr for full scan.
+  const NamedIndex* ChooseAccessPath(const Predicate& pred) const;
+
+  GroupId id_;
+  sim::IoContext* io_;
+  RecordStore records_;
+  WriteAheadLog wal_;
+  std::vector<NamedIndex> indexes_;
+  std::vector<FileUpdate> pending_;
+};
+
+// Splits a path into keyword tokens ('/', '.', '-', '_' delimited).
+std::vector<std::string> ExtractKeywords(const std::string& path);
+
+}  // namespace propeller::index

@@ -1,0 +1,122 @@
+// K-D tree over numeric attribute vectors.  Two on-disk layouts:
+//
+//  * kSerialized — the paper's prototype: the tree is one serialized blob
+//    that must be wholly loaded into RAM before any operation ("which
+//    accounts for most of its latency", Section V-E).  A query charges a
+//    sequential load of every page (cache-aware: warm queries are
+//    RAM-speed), then walks the tree at CPU cost.
+//
+//  * kPaged — the paper's stated future work: a page-structured on-disk
+//    layout.  Nodes are packed into pages (DFS order on rebuild, so
+//    subtrees cluster); an operation charges only the distinct pages its
+//    traversal actually touches, cutting cold-query I/O by orders of
+//    magnitude on selective queries.
+//
+// Inserts append classically (no rebalance); `Rebuild()` re-bulk-loads by
+// median splitting, which Propeller runs as background maintenance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "index/attr.h"
+#include "sim/io_context.h"
+
+namespace propeller::index {
+
+// Axis-aligned box; one [lo, hi] (inclusive) interval per dimension.
+struct KdBox {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  static KdBox Unbounded(size_t dims) {
+    KdBox b;
+    b.lo.assign(dims, -std::numeric_limits<double>::infinity());
+    b.hi.assign(dims, std::numeric_limits<double>::infinity());
+    return b;
+  }
+  bool Contains(const std::vector<double>& p) const {
+    for (size_t d = 0; d < p.size(); ++d) {
+      if (p[d] < lo[d] || p[d] > hi[d]) return false;
+    }
+    return true;
+  }
+};
+
+enum class KdLayout : uint8_t { kSerialized = 0, kPaged = 1 };
+
+class KdTree {
+ public:
+  KdTree(sim::PageStore store, size_t dims,
+         KdLayout layout = KdLayout::kSerialized);
+
+  KdLayout layout() const { return layout_; }
+
+  size_t dims() const { return dims_; }
+  uint64_t NumPoints() const { return num_points_; }
+  uint64_t NumPages() const;
+  uint32_t Depth() const;
+
+  // Appends a point (classic kd insertion).  point.size() must equal dims.
+  sim::Cost Insert(const std::vector<double>& point, FileId file);
+
+  // Marks a point deleted (tombstone); compaction happens on Rebuild.
+  sim::Cost Remove(const std::vector<double>& point, FileId file);
+
+  struct QueryResult {
+    std::vector<FileId> files;
+    sim::Cost cost;
+  };
+  QueryResult RangeQuery(const KdBox& box) const;
+
+  // Median-split re-bulk-load; drops tombstones.  Returns the simulated
+  // cost (sequential rewrite of the whole tree).
+  sim::Cost Rebuild();
+
+  // True when insert-order growth has left the tree pathologically deeper
+  // than a balanced build; Propeller uses this as a rebuild trigger.
+  bool NeedsRebuild() const;
+
+ private:
+  struct Node {
+    std::vector<double> point;
+    FileId file = 0;
+    uint64_t page = 0;  // home page in the paged layout
+    bool deleted = false;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  // Tracks the distinct pages one paged operation touches and charges
+  // each exactly once.
+  class PageCharger {
+   public:
+    explicit PageCharger(const sim::PageStore& store) : store_(store) {}
+    sim::Cost Touch(uint64_t page) {
+      if (!seen_.insert(page).second) return sim::Cost::Zero();
+      return store_.Read(page);
+    }
+
+   private:
+    const sim::PageStore& store_;
+    std::unordered_set<uint64_t> seen_;
+  };
+
+  uint64_t TreeBytes() const;
+  uint64_t NodesPerPage() const;
+  sim::Cost ChargeFullLoad() const;
+  std::unique_ptr<Node> Build(std::vector<Node*>& nodes, size_t begin,
+                              size_t end, size_t depth, uint64_t* next_slot);
+
+  sim::PageStore store_;
+  size_t dims_;
+  KdLayout layout_;
+  std::unique_ptr<Node> root_;
+  uint64_t num_points_ = 0;   // live (non-tombstoned) points
+  uint64_t num_nodes_ = 0;    // including tombstones
+};
+
+}  // namespace propeller::index

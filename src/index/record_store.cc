@@ -1,0 +1,54 @@
+#include "index/record_store.h"
+
+namespace propeller::index {
+
+RecordStore::RecordStore(sim::PageStore store) : store_(store) {}
+
+uint64_t RecordStore::PageOf(FileId file) const {
+  uint64_t pages = NumPages();
+  uint64_t x = file * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  return x % pages;
+}
+
+RecordStore::GetResult RecordStore::Get(FileId file) const {
+  GetResult out;
+  out.cost = store_.Read(PageOf(file));
+  auto it = records_.find(file);
+  if (it != records_.end()) out.attrs = it->second;
+  return out;
+}
+
+RecordStore::PutResult RecordStore::Put(FileId file, AttrSet attrs) {
+  PutResult out;
+  uint64_t page = PageOf(file);
+  out.cost = store_.Read(page);
+  auto it = records_.find(file);
+  if (it != records_.end()) {
+    out.previous = std::move(it->second);
+    bytes_ -= out.previous->ByteSize();
+    bytes_ += attrs.ByteSize();
+    it->second = std::move(attrs);
+  } else {
+    bytes_ += attrs.ByteSize();
+    records_.emplace(file, std::move(attrs));
+  }
+  out.cost += store_.Write(page);
+  return out;
+}
+
+RecordStore::EraseResult RecordStore::Erase(FileId file) {
+  EraseResult out;
+  uint64_t page = PageOf(file);
+  out.cost = store_.Read(page);
+  auto it = records_.find(file);
+  if (it != records_.end()) {
+    out.previous = std::move(it->second);
+    bytes_ -= out.previous->ByteSize();
+    records_.erase(it);
+    out.cost += store_.Write(page);
+  }
+  return out;
+}
+
+}  // namespace propeller::index

@@ -1,0 +1,63 @@
+// Per-group record store: FileId -> AttrSet.
+//
+// Serves two purposes: (a) verifying residual predicate terms against
+// candidates an index returned, and (b) supplying a file's previous
+// attribute values so index updates can remove stale postings.  Modelled
+// as a paged heap file addressed by FileId hash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "index/attr.h"
+#include "sim/io_context.h"
+
+namespace propeller::index {
+
+class RecordStore {
+ public:
+  explicit RecordStore(sim::PageStore store);
+
+  struct GetResult {
+    std::optional<AttrSet> attrs;
+    sim::Cost cost;
+  };
+  GetResult Get(FileId file) const;
+
+  // Inserts or replaces; returns the previous attrs (if any) so the caller
+  // can retire stale index postings, plus the cost.
+  struct PutResult {
+    std::optional<AttrSet> previous;
+    sim::Cost cost;
+  };
+  PutResult Put(FileId file, AttrSet attrs);
+
+  struct EraseResult {
+    std::optional<AttrSet> previous;
+    sim::Cost cost;
+  };
+  EraseResult Erase(FileId file);
+
+  // Full scan (brute-force fallback); visits every record.
+  template <typename Fn>
+  sim::Cost ForEach(Fn&& fn) const {
+    sim::Cost cost = store_.SequentialLoad(NumPages());
+    for (const auto& [file, attrs] : records_) fn(file, attrs);
+    return cost;
+  }
+
+  uint64_t NumRecords() const { return records_.size(); }
+  uint64_t NumPages() const { return 1 + bytes_ / kPageBytes; }
+
+ private:
+  static constexpr uint64_t kPageBytes = 4096;
+
+  uint64_t PageOf(FileId file) const;
+
+  sim::PageStore store_;
+  std::unordered_map<FileId, AttrSet> records_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace propeller::index

@@ -1,0 +1,40 @@
+#include "net/transport.h"
+
+namespace propeller::net {
+
+Transport::CallResult Transport::Call(NodeId from, NodeId to,
+                                      const std::string& method,
+                                      const std::string& request) {
+  CallResult out;
+  if (down_.count(to) != 0u) {
+    out.status = Status::Unavailable("node down");
+    return out;
+  }
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) {
+    out.status = Status::NotFound("no such node");
+    return out;
+  }
+
+  const bool remote = from != to;
+  const uint64_t request_bytes = request.size() + method.size() + 32;
+  if (remote) {
+    out.cost += net_.Send(request_bytes);
+    ++messages_;
+    bytes_ += request_bytes;
+  }
+
+  RpcHandler::Response resp = it->second->Handle(method, request);
+  out.cost += resp.cost;
+  out.status = resp.status;
+  if (remote) {
+    const uint64_t response_bytes = resp.payload.size() + 32;
+    out.cost += net_.Send(response_bytes);
+    ++messages_;
+    bytes_ += response_bytes;
+  }
+  out.payload = std::move(resp.payload);
+  return out;
+}
+
+}  // namespace propeller::net

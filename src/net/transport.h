@@ -1,0 +1,78 @@
+// In-process RPC transport for the simulated cluster.
+//
+// Every node registers a handler under its NodeId; calls carry real
+// serialized payloads (so the network model charges true message sizes)
+// and return the handler's response plus the simulated cost of the whole
+// exchange: request transfer + handler work + response transfer.  Local
+// calls (from == to) skip the network.
+//
+// Failure injection: a node can be marked down, after which calls to it
+// fail with kUnavailable — used by the recovery tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "sim/cost.h"
+#include "sim/net_model.h"
+
+namespace propeller::net {
+
+using NodeId = uint32_t;
+
+// A handler executes a method and reports the simulated time it spent.
+class RpcHandler {
+ public:
+  virtual ~RpcHandler() = default;
+
+  struct Response {
+    Status status;
+    std::string payload;
+    sim::Cost cost;  // simulated server-side work
+  };
+  virtual Response Handle(const std::string& method,
+                          const std::string& payload) = 0;
+};
+
+class Transport {
+ public:
+  explicit Transport(sim::NetModel net = sim::NetModel()) : net_(net) {}
+
+  void Register(NodeId node, RpcHandler* handler) { handlers_[node] = handler; }
+  void Unregister(NodeId node) { handlers_.erase(node); }
+
+  void SetNodeDown(NodeId node, bool down) {
+    if (down) {
+      down_.insert(node);
+    } else {
+      down_.erase(node);
+    }
+  }
+  bool IsDown(NodeId node) const { return down_.count(node) != 0u; }
+
+  struct CallResult {
+    Status status;
+    std::string payload;  // response body (valid when status.ok())
+    sim::Cost cost;       // request + server work + response
+  };
+  CallResult Call(NodeId from, NodeId to, const std::string& method,
+                  const std::string& request);
+
+  const sim::NetModel& net() const { return net_; }
+
+  // Traffic counters (diagnostics / EXPERIMENTS.md).
+  uint64_t MessagesSent() const { return messages_; }
+  uint64_t BytesSent() const { return bytes_; }
+
+ private:
+  sim::NetModel net_;
+  std::unordered_map<NodeId, RpcHandler*> handlers_;
+  std::unordered_set<NodeId> down_;
+  uint64_t messages_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace propeller::net

@@ -1,0 +1,63 @@
+// Virtual-time cost accounting.
+//
+// The paper's evaluation ran on 7200-rpm HDDs and a GigE cluster; its
+// headline numbers are dominated by storage and network physics, not CPU.
+// We reproduce those numbers deterministically by charging every modelled
+// I/O a simulated duration (`Cost`) instead of sleeping.  Sequential
+// composition adds costs; parallel fan-out takes the maximum across
+// branches (each node/disk works concurrently).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace propeller::sim {
+
+// A simulated duration in seconds.  Value type; explicit arithmetic only.
+class Cost {
+ public:
+  constexpr Cost() = default;
+  constexpr explicit Cost(double seconds) : seconds_(seconds) {}
+
+  constexpr double seconds() const { return seconds_; }
+  constexpr double millis() const { return seconds_ * 1e3; }
+  constexpr double micros() const { return seconds_ * 1e6; }
+
+  constexpr Cost& operator+=(Cost other) {
+    seconds_ += other.seconds_;
+    return *this;
+  }
+  friend constexpr Cost operator+(Cost a, Cost b) {
+    return Cost(a.seconds_ + b.seconds_);
+  }
+  friend constexpr Cost operator*(Cost a, double k) { return Cost(a.seconds_ * k); }
+  friend constexpr bool operator<(Cost a, Cost b) { return a.seconds_ < b.seconds_; }
+  friend constexpr bool operator>(Cost a, Cost b) { return b < a; }
+  friend constexpr bool operator==(Cost a, Cost b) { return a.seconds_ == b.seconds_; }
+
+  static constexpr Cost Zero() { return Cost(); }
+
+  // Parallel composition: all branches proceed concurrently, so the
+  // combined duration is the slowest branch.
+  static Cost ParallelMax(const std::vector<Cost>& branches) {
+    Cost m;
+    for (Cost c : branches) m = std::max(m, c, [](Cost a, Cost b) { return a < b; });
+    return m;
+  }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+// Accumulates sequential cost along one logical timeline.
+class CostClock {
+ public:
+  void Advance(Cost c) { total_ += c; }
+  Cost total() const { return total_; }
+  void Reset() { total_ = Cost(); }
+
+ private:
+  Cost total_;
+};
+
+}  // namespace propeller::sim

@@ -1,0 +1,40 @@
+// Network cost model for the simulated cluster.
+//
+// Defaults approximate the paper's testbed: a NetGear GigE switch between
+// commodity nodes — ~120 µs request latency (kernel + switch RTT share),
+// ~117 MB/s usable bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost.h"
+
+namespace propeller::sim {
+
+struct NetParams {
+  double latency_us = 120.0;
+  double bandwidth_mb_per_s = 117.0;
+};
+
+class NetModel {
+ public:
+  explicit NetModel(NetParams params = {}) : params_(params) {}
+
+  const NetParams& params() const { return params_; }
+
+  // One message of `bytes` from node A to node B.
+  Cost Send(uint64_t bytes) const {
+    return Cost(params_.latency_us / 1e6 +
+                static_cast<double>(bytes) / (params_.bandwidth_mb_per_s * 1e6));
+  }
+
+  // Request/response pair (small response assumed folded into latency).
+  Cost RoundTrip(uint64_t request_bytes, uint64_t response_bytes) const {
+    return Send(request_bytes) + Send(response_bytes);
+  }
+
+ private:
+  NetParams params_;
+};
+
+}  // namespace propeller::sim

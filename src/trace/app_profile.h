@@ -1,0 +1,90 @@
+// Application access-pattern profiles.
+//
+// The paper captures ACGs by compiling/running real applications (Thrift,
+// Git, the Linux kernel — Table II) and measures cross-application file
+// sharing for apt-get / Firefox / OpenOffice / kernel-build (Table I).  We
+// cannot ship those binaries, so each application is modelled as a
+// producer/consumer build graph whose *structure* matches what the paper
+// observed: per-step processes read a few private inputs plus shared
+// headers/libraries and write one output; independent sub-builds produce
+// disconnected ACG components; cross-application sharing is confined to a
+// small common pool (system libraries).  Scale parameters are calibrated
+// to the paper's reported vertex/edge counts and sharing percentages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace propeller::trace {
+
+struct AppProfile {
+  std::string name;
+  std::string root;          // namespace directory for the app's own files
+
+  // File population.
+  uint32_t num_sources = 100;   // private read-only inputs (e.g. .c files)
+  uint32_t num_shared = 20;     // app-wide shared inputs (headers, libs)
+  uint32_t num_outputs = 80;    // produced files (objects, binaries)
+
+  // Execution shape: one process per step reads inputs and writes outputs.
+  uint32_t steps = 80;             // processes per execution
+  uint32_t private_reads_per_step = 1;
+  uint32_t shared_reads_per_step = 8;
+  uint32_t writes_per_step = 1;
+
+  // Independent sub-builds: the ACG of a single application decomposes
+  // into this many disconnected components (Section III, property 3).
+  uint32_t components = 2;
+  // Files living outside the major component (split across the
+  // components-1 minor components); 0 = spread everything evenly.
+  uint32_t minor_component_files = 0;
+
+  // Sub-modules inside a component: steps read private/shared inputs
+  // mostly from their own sub-module and only occasionally across — the
+  // clustered structure that gives real build ACGs their clean balanced
+  // cuts (Fig. 7's "blue circles").
+  uint32_t submodules = 1;
+  double cross_module_prob = 0.1;
+
+  // Edge-weight shaping: each step re-opens its outputs `weight_repeats`
+  // times total (build phases touch objects repeatedly), plus one more
+  // re-open with probability `reopen_prob` — matching the paper's
+  // weight/edge ratios (Table II: linux 1.17, thrift 6.4, git 1.42).
+  uint32_t weight_repeats = 1;
+  double reopen_prob = 0.0;
+
+  // Paths outside `root` this app also reads (system libraries shared with
+  // other applications — the Table I overlap).
+  std::vector<std::string> external_reads;
+};
+
+// Profiles calibrated to Table II graph scales.
+AppProfile ThriftProfile();       // ~775 files, ~8.7K edges
+AppProfile GitProfile();          // ~1018 files, ~2.9K edges
+AppProfile LinuxKernelProfile();  // ~62K files, ~5.9M edge weight
+
+// Profiles used for the Table I sharing study.
+AppProfile AptGetProfile();       // 279 accessed files
+AppProfile FirefoxProfile();      // 2279 accessed files
+AppProfile OpenOfficeProfile();   // 2696 accessed files
+AppProfile KernelBuildProfile();  // 19715 accessed files
+
+// The exact pairwise shared-file pools from Table I, materialized under
+// /usr/lib/common; each profile's external_reads reference them.
+struct SharedPools {
+  // (app A, app B, number of files shared by exactly that pair)
+  struct Pool {
+    std::string a;
+    std::string b;
+    uint32_t files;
+    std::string dir;
+  };
+  std::vector<Pool> pools;
+};
+SharedPools TableOneSharedPools();
+
+// All four Table I profiles, with external_reads wired to the shared pools.
+std::vector<AppProfile> TableOneProfiles();
+
+}  // namespace propeller::trace

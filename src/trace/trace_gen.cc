@@ -1,0 +1,197 @@
+#include "trace/trace_gen.h"
+
+#include <algorithm>
+
+#include "common/fmt.h"
+
+namespace propeller::trace {
+
+TraceGenerator::TraceGenerator(AppProfile profile, uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {
+  const uint32_t nc = std::max(1u, profile_.components);
+  components_.resize(nc);
+
+  // Component assignment: with minor_component_files set, the first
+  // (1 - minor_fraction) of every category goes to the major component 0
+  // and the remainder round-robins the minor components; otherwise spread
+  // everything evenly.
+  const uint64_t total_files = static_cast<uint64_t>(profile_.num_sources) +
+                               profile_.num_shared + profile_.num_outputs;
+  const double minor_frac =
+      total_files == 0 ? 0.0
+                       : static_cast<double>(profile_.minor_component_files) /
+                             static_cast<double>(total_files);
+  auto comp_of = [&](uint32_t i, uint32_t total) -> uint32_t {
+    if (nc == 1) return 0;
+    if (profile_.minor_component_files == 0) return i % nc;
+    auto major = static_cast<uint32_t>(static_cast<double>(total) *
+                                       (1.0 - minor_frac));
+    if (i < major) return 0;
+    return 1 + (i - major) % (nc - 1);
+  };
+  auto spread = [&](uint32_t total, auto&& name_fn, auto member) {
+    for (uint32_t i = 0; i < total; ++i) {
+      (components_[comp_of(i, total)].*member).push_back(name_fn(i));
+    }
+  };
+  const std::string& root = profile_.root;
+  spread(profile_.num_sources,
+         [&](uint32_t i) { return Sprintf("%s/src/s_%u.c", root.c_str(), i); },
+         &Component::sources);
+  spread(profile_.num_shared,
+         [&](uint32_t i) { return Sprintf("%s/include/h_%u.h", root.c_str(), i); },
+         &Component::shared);
+  spread(profile_.num_outputs,
+         [&](uint32_t i) { return Sprintf("%s/out/o_%u.o", root.c_str(), i); },
+         &Component::outputs);
+  // Steps proportional to each component's outputs so every output is
+  // written at least once per execution.
+  for (Component& comp : components_) {
+    comp.steps = static_cast<uint32_t>(comp.outputs.size());
+  }
+  uint32_t assigned = 0;
+  for (Component& comp : components_) assigned += comp.steps;
+  for (uint32_t i = assigned; i < std::max(1u, profile_.steps); ++i) {
+    ++components_[i % nc].steps;
+  }
+  // Sub-module index lists (round-robin by index keeps them equal-sized).
+  const uint32_t nm = std::max(1u, profile_.submodules);
+  for (Component& comp : components_) {
+    comp.sources_by_mod.resize(nm);
+    comp.shared_by_mod.resize(nm);
+    for (uint32_t i = 0; i < comp.sources.size(); ++i) {
+      comp.sources_by_mod[i % nm].push_back(i);
+    }
+    for (uint32_t i = 0; i < comp.shared.size(); ++i) {
+      comp.shared_by_mod[i % nm].push_back(i);
+    }
+  }
+  // External (cross-application) files attach to component 0: the system
+  // loader touches them once per execution.
+}
+
+Status TraceGenerator::Materialize(fs::Vfs& vfs) {
+  auto create = [&](const std::string& path, int64_t size) -> Status {
+    if (vfs.ns().Exists(path)) return Status::Ok();
+    auto r = vfs.ns().CreateFile(path, size, vfs.now());
+    return r.status();
+  };
+  for (const Component& comp : components_) {
+    for (const std::string& p : comp.sources) {
+      PROPELLER_RETURN_IF_ERROR(create(p, 4096 + static_cast<int64_t>(rng_.Uniform(64 * 1024))));
+    }
+    for (const std::string& p : comp.shared) {
+      PROPELLER_RETURN_IF_ERROR(create(p, 1024 + static_cast<int64_t>(rng_.Uniform(16 * 1024))));
+    }
+    // Outputs are created by the execution itself.
+  }
+  for (const std::string& p : profile_.external_reads) {
+    PROPELLER_RETURN_IF_ERROR(create(p, 64 * 1024));
+  }
+  return Status::Ok();
+}
+
+Status TraceGenerator::RunStep(fs::Vfs& vfs, const Component& comp, uint32_t step,
+                               uint64_t pid) {
+  std::vector<fs::Fd> read_fds;
+  auto open_read = [&](const std::string& path) -> Status {
+    auto r = vfs.Open(pid, path, fs::OpenMode::kRead);
+    if (!r.ok()) return r.status();
+    read_fds.push_back(r->fd);
+    auto rd = vfs.Read(r->fd, 4096);
+    return rd.status();
+  };
+
+  // Each step belongs to a sub-module; its inputs come (mostly) from
+  // that sub-module's slice of the component.
+  const uint32_t nm = std::max(1u, profile_.submodules);
+  const uint32_t mod = step % nm;
+  const auto& my_sources = comp.sources_by_mod[mod];
+  const auto& my_shared = comp.shared_by_mod[mod];
+
+  // Private inputs: deterministic round-robin over the sub-module's
+  // sources so every source file is read at least once per execution.
+  if (!my_sources.empty()) {
+    for (uint32_t k = 0; k < profile_.private_reads_per_step; ++k) {
+      size_t idx = (static_cast<size_t>(step / nm) *
+                        profile_.private_reads_per_step +
+                    k) %
+                   my_sources.size();
+      PROPELLER_RETURN_IF_ERROR(open_read(comp.sources[my_sources[idx]]));
+    }
+  }
+  // Shared inputs: one guaranteed round-robin pick (coverage) + random
+  // picks, occasionally crossing into other sub-modules.
+  if (!my_shared.empty()) {
+    PROPELLER_RETURN_IF_ERROR(
+        open_read(comp.shared[my_shared[(step / nm) % my_shared.size()]]));
+    for (uint32_t k = 1; k < profile_.shared_reads_per_step; ++k) {
+      if (nm > 1 && rng_.Bernoulli(profile_.cross_module_prob)) {
+        PROPELLER_RETURN_IF_ERROR(
+            open_read(comp.shared[rng_.Uniform(comp.shared.size())]));
+      } else {
+        PROPELLER_RETURN_IF_ERROR(
+            open_read(comp.shared[my_shared[rng_.Uniform(my_shared.size())]]));
+      }
+    }
+  }
+  // External reads: touched by the first steps of component 0 (the runtime
+  // linker pulls system libraries early in the execution).
+  if (&comp == &components_[0] && !profile_.external_reads.empty()) {
+    size_t per_step =
+        profile_.external_reads.size() / std::max(1u, comp.steps) + 1;
+    size_t begin = static_cast<size_t>(step) * per_step;
+    for (size_t i = begin;
+         i < std::min(begin + per_step, profile_.external_reads.size()); ++i) {
+      PROPELLER_RETURN_IF_ERROR(open_read(profile_.external_reads[i]));
+    }
+  }
+
+  // Outputs: each step writes its round-robin slice.  Each output is
+  // write-opened `weight_repeats` times (plus a probabilistic extra) so
+  // edge weights accumulate the way repeated build phases produce them.
+  uint32_t opens = profile_.weight_repeats;
+  if (opens == 0) opens = 1;
+  if (profile_.reopen_prob > 0 && rng_.Bernoulli(profile_.reopen_prob)) ++opens;
+  if (!comp.outputs.empty()) {
+    for (uint32_t k = 0; k < profile_.writes_per_step; ++k) {
+      const std::string& out =
+          comp.outputs[(static_cast<size_t>(step) * profile_.writes_per_step + k) %
+                       comp.outputs.size()];
+      for (uint32_t rep = 0; rep < opens; ++rep) {
+        auto w = vfs.Open(pid, out, fs::OpenMode::kWrite, /*create=*/rep == 0);
+        if (!w.ok()) return w.status();
+        auto wr = vfs.Write(w->fd, 8192);
+        PROPELLER_RETURN_IF_ERROR(wr.status());
+        PROPELLER_RETURN_IF_ERROR(vfs.Close(w->fd).status());
+      }
+    }
+  }
+  for (fs::Fd fd : read_fds) {
+    PROPELLER_RETURN_IF_ERROR(vfs.Close(fd).status());
+  }
+  return Status::Ok();
+}
+
+Status TraceGenerator::RunExecution(fs::Vfs& vfs, uint64_t* pid_counter) {
+  for (const Component& comp : components_) {
+    for (uint32_t step = 0; step < comp.steps; ++step) {
+      PROPELLER_RETURN_IF_ERROR(RunStep(vfs, comp, step, (*pid_counter)++));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> TraceGenerator::AccessedPaths() const {
+  std::vector<std::string> out;
+  for (const Component& comp : components_) {
+    out.insert(out.end(), comp.sources.begin(), comp.sources.end());
+    out.insert(out.end(), comp.shared.begin(), comp.shared.end());
+    out.insert(out.end(), comp.outputs.begin(), comp.outputs.end());
+  }
+  out.insert(out.end(), profile_.external_reads.begin(),
+             profile_.external_reads.end());
+  return out;
+}
+
+}  // namespace propeller::trace

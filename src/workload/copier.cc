@@ -1,0 +1,38 @@
+#include "workload/copier.h"
+
+#include "common/fmt.h"
+
+namespace propeller::workload {
+
+Result<uint64_t> FpsCopier::AdvanceTo(double now_s) {
+  if (fps_ <= 0 || now_s <= last_s_) {
+    last_s_ = now_s;
+    return uint64_t{0};
+  }
+  budget_ += (now_s - last_s_) * fps_;
+  last_s_ = now_s;
+
+  uint64_t n = 0;
+  while (budget_ >= 1.0) {
+    budget_ -= 1.0;
+    // Copied files keep realistic extensions (some Spotlight-supported).
+    const char* ext = rng_.Bernoulli(0.6) ? "txt" : "bin";
+    std::string path = Sprintf("%s/copy_%llu.%s", dest_dir_.c_str(),
+                               static_cast<unsigned long long>(copied_), ext);
+    auto open = vfs_->Open(pid_, path, fs::OpenMode::kWrite, /*create=*/true);
+    if (!open.ok()) return open.status();
+    int64_t bytes = rng_.Bernoulli(large_prob_)
+                        ? 20 * 1024 * 1024 + static_cast<int64_t>(rng_.Uniform(32 * 1024 * 1024))
+                        : 4096 + static_cast<int64_t>(rng_.Uniform(64 * 1024));
+    auto wr = vfs_->Write(open->fd, bytes);
+    if (!wr.ok()) return wr.status();
+    auto cl = vfs_->Close(open->fd);
+    if (!cl.ok()) return cl.status();
+    ++pid_;
+    ++copied_;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace propeller::workload

@@ -1,0 +1,44 @@
+// Background file copier: the "FPS" I/O process of Fig. 1 and Fig. 11.
+// Copies files into the namespace at a fixed rate; every copy is a
+// create + write + close through the Vfs (so listeners — Spotlight's
+// notification queue, Propeller's access capture — observe it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fs/vfs.h"
+
+namespace propeller::workload {
+
+class FpsCopier {
+ public:
+  // `fps` = file copies per second; 0 disables the copier.
+  FpsCopier(fs::Vfs* vfs, double fps, std::string dest_dir, uint64_t seed = 11)
+      : vfs_(vfs), fps_(fps), dest_dir_(std::move(dest_dir)), rng_(seed) {}
+
+  // Fraction of copies that are large files (> 16 MB), so size-range
+  // queries observe the copier's effect (Fig. 11).
+  void SetLargeFileProb(double p) { large_prob_ = p; }
+
+  // Advances to `now_s`, copying however many files the elapsed time
+  // allows.  Returns the number of files copied this step.
+  Result<uint64_t> AdvanceTo(double now_s);
+
+  uint64_t TotalCopied() const { return copied_; }
+
+ private:
+  fs::Vfs* vfs_;
+  double fps_;
+  std::string dest_dir_;
+  Rng rng_;
+  double large_prob_ = 0.1;
+  double last_s_ = 0;
+  double budget_ = 0;
+  uint64_t copied_ = 0;
+  uint64_t pid_ = 900'000;  // copier processes get their own pid range
+};
+
+}  // namespace propeller::workload

@@ -1,0 +1,100 @@
+#include "workload/dataset.h"
+
+#include "common/fmt.h"
+
+namespace propeller::workload {
+namespace {
+
+const char* const kSupportedExts[] = {"txt", "pdf", "html", "c", "h"};
+const char* const kUnsupportedExts[] = {"bin", "dat", "img", "vmdk", "o"};
+
+std::string PickExt(Rng& rng, double supported_fraction) {
+  if (rng.Bernoulli(supported_fraction)) {
+    return kSupportedExts[rng.Uniform(std::size(kSupportedExts))];
+  }
+  return kUnsupportedExts[rng.Uniform(std::size(kUnsupportedExts))];
+}
+
+int64_t PickSize(Rng& rng, const DatasetSpec& spec) {
+  if (rng.Bernoulli(spec.large_file_fraction)) {
+    return spec.large_size +
+           static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(spec.large_size) * 4));
+  }
+  // Skewed small sizes around the median.
+  double u = rng.UniformDouble();
+  return 1 + static_cast<int64_t>(static_cast<double>(spec.median_size) *
+                                  (0.25 + 1.5 * u * u));
+}
+
+// Deterministic directory path for file index `i`: a tree with the
+// configured fan-outs.
+std::string DirFor(const DatasetSpec& spec, uint64_t i) {
+  uint64_t dir_index = i / spec.files_per_dir;
+  std::string path = spec.root;
+  while (dir_index > 0) {
+    path += Sprintf("/d%llu",
+                    static_cast<unsigned long long>(dir_index % spec.dirs_per_dir));
+    dir_index /= spec.dirs_per_dir;
+  }
+  return path;
+}
+
+}  // namespace
+
+std::string PathFor(const DatasetSpec& spec, uint64_t i, Rng& rng) {
+  std::string dir = DirFor(spec, i);
+  if (!spec.keyword.empty() && rng.Bernoulli(spec.keyword_fraction)) {
+    dir += "/" + spec.keyword;
+  }
+  return Sprintf("%s/f%llu.%s", dir.c_str(), static_cast<unsigned long long>(i),
+                 PickExt(rng, spec.supported_ext_fraction).c_str());
+}
+
+Status BuildDataset(fs::Vfs& vfs, const DatasetSpec& spec) {
+  Rng rng(spec.seed);
+  for (uint64_t i = 0; i < spec.num_files; ++i) {
+    std::string path = PathFor(spec, i, rng);
+    auto created = vfs.ns().CreateFile(
+        path, PickSize(rng, spec),
+        vfs.now() - static_cast<int64_t>(rng.Uniform(90 * 86400)),
+        static_cast<int64_t>(rng.Uniform(4)));
+    if (!created.ok()) return created.status();
+  }
+  return Status::Ok();
+}
+
+std::vector<index::FileUpdate> UpdatesForNamespace(const fs::Namespace& ns) {
+  std::vector<index::FileUpdate> updates;
+  updates.reserve(ns.NumFiles());
+  ns.ForEachFile([&](const fs::FileStat& st) {
+    index::FileUpdate u;
+    u.file = st.id;
+    u.attrs = st.ToAttrSet();
+    updates.push_back(std::move(u));
+  });
+  return updates;
+}
+
+index::FileUpdate SyntheticRow(uint64_t id, const DatasetSpec& spec, Rng& rng) {
+  index::FileUpdate u;
+  u.file = id;
+  u.attrs.Set("size", index::AttrValue(PickSize(rng, spec)));
+  u.attrs.Set("mtime", index::AttrValue(static_cast<int64_t>(
+                           1'000'000 - rng.Uniform(90 * 86400))));
+  u.attrs.Set("uid", index::AttrValue(static_cast<int64_t>(rng.Uniform(4))));
+  u.attrs.Set("path", index::AttrValue(PathFor(spec, id, rng)));
+  return u;
+}
+
+std::vector<index::FileUpdate> SyntheticRows(uint64_t first_id, uint64_t count,
+                                             const DatasetSpec& spec) {
+  Rng rng(spec.seed ^ first_id);
+  std::vector<index::FileUpdate> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    rows.push_back(SyntheticRow(first_id + i, spec, rng));
+  }
+  return rows;
+}
+
+}  // namespace propeller::workload

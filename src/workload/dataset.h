@@ -1,0 +1,54 @@
+// Dataset builders for the evaluation workloads.
+//
+// The paper's datasets are OS images and home-directory snapshots (138K /
+// 487K files) plus synthetically scaled namespaces up to 100M files.  The
+// builder materializes statistically similar namespaces: directory trees
+// with configurable fan-out, a controllable extension mix (which sets the
+// Spotlight recall ceiling), and log-normal-ish file sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fs/vfs.h"
+#include "index/index_group.h"
+
+namespace propeller::workload {
+
+struct DatasetSpec {
+  std::string root = "/data";
+  uint64_t num_files = 100'000;
+  uint32_t files_per_dir = 64;
+  uint32_t dirs_per_dir = 8;
+  // Fraction of files whose extension Spotlight supports (recall ceiling).
+  double supported_ext_fraction = 0.6;
+  // File sizes: most files small, a heavy tail of big ones.
+  int64_t median_size = 16 * 1024;
+  double large_file_fraction = 0.02;    // > large_size
+  int64_t large_size = 16 * 1024 * 1024;
+  // Fraction of files whose path contains this marker directory (drives
+  // the paper's keyword queries, e.g. keyword "firefox").
+  std::string keyword;
+  double keyword_fraction = 0.0;
+  uint64_t seed = 7;
+};
+
+// Materializes the dataset into a Vfs namespace.
+Status BuildDataset(fs::Vfs& vfs, const DatasetSpec& spec);
+
+// Converts every file under a namespace into index updates (inode attrs).
+std::vector<index::FileUpdate> UpdatesForNamespace(const fs::Namespace& ns);
+
+// Generates `count` synthetic file rows WITHOUT materializing a namespace
+// — used to pre-populate multi-million-row baseline tables whose
+// construction the paper does not time.  Ids start at `first_id`.
+std::vector<index::FileUpdate> SyntheticRows(uint64_t first_id, uint64_t count,
+                                             const DatasetSpec& spec);
+
+// One synthetic row (streaming variant of SyntheticRows for big scales).
+index::FileUpdate SyntheticRow(uint64_t id, const DatasetSpec& spec, Rng& rng);
+
+}  // namespace propeller::workload

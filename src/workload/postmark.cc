@@ -1,0 +1,118 @@
+#include "workload/postmark.h"
+
+#include <vector>
+
+#include "common/fmt.h"
+
+namespace propeller::workload {
+
+Result<PostmarkResult> Postmark::Run(fs::Vfs& vfs) {
+  Rng rng(config_.seed);
+  PostmarkResult result;
+  sim::CostClock clock;
+
+  auto pick_size = [&]() {
+    return config_.min_size +
+           static_cast<int64_t>(rng.Uniform(
+               static_cast<uint64_t>(config_.max_size - config_.min_size + 1)));
+  };
+  auto path_of = [&](uint64_t id) {
+    return Sprintf("%s/s%llu/pm_%llu", config_.root.c_str(),
+                   static_cast<unsigned long long>(id % config_.subdirectories),
+                   static_cast<unsigned long long>(id));
+  };
+
+  uint64_t next_id = 0;
+  std::vector<uint64_t> live;
+  live.reserve(config_.num_files);
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  const uint64_t pid = 777'000;
+
+  auto create_one = [&]() -> Status {
+    uint64_t id = next_id++;
+    auto open = vfs.Open(pid, path_of(id), fs::OpenMode::kWrite, /*create=*/true);
+    if (!open.ok()) return open.status();
+    clock.Advance(open->cost);
+    int64_t size = pick_size();
+    auto wr = vfs.Write(open->fd, size);
+    if (!wr.ok()) return wr.status();
+    clock.Advance(*wr);
+    write_bytes += static_cast<uint64_t>(size);
+    auto cl = vfs.Close(open->fd);
+    if (!cl.ok()) return cl.status();
+    clock.Advance(*cl);
+    live.push_back(id);
+    return Status::Ok();
+  };
+
+  // --- Creation phase ---
+  for (uint64_t i = 0; i < config_.num_files; ++i) {
+    PROPELLER_RETURN_IF_ERROR(create_one());
+  }
+  result.create_phase_s = clock.total().seconds();
+  result.files_per_second =
+      static_cast<double>(config_.num_files) / result.create_phase_s;
+
+  // --- Transaction phase: even mix of read / append / create / delete ---
+  for (uint64_t t = 0; t < config_.transactions; ++t) {
+    switch (rng.Uniform(4)) {
+      case 0: {  // read
+        if (live.empty()) break;
+        uint64_t id = live[rng.Uniform(live.size())];
+        auto open = vfs.Open(pid, path_of(id), fs::OpenMode::kRead);
+        if (!open.ok()) break;
+        clock.Advance(open->cost);
+        int64_t size = pick_size();
+        auto rd = vfs.Read(open->fd, size);
+        if (rd.ok()) {
+          clock.Advance(*rd);
+          read_bytes += static_cast<uint64_t>(size);
+        }
+        auto cl = vfs.Close(open->fd);
+        if (cl.ok()) clock.Advance(*cl);
+        break;
+      }
+      case 1: {  // append
+        if (live.empty()) break;
+        uint64_t id = live[rng.Uniform(live.size())];
+        auto open = vfs.Open(pid, path_of(id), fs::OpenMode::kWrite);
+        if (!open.ok()) break;
+        clock.Advance(open->cost);
+        int64_t size = pick_size() / 4;
+        auto wr = vfs.Write(open->fd, size);
+        if (wr.ok()) {
+          clock.Advance(*wr);
+          write_bytes += static_cast<uint64_t>(size);
+        }
+        auto cl = vfs.Close(open->fd);
+        if (cl.ok()) clock.Advance(*cl);
+        break;
+      }
+      case 2:  // create
+        PROPELLER_RETURN_IF_ERROR(create_one());
+        break;
+      case 3: {  // delete
+        if (live.size() < 2) break;
+        size_t pos = static_cast<size_t>(rng.Uniform(live.size()));
+        uint64_t id = live[pos];
+        auto un = vfs.Unlink(pid, path_of(id));
+        if (un.ok()) {
+          clock.Advance(*un);
+          live[pos] = live.back();
+          live.pop_back();
+        }
+        break;
+      }
+    }
+  }
+
+  result.elapsed_s = clock.total().seconds();
+  result.read_mb = static_cast<double>(read_bytes) / 1e6;
+  result.write_mb = static_cast<double>(write_bytes) / 1e6;
+  result.read_mb_s = result.read_mb / result.elapsed_s;
+  result.write_mb_s = result.write_mb / result.elapsed_s;
+  return result;
+}
+
+}  // namespace propeller::workload

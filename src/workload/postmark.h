@@ -1,0 +1,47 @@
+// PostMark (Katcher '97) workload for Table VI: creates a pool of files
+// across subdirectories, runs create/read/append/delete transactions, and
+// reports files-created-per-second plus read/write throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fs/vfs.h"
+
+namespace propeller::workload {
+
+struct PostmarkConfig {
+  uint64_t num_files = 50'000;   // paper: 50000 files
+  uint32_t subdirectories = 200;  // paper: 200 subdirectories
+  uint64_t transactions = 20'000;
+  int64_t min_size = 512;
+  int64_t max_size = 16 * 1024;
+  uint64_t seed = 3;
+  std::string root = "/postmark";
+};
+
+struct PostmarkResult {
+  double elapsed_s = 0;          // simulated wall time of the whole run
+  double create_phase_s = 0;
+  double files_per_second = 0;   // creation rate (paper's headline column)
+  double read_mb = 0;
+  double write_mb = 0;
+  double read_mb_s = 0;
+  double write_mb_s = 0;
+};
+
+// Runs PostMark against `vfs`.  `extra_per_write_op` lets the caller add
+// per-write overhead (Propeller's inline indexing cost hook).
+class Postmark {
+ public:
+  explicit Postmark(PostmarkConfig config = {}) : config_(config) {}
+
+  Result<PostmarkResult> Run(fs::Vfs& vfs);
+
+ private:
+  PostmarkConfig config_;
+};
+
+}  // namespace propeller::workload

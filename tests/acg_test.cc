@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "acg/acg.h"
+#include "acg/acg_builder.h"
+#include "acg/acg_manager.h"
+#include "fs/vfs.h"
+#include "trace/trace_gen.h"
+
+namespace propeller::acg {
+namespace {
+
+// ---------- Acg structure ----------
+
+TEST(AcgTest, EdgeAccumulation) {
+  Acg g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2, 4);
+  g.AddEdge(2, 1);  // reverse direction is a distinct directed edge
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.TotalWeight(), 6u);
+  EXPECT_EQ(g.EdgeWeight(1, 2), 5u);
+  EXPECT_EQ(g.EdgeWeight(2, 1), 1u);
+  g.AddEdge(3, 3);  // self-loop ignored
+  EXPECT_EQ(g.EdgeWeight(3, 3), 0u);
+}
+
+TEST(AcgTest, MergeCombines) {
+  Acg a, b;
+  a.AddEdge(1, 2, 3);
+  b.AddEdge(1, 2, 2);
+  b.AddEdge(5, 6);
+  b.AddVertex(99);
+  a.Merge(b);
+  EXPECT_EQ(a.EdgeWeight(1, 2), 5u);
+  EXPECT_EQ(a.EdgeWeight(5, 6), 1u);
+  EXPECT_EQ(a.NumVertices(), 5u);
+}
+
+TEST(AcgTest, ProjectionFoldsDirections) {
+  Acg g;
+  g.AddEdge(10, 20, 3);
+  g.AddEdge(20, 10, 4);
+  auto p = g.Project();
+  EXPECT_EQ(p.graph.NumVertices(), 2u);
+  EXPECT_EQ(p.graph.NumEdges(), 1u);
+  EXPECT_EQ(p.graph.TotalEdgeWeight(), 7u);
+  EXPECT_EQ(p.vertex_to_file[p.file_to_vertex.at(10)], 10u);
+}
+
+TEST(AcgTest, ComponentsLargestFirst) {
+  Acg g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(10, 11);
+  g.AddVertex(99);
+  auto comps = g.Components();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0].size(), 3u);
+  EXPECT_EQ(comps[1].size(), 2u);
+  EXPECT_EQ(comps[2].size(), 1u);
+}
+
+TEST(AcgTest, SerializeRoundTrip) {
+  Acg g;
+  g.AddEdge(1, 2, 5);
+  g.AddEdge(7, 9, 1);
+  g.AddVertex(42);
+  BinaryWriter w;
+  g.Serialize(w);
+  BinaryReader r(w.data());
+  Acg back;
+  ASSERT_TRUE(Acg::Deserialize(r, back).ok());
+  EXPECT_EQ(back.NumVertices(), 5u);
+  EXPECT_EQ(back.EdgeWeight(1, 2), 5u);
+  EXPECT_EQ(back.TotalWeight(), 6u);
+}
+
+// ---------- AcgBuilder: the causality rule ----------
+
+struct Session {
+  fs::Vfs vfs;
+  AcgBuilder builder;
+  Session() { vfs.AddListener(&builder); }
+};
+
+TEST(AcgBuilderTest, ReadThenWriteCreatesEdge) {
+  Session s;
+  auto in = s.vfs.Open(1, "/in", fs::OpenMode::kRead, true);
+  auto out = s.vfs.Open(1, "/out", fs::OpenMode::kWrite, true);
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(out.ok());
+  s.vfs.Close(out->fd);
+  s.vfs.Close(in->fd);
+
+  Acg delta = s.builder.TakeDelta();
+  fs::FileId fin = s.vfs.ns().Stat("/in")->id;
+  fs::FileId fout = s.vfs.ns().Stat("/out")->id;
+  EXPECT_EQ(delta.EdgeWeight(fin, fout), 1u);
+  EXPECT_EQ(delta.EdgeWeight(fout, fin), 0u) << "causality is directional";
+}
+
+TEST(AcgBuilderTest, WriteThenReadCreatesNoEdge) {
+  Session s;
+  auto out = s.vfs.Open(1, "/out", fs::OpenMode::kWrite, true);
+  auto in = s.vfs.Open(1, "/in", fs::OpenMode::kRead, true);
+  s.vfs.Close(in->fd);
+  s.vfs.Close(out->fd);
+  Acg delta = s.builder.TakeDelta();
+  EXPECT_EQ(delta.TotalWeight(), 0u);
+}
+
+TEST(AcgBuilderTest, WriteAfterWriteIsCausal) {
+  // fA opened for *write* at t0 also produces a later-written fB.
+  Session s;
+  auto o1 = s.vfs.Open(1, "/o1", fs::OpenMode::kWrite, true);
+  auto o2 = s.vfs.Open(1, "/o2", fs::OpenMode::kWrite, true);
+  s.vfs.Close(o1->fd);
+  s.vfs.Close(o2->fd);
+  Acg delta = s.builder.TakeDelta();
+  fs::FileId f1 = s.vfs.ns().Stat("/o1")->id;
+  fs::FileId f2 = s.vfs.ns().Stat("/o2")->id;
+  EXPECT_EQ(delta.EdgeWeight(f1, f2), 1u);
+  EXPECT_EQ(delta.EdgeWeight(f2, f1), 0u);
+}
+
+TEST(AcgBuilderTest, DifferentProcessesAreIndependent) {
+  Session s;
+  auto in = s.vfs.Open(/*pid=*/1, "/in", fs::OpenMode::kRead, true);
+  auto out = s.vfs.Open(/*pid=*/2, "/out", fs::OpenMode::kWrite, true);
+  s.vfs.Close(in->fd);
+  s.vfs.Close(out->fd);
+  Acg delta = s.builder.TakeDelta();
+  EXPECT_EQ(delta.TotalWeight(), 0u) << "cross-process opens must not connect";
+}
+
+TEST(AcgBuilderTest, DeltaOnlyFlushesWhenProcessFinishes) {
+  Session s;
+  auto in = s.vfs.Open(1, "/in", fs::OpenMode::kRead, true);
+  auto out = s.vfs.Open(1, "/out", fs::OpenMode::kWrite, true);
+  s.vfs.Close(out->fd);
+  // /in still open: process not finished, edge not yet flushable.
+  fs::FileId fin = s.vfs.ns().Stat("/in")->id;
+  fs::FileId fout = s.vfs.ns().Stat("/out")->id;
+  EXPECT_EQ(s.builder.TakeDelta().EdgeWeight(fin, fout), 0u);
+  EXPECT_EQ(s.builder.ActiveProcesses(), 1u);
+  s.vfs.Close(in->fd);
+  EXPECT_EQ(s.builder.ActiveProcesses(), 0u);
+  EXPECT_EQ(s.builder.TakeDelta().EdgeWeight(fin, fout), 1u);
+}
+
+TEST(AcgBuilderTest, RepeatedExecutionsAccumulateWeight) {
+  Session s;
+  for (int run = 0; run < 3; ++run) {
+    uint64_t pid = 100 + static_cast<uint64_t>(run);
+    auto in = s.vfs.Open(pid, "/in", fs::OpenMode::kRead, run == 0);
+    auto out = s.vfs.Open(pid, "/out", fs::OpenMode::kWrite, run == 0);
+    s.vfs.Close(out->fd);
+    s.vfs.Close(in->fd);
+  }
+  Acg delta = s.builder.TakeDelta();
+  fs::FileId fin = s.vfs.ns().Stat("/in")->id;
+  fs::FileId fout = s.vfs.ns().Stat("/out")->id;
+  EXPECT_EQ(delta.EdgeWeight(fin, fout), 3u);
+}
+
+// ---------- AcgManager: placement, merge, split ----------
+
+TEST(AcgManagerTest, ConnectedFilesShareGroup) {
+  AcgManager mgr;
+  Acg delta;
+  delta.AddEdge(1, 2);
+  delta.AddEdge(2, 3);
+  delta.AddEdge(10, 11);
+  auto result = mgr.ApplyDelta(delta);
+  EXPECT_EQ(result.placements.size(), 5u);
+  EXPECT_EQ(mgr.GroupOf(1), mgr.GroupOf(3));
+  // Small components are clustered into the same fill group
+  // (anti-fragmentation), so 10/11 share the group too.
+  EXPECT_EQ(mgr.GroupOf(1), mgr.GroupOf(10));
+  EXPECT_EQ(mgr.CrossGroupWeight(), 0u);
+}
+
+TEST(AcgManagerTest, FillGroupRotatesAtClusterTarget) {
+  AcgPolicy policy;
+  policy.cluster_target = 4;
+  AcgManager mgr(policy);
+  Acg delta;
+  for (FileId f = 1; f <= 10; ++f) delta.AddVertex(f);
+  mgr.ApplyDelta(delta);
+  EXPECT_GE(mgr.Groups().size(), 2u) << "singletons must not all pile into one group";
+  EXPECT_EQ(mgr.NumFiles(), 10u);
+}
+
+TEST(AcgManagerTest, LateEdgeMergesGroups) {
+  AcgPolicy policy;
+  policy.cluster_target = 2;
+  AcgManager mgr(policy);
+  Acg d1;
+  d1.AddEdge(1, 2);
+  mgr.ApplyDelta(d1);
+  Acg d2;
+  d2.AddEdge(10, 11);
+  mgr.ApplyDelta(d2);
+  // Force distinct groups (cluster_target=2 rotates the fill group).
+  ASSERT_NE(mgr.GroupOf(1), mgr.GroupOf(10));
+
+  Acg d3;
+  d3.AddEdge(2, 10);  // connects the two groups
+  auto result = mgr.ApplyDelta(d3);
+  ASSERT_EQ(result.merges.size(), 1u);
+  EXPECT_EQ(mgr.GroupOf(1), mgr.GroupOf(10));
+  EXPECT_EQ(mgr.GroupSize(*mgr.GroupOf(1)), 4u);
+}
+
+TEST(AcgManagerTest, MergeRefusedBeyondLimitCountsCut) {
+  AcgPolicy policy;
+  policy.cluster_target = 3;
+  policy.merge_limit = 4;
+  AcgManager mgr(policy);
+  Acg d1;
+  d1.AddEdge(1, 2);
+  d1.AddEdge(2, 3);
+  mgr.ApplyDelta(d1);
+  Acg d2;
+  d2.AddEdge(10, 11);
+  d2.AddEdge(11, 12);
+  mgr.ApplyDelta(d2);
+  ASSERT_NE(mgr.GroupOf(1), mgr.GroupOf(10));
+
+  Acg d3;
+  d3.AddEdge(3, 10, 7);  // would make a 6-file group: refused
+  auto result = mgr.ApplyDelta(d3);
+  EXPECT_TRUE(result.merges.empty());
+  EXPECT_NE(mgr.GroupOf(1), mgr.GroupOf(10));
+  EXPECT_EQ(mgr.CrossGroupWeight(), 7u);
+}
+
+TEST(AcgManagerTest, SplitsOversizedGroupBalanced) {
+  AcgPolicy policy;
+  policy.split_threshold = 100;
+  policy.cluster_target = 1000;  // everything lands in one group
+  policy.merge_limit = 1000;
+  AcgManager mgr(policy);
+
+  // Two dense clusters of 80, joined by one light edge.
+  Acg delta;
+  for (FileId i = 0; i < 80; ++i) {
+    delta.AddEdge(1000 + i, 1000 + (i + 1) % 80, 10);
+    delta.AddEdge(2000 + i, 2000 + (i + 1) % 80, 10);
+  }
+  delta.AddEdge(1000, 2000, 1);
+  mgr.ApplyDelta(delta);
+  ASSERT_EQ(mgr.Groups().size(), 1u);
+  ASSERT_EQ(mgr.GroupSize(mgr.Groups()[0]), 160u);
+
+  auto plans = mgr.SplitOversizedGroups();
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].move_out.size(), 80u);
+  EXPECT_EQ(plans[0].cut_weight, 1u);
+  // The two clusters must end up in different groups.
+  EXPECT_NE(mgr.GroupOf(1000), mgr.GroupOf(2000));
+  EXPECT_EQ(mgr.GroupOf(1000), mgr.GroupOf(1079));
+  EXPECT_EQ(mgr.GroupOf(2000), mgr.GroupOf(2079));
+  // No more oversized groups: a second pass is a no-op.
+  EXPECT_TRUE(mgr.SplitOversizedGroups().empty());
+}
+
+TEST(AcgManagerTest, ForgetFileRemovesMapping) {
+  AcgManager mgr;
+  Acg delta;
+  delta.AddEdge(1, 2);
+  mgr.ApplyDelta(delta);
+  mgr.ForgetFile(1);
+  EXPECT_FALSE(mgr.GroupOf(1).has_value());
+  EXPECT_TRUE(mgr.GroupOf(2).has_value());
+  mgr.ForgetFile(999);  // unknown: no-op
+}
+
+// ---------- End-to-end: trace -> builder -> manager ----------
+
+TEST(AcgEndToEndTest, ThriftTraceProducesDisconnectedComponents) {
+  fs::Vfs vfs;
+  AcgBuilder builder;
+  vfs.AddListener(&builder);
+
+  trace::TraceGenerator gen(trace::ThriftProfile(), /*seed=*/5);
+  ASSERT_TRUE(gen.Materialize(vfs).ok());
+  uint64_t pid = 1;
+  ASSERT_TRUE(gen.RunExecution(vfs, &pid).ok());
+
+  Acg acg = builder.TakeDelta();
+  // Scale matches Table II's Thrift row (775 vertices) to within ~5%.
+  EXPECT_NEAR(static_cast<double>(acg.NumVertices()), 775.0, 40.0);
+  auto comps = acg.Components();
+  // Fig. 7: the single-application ACG has >= 2 disconnected components —
+  // one large (728 files in the paper) and one small (~47).
+  EXPECT_GE(comps.size(), 2u);
+  EXPECT_GT(comps[0].size(), 500u);
+  EXPECT_GT(comps[1].size(), 20u);
+}
+
+TEST(AcgEndToEndTest, TwoApplicationsBarelyOverlap) {
+  fs::Vfs vfs;
+  AcgBuilder builder;
+  vfs.AddListener(&builder);
+
+  auto profiles = trace::TableOneProfiles();
+  // apt-get and firefox share exactly 31 files by construction.
+  trace::TraceGenerator apt(profiles[0], 1);
+  trace::TraceGenerator ff(profiles[1], 2);
+  ASSERT_TRUE(apt.Materialize(vfs).ok());
+  ASSERT_TRUE(ff.Materialize(vfs).ok());
+  uint64_t pid = 1;
+  ASSERT_TRUE(apt.RunExecution(vfs, &pid).ok());
+  ASSERT_TRUE(ff.RunExecution(vfs, &pid).ok());
+
+  auto apt_paths = apt.AccessedPaths();
+  auto ff_paths = ff.AccessedPaths();
+  std::sort(apt_paths.begin(), apt_paths.end());
+  std::sort(ff_paths.begin(), ff_paths.end());
+  std::vector<std::string> common;
+  std::set_intersection(apt_paths.begin(), apt_paths.end(), ff_paths.begin(),
+                        ff_paths.end(), std::back_inserter(common));
+  EXPECT_EQ(common.size(), 31u);
+  EXPECT_EQ(apt_paths.size(), 279u);
+  EXPECT_EQ(ff_paths.size(), 2279u);
+}
+
+}  // namespace
+}  // namespace propeller::acg

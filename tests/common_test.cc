@@ -1,0 +1,216 @@
+// Coverage for the common utility layer: thread pool, formatting, table
+// rendering, RNG distributions, status plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/fmt.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+namespace propeller {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+  EXPECT_EQ(Status::Corruption().ToString(), "CORRUPTION");
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"))
+      << "equality compares codes only";
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> bad(Status::Internal("boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(ok.value_or(-1), 42);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+// ---------- Formatting ----------
+
+TEST(FmtTest, SprintfAndStrCat) {
+  EXPECT_EQ(Sprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(Sprintf("%s", std::string(300, 'a').c_str()).size(), 300u);
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(HumanCount(1'500'000), "1.50M");
+  EXPECT_EQ(HumanCount(2'000), "2.00K");
+  EXPECT_EQ(HumanCount(3'000'000'000.0), "3.00G");
+  EXPECT_EQ(HumanCount(12), "12");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long header"});
+  t.AddRow({"xxxxxx", "1"});
+  t.AddRow({"y"});  // short rows pad with empties
+  std::string out = t.ToString();
+  // Three lines of equal width: header, separator, 2 rows.
+  size_t first_nl = out.find('\n');
+  std::string header = out.substr(0, first_nl);
+  EXPECT_NE(header.find("long header"), std::string::npos);
+  size_t width = first_nl;
+  size_t pos = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    EXPECT_EQ(nl - pos, width) << "ragged table line " << lines;
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsValuesThroughFutures) {
+  ThreadPool pool(2);
+  auto f1 = pool.Submit([] { return 21 * 2; });
+  auto f2 = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ActuallyRunsConcurrently) {
+  ThreadPool pool(4);
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  std::atomic<int> ready{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.Submit([&] {
+      ++ready;
+      while (ready.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ids.size(), 4u) << "tasks must run on distinct workers";
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBoundsRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(7);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<uint64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (uint64_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ZipfIsHeadHeavy) {
+  Rng rng(9);
+  int head = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (rng.Zipf(1000, 0.8) < 100) ++head;  // top 10% of ranks
+  }
+  EXPECT_GT(head, 5'000) << "zipf(0.8) should concentrate on the head";
+}
+
+// ---------- Stopwatch / logging ----------
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.ElapsedSeconds(), 0.009);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), 0.009);
+}
+
+TEST(LoggingTest, LevelGate) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  PLOG(INFO) << "suppressed";  // must not crash; gated out
+  PLOG(ERROR) << "common_test: expected error-level line";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace propeller

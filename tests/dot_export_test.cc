@@ -1,0 +1,77 @@
+// DOT export and remaining graph-library edges.
+#include <gtest/gtest.h>
+
+#include "graph/dot.h"
+#include "graph/graph.h"
+
+namespace propeller::graph {
+namespace {
+
+TEST(DotExportTest, EmitsVerticesEdgesAndWeights) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 7);
+  g.AddEdge(1, 2, 2);
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("graph acg {"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v1 [label=\"7\"]"), std::string::npos);
+  EXPECT_NE(dot.find("v1 -- v2 [label=\"2\"]"), std::string::npos);
+  // Each undirected edge appears exactly once.
+  EXPECT_EQ(dot.find("v1 -- v0"), std::string::npos);
+}
+
+TEST(DotExportTest, CustomLabelsAndClusters) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(2, 3, 1);
+  DotOptions opts;
+  opts.graph_name = "thrift";
+  opts.label = [](VertexId v) { return "file_" + std::to_string(v); };
+  opts.cluster = [](VertexId v) { return v < 2 ? 0 : 1; };
+  std::string dot = ToDot(g, opts);
+  EXPECT_NE(dot.find("graph thrift {"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"file_3\""), std::string::npos);
+}
+
+TEST(DotExportTest, NegativeClusterMeansUnclustered) {
+  WeightedGraph g(2);
+  g.AddEdge(0, 1, 1);
+  DotOptions opts;
+  opts.cluster = [](VertexId) { return -1; };
+  std::string dot = ToDot(g, opts);
+  EXPECT_EQ(dot.find("subgraph"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v1"), std::string::npos);
+}
+
+TEST(DotExportTest, EmptyGraph) {
+  WeightedGraph g(0);
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("graph acg {"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(WeightedGraphTest, FromAdjacencyCountsEdgesOnce) {
+  std::vector<std::vector<Neighbor>> adj(3);
+  adj[0] = {{1, 5}};
+  adj[1] = {{0, 5}, {2, 3}};
+  adj[2] = {{1, 3}};
+  WeightedGraph g = WeightedGraph::FromAdjacency(std::move(adj), {1, 1, 1});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.TotalEdgeWeight(), 8u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.TotalVertexWeight(), 3u);
+}
+
+TEST(WeightedGraphTest, VertexWeightsRespected) {
+  WeightedGraph g(2);
+  g.SetVertexWeight(0, 10);
+  EXPECT_EQ(g.VertexWeight(0), 10u);
+  EXPECT_EQ(g.TotalVertexWeight(), 11u);
+  VertexId v = g.AddVertex(5);
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(g.TotalVertexWeight(), 16u);
+}
+
+}  // namespace
+}  // namespace propeller::graph

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fs/namespace.h"
+#include "fs/vfs.h"
+
+namespace propeller::fs {
+namespace {
+
+TEST(NamespaceTest, CreateStatAndAutoParents) {
+  Namespace ns;
+  auto id = ns.CreateFile("/usr/bin/gcc", 1000, 42, 7);
+  ASSERT_TRUE(id.ok());
+  auto st = ns.Stat("/usr/bin/gcc");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 1000);
+  EXPECT_EQ(st->mtime, 42);
+  EXPECT_EQ(st->uid, 7);
+  EXPECT_FALSE(st->is_dir);
+  EXPECT_TRUE(ns.Stat("/usr/bin")->is_dir);
+  EXPECT_EQ(ns.NumFiles(), 1u);
+  EXPECT_EQ(ns.NumDirs(), 2u);
+
+  auto by_id = ns.StatById(*id);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(by_id->path, "/usr/bin/gcc");
+}
+
+TEST(NamespaceTest, DuplicateAndMissing) {
+  Namespace ns;
+  ASSERT_TRUE(ns.CreateFile("/a/b", 1, 1).ok());
+  EXPECT_EQ(ns.CreateFile("/a/b", 1, 1).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(ns.Stat("/nope").status().code(), StatusCode::kNotFound);
+  // A file component in the middle of the path is invalid.
+  EXPECT_FALSE(ns.CreateFile("/a/b/c", 1, 1).ok());
+}
+
+TEST(NamespaceTest, UpdateAndUnlink) {
+  Namespace ns;
+  ASSERT_TRUE(ns.CreateFile("/f", 10, 1).ok());
+  ASSERT_TRUE(ns.Update("/f", 99, 2).ok());
+  EXPECT_EQ(ns.Stat("/f")->size, 99);
+  ASSERT_TRUE(ns.Unlink("/f").ok());
+  EXPECT_FALSE(ns.Exists("/f"));
+  EXPECT_EQ(ns.Unlink("/f").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ns.NumFiles(), 0u);
+}
+
+TEST(NamespaceTest, UnlinkNonEmptyDirRefused) {
+  Namespace ns;
+  ASSERT_TRUE(ns.CreateFile("/d/f", 1, 1).ok());
+  EXPECT_EQ(ns.Unlink("/d").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(ns.Unlink("/d/f").ok());
+  EXPECT_TRUE(ns.Unlink("/d").ok());
+}
+
+TEST(NamespaceTest, ListAndForEachFile) {
+  Namespace ns;
+  ASSERT_TRUE(ns.CreateFile("/d/a", 1, 1).ok());
+  ASSERT_TRUE(ns.CreateFile("/d/b", 2, 1).ok());
+  ASSERT_TRUE(ns.MkdirAll("/d/sub").ok());
+  auto names = ns.List("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b", "sub"}));
+
+  int count = 0;
+  ns.ForEachFile([&](const FileStat&) { ++count; });
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(ns.List("/d/a").ok());  // not a directory
+}
+
+TEST(FileStatTest, ToAttrSetCarriesInodeFields) {
+  FileStat st;
+  st.size = 123;
+  st.mtime = 456;
+  st.uid = 7;
+  st.path = "/x/y";
+  auto a = st.ToAttrSet();
+  EXPECT_EQ(a.Find("size")->as_int(), 123);
+  EXPECT_EQ(a.Find("mtime")->as_int(), 456);
+  EXPECT_EQ(a.Find("uid")->as_int(), 7);
+  EXPECT_EQ(a.Find("path")->as_string(), "/x/y");
+}
+
+class RecordingListener : public AccessListener {
+ public:
+  void OnEvent(const AccessEvent& e) override { events.push_back(e); }
+  std::vector<AccessEvent> events;
+};
+
+TEST(VfsTest, EmitsOrderedEvents) {
+  Vfs vfs;
+  RecordingListener listener;
+  vfs.AddListener(&listener);
+
+  auto open = vfs.Open(/*pid=*/1, "/a/in.txt", OpenMode::kRead, /*create=*/true);
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(vfs.Read(open->fd, 100).ok());
+  auto out = vfs.Open(1, "/a/out.txt", OpenMode::kWrite, true);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(vfs.Write(out->fd, 100).ok());
+  ASSERT_TRUE(vfs.Close(out->fd).ok());
+  ASSERT_TRUE(vfs.Close(open->fd).ok());
+
+  // create+open for in, create+open for out, close out, close in.
+  ASSERT_EQ(listener.events.size(), 6u);
+  using T = AccessEvent::Type;
+  EXPECT_EQ(listener.events[0].type, T::kCreate);
+  EXPECT_EQ(listener.events[1].type, T::kOpen);
+  EXPECT_EQ(listener.events[2].type, T::kCreate);
+  EXPECT_EQ(listener.events[3].type, T::kOpen);
+  EXPECT_EQ(listener.events[4].type, T::kClose);
+  EXPECT_TRUE(listener.events[4].written);
+  EXPECT_EQ(listener.events[5].type, T::kClose);
+  EXPECT_FALSE(listener.events[5].written);
+  // seq strictly increases
+  for (size_t i = 1; i < listener.events.size(); ++i) {
+    EXPECT_GT(listener.events[i].seq, listener.events[i - 1].seq);
+  }
+}
+
+TEST(VfsTest, ModeEnforcement) {
+  Vfs vfs;
+  auto r = vfs.Open(1, "/f", OpenMode::kRead, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(vfs.Write(r->fd, 10).status().code(), StatusCode::kFailedPrecondition);
+  auto w = vfs.Open(1, "/f", OpenMode::kWrite);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(vfs.Read(w->fd, 10).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(vfs.Write(w->fd, 10).ok());
+  EXPECT_TRUE(vfs.Close(w->fd).ok());
+  EXPECT_TRUE(vfs.Close(r->fd).ok());
+  EXPECT_FALSE(vfs.Close(r->fd).ok());  // double close
+  EXPECT_EQ(vfs.NumOpenFds(), 0u);
+}
+
+TEST(VfsTest, WriteGrowsFileAndBumpsMtime) {
+  Vfs vfs;
+  auto w = vfs.Open(1, "/f", OpenMode::kWrite, true);
+  ASSERT_TRUE(w.ok());
+  int64_t t0 = vfs.now();
+  vfs.AdvanceTime(100);
+  ASSERT_TRUE(vfs.Write(w->fd, 4096).ok());
+  ASSERT_TRUE(vfs.Write(w->fd, 4096).ok());
+  auto st = vfs.ns().Stat("/f");
+  EXPECT_EQ(st->size, 8192);
+  EXPECT_EQ(st->mtime, t0 + 100);
+}
+
+TEST(VfsTest, OpenMissingWithoutCreateFails) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.Open(1, "/missing", OpenMode::kRead).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(VfsTest, FuseProfileCostsMoreThanNative) {
+  Vfs native(FsProfile{.name = "ext4", .meta_us = 60, .data_op_us = 5});
+  Vfs fuse(FsProfile{.name = "ptfs", .meta_us = 159, .data_op_us = 30});
+  auto n = native.Open(1, "/f", OpenMode::kWrite, true);
+  auto f = fuse.Open(1, "/f", OpenMode::kWrite, true);
+  ASSERT_TRUE(n.ok());
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(f->cost.seconds(), n->cost.seconds());
+}
+
+}  // namespace
+}  // namespace propeller::fs

@@ -1,0 +1,256 @@
+#include "index/index_group.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "sim/io_context.h"
+
+namespace propeller::index {
+namespace {
+
+AttrSet FileAttrs(int64_t size, int64_t mtime, std::string path) {
+  AttrSet a;
+  a.Set("size", AttrValue(size));
+  a.Set("mtime", AttrValue(mtime));
+  a.Set("path", AttrValue(std::move(path)));
+  return a;
+}
+
+FileUpdate Upsert(FileId f, int64_t size, int64_t mtime, std::string path) {
+  FileUpdate u;
+  u.file = f;
+  u.attrs = FileAttrs(size, mtime, std::move(path));
+  return u;
+}
+
+class IndexGroupTest : public ::testing::Test {
+ protected:
+  IndexGroupTest() : group_(1, &io_) {
+    EXPECT_TRUE(group_.CreateIndex({"by_size", IndexType::kBTree, {"size"}}).ok());
+    EXPECT_TRUE(group_.CreateIndex({"by_kw", IndexType::kKeyword, {"path"}}).ok());
+    EXPECT_TRUE(group_
+                    .CreateIndex({"by_attrs",
+                                  IndexType::kKdTree,
+                                  {"size", "mtime"}})
+                    .ok());
+  }
+
+  sim::IoContext io_;
+  IndexGroup group_;
+};
+
+TEST_F(IndexGroupTest, CreateIndexValidation) {
+  EXPECT_EQ(group_.CreateIndex({"by_size", IndexType::kBTree, {"size"}}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(group_.CreateIndex({"", IndexType::kBTree, {"size"}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(group_.CreateIndex({"bad", IndexType::kBTree, {}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      group_.CreateIndex({"bad2", IndexType::kHash, {"a", "b"}}).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_TRUE(group_.HasIndex("by_size"));
+  EXPECT_FALSE(group_.HasIndex("nope"));
+}
+
+TEST_F(IndexGroupTest, StagedUpdatesInvisibleUntilCommitButSearchCommits) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/a/b.txt"));
+  EXPECT_EQ(group_.PendingUpdates(), 1u);
+  EXPECT_EQ(group_.NumFiles(), 0u);  // not yet applied
+
+  // Search triggers the commit (strong consistency).
+  Predicate p;
+  p.And("size", CmpOp::kGt, AttrValue(int64_t{50}));
+  auto r = group_.Search(p);
+  EXPECT_EQ(r.files, (std::vector<FileId>{1}));
+  EXPECT_EQ(group_.PendingUpdates(), 0u);
+  EXPECT_EQ(group_.NumFiles(), 1u);
+}
+
+TEST_F(IndexGroupTest, UpdateReplacesOldPostings) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/a/b.txt"));
+  group_.Commit();
+  group_.StageUpdate(Upsert(1, 5, 10, "/a/b.txt"));  // shrink the file
+  group_.Commit();
+
+  Predicate big;
+  big.And("size", CmpOp::kGt, AttrValue(int64_t{50}));
+  EXPECT_TRUE(group_.Search(big).files.empty()) << "stale posting survived";
+  Predicate small;
+  small.And("size", CmpOp::kLe, AttrValue(int64_t{5}));
+  EXPECT_EQ(group_.Search(small).files, (std::vector<FileId>{1}));
+}
+
+TEST_F(IndexGroupTest, DeleteRemovesEverywhere) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/x/firefox/a"));
+  group_.StageUpdate(Upsert(2, 200, 20, "/x/firefox/b"));
+  group_.Commit();
+
+  FileUpdate del;
+  del.file = 1;
+  del.is_delete = true;
+  group_.StageUpdate(std::move(del));
+
+  Predicate kw;
+  kw.And("path", CmpOp::kContainsWord, AttrValue("firefox"));
+  EXPECT_EQ(group_.Search(kw).files, (std::vector<FileId>{2}));
+  EXPECT_EQ(group_.NumFiles(), 1u);
+}
+
+TEST_F(IndexGroupTest, ConjunctionVerifiesResidualTerms) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/a/firefox/x"));
+  group_.StageUpdate(Upsert(2, 100, 99, "/a/firefox/y"));
+  group_.StageUpdate(Upsert(3, 100, 10, "/a/chrome/z"));
+  group_.Commit();
+
+  Predicate p;
+  p.And("path", CmpOp::kContainsWord, AttrValue("firefox"))
+      .And("mtime", CmpOp::kLt, AttrValue(int64_t{50}));
+  auto r = group_.Search(p);
+  EXPECT_EQ(r.files, (std::vector<FileId>{1}));
+  EXPECT_EQ(r.access_path, "keyword:by_kw");
+}
+
+TEST_F(IndexGroupTest, KdTreeServesTwoDimensionalRange) {
+  IndexGroup g(2, &io_);
+  ASSERT_TRUE(
+      g.CreateIndex({"kd", IndexType::kKdTree, {"size", "mtime"}}).ok());
+  for (FileId f = 1; f <= 50; ++f) {
+    g.StageUpdate(Upsert(f, static_cast<int64_t>(f), static_cast<int64_t>(100 - f),
+                         "/d/f"));
+  }
+  Predicate p;
+  p.And("size", CmpOp::kGt, AttrValue(int64_t{10}))
+      .And("size", CmpOp::kLe, AttrValue(int64_t{20}))
+      .And("mtime", CmpOp::kGe, AttrValue(int64_t{85}));
+  auto r = g.Search(p);
+  // size in (10, 20], mtime = 100 - size >= 85  =>  size in (10, 15]
+  std::sort(r.files.begin(), r.files.end());
+  EXPECT_EQ(r.files, (std::vector<FileId>{11, 12, 13, 14, 15}));
+  EXPECT_EQ(r.access_path, "kdtree:kd");
+}
+
+TEST_F(IndexGroupTest, FullScanFallbackWhenNoIndexApplies) {
+  IndexGroup g(3, &io_);  // no indices at all
+  g.StageUpdate(Upsert(1, 100, 10, "/a"));
+  g.StageUpdate(Upsert(2, 10, 10, "/b"));
+  Predicate p;
+  p.And("size", CmpOp::kGt, AttrValue(int64_t{50}));
+  auto r = g.Search(p);
+  EXPECT_EQ(r.files, (std::vector<FileId>{1}));
+  EXPECT_EQ(r.access_path, "scan");
+}
+
+TEST_F(IndexGroupTest, WalRecoveryRestoresPendingUpdates) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/a"));
+  group_.StageUpdate(Upsert(2, 200, 20, "/b"));
+
+  // Crash: memory state lost; WAL survives.
+  group_.SimulateCrashLosingMemoryState();
+  EXPECT_EQ(group_.PendingUpdates(), 0u);
+  ASSERT_TRUE(group_.RecoverPendingFromWal().ok());
+  EXPECT_EQ(group_.PendingUpdates(), 2u);
+
+  Predicate p;
+  p.And("size", CmpOp::kGe, AttrValue(int64_t{100}));
+  auto r = group_.Search(p);
+  std::sort(r.files.begin(), r.files.end());
+  EXPECT_EQ(r.files, (std::vector<FileId>{1, 2}));
+}
+
+TEST_F(IndexGroupTest, CommittedUpdatesNotReplayedAfterRecovery) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/a"));
+  group_.Commit();  // truncates WAL
+  group_.StageUpdate(Upsert(2, 200, 20, "/b"));
+  group_.SimulateCrashLosingMemoryState();
+  ASSERT_TRUE(group_.RecoverPendingFromWal().ok());
+  EXPECT_EQ(group_.PendingUpdates(), 1u);  // only the uncommitted one
+  group_.Commit();
+  EXPECT_EQ(group_.NumFiles(), 2u);
+}
+
+TEST_F(IndexGroupTest, StagingIsCheaperThanCommitting) {
+  // The entire point of the index cache: the critical-path cost (WAL
+  // append) is orders of magnitude below the structure-update cost.
+  io_.DropCaches();
+  sim::Cost stage = group_.StageUpdate(Upsert(1, 100, 10, "/a/b/c"));
+  io_.DropCaches();
+  sim::Cost commit = group_.Commit();
+  EXPECT_GT(commit.seconds(), stage.seconds() * 10);
+}
+
+TEST_F(IndexGroupTest, FileUpdateSerializationRoundTrip) {
+  FileUpdate u = Upsert(42, 1, 2, "/x/y");
+  u.is_delete = true;
+  BinaryWriter w;
+  u.Serialize(w);
+  BinaryReader r(w.data());
+  FileUpdate back;
+  ASSERT_TRUE(FileUpdate::Deserialize(r, back).ok());
+  EXPECT_EQ(back.file, 42u);
+  EXPECT_TRUE(back.is_delete);
+  EXPECT_EQ(back.attrs.Find("path")->as_string(), "/x/y");
+}
+
+TEST_F(IndexGroupTest, IndexSpecSerializationRoundTrip) {
+  IndexSpec s{"kd", IndexType::kKdTree, {"size", "mtime", "uid"}};
+  BinaryWriter w;
+  s.Serialize(w);
+  BinaryReader r(w.data());
+  IndexSpec back;
+  ASSERT_TRUE(IndexSpec::Deserialize(r, back).ok());
+  EXPECT_EQ(back.name, "kd");
+  EXPECT_EQ(back.type, IndexType::kKdTree);
+  EXPECT_EQ(back.attrs.size(), 3u);
+}
+
+TEST_F(IndexGroupTest, ExtractKeywordsTokenizes) {
+  auto words = ExtractKeywords("/usr/lib/firefox-3.6/libxul.so");
+  EXPECT_NE(std::find(words.begin(), words.end(), "firefox"), words.end());
+  EXPECT_NE(std::find(words.begin(), words.end(), "libxul"), words.end());
+  EXPECT_NE(std::find(words.begin(), words.end(), "so"), words.end());
+  EXPECT_TRUE(ExtractKeywords("///...").empty());
+}
+
+// Randomized consistency: interleave stage/commit/search and compare with a
+// brute-force model.
+TEST(IndexGroupFuzzTest, SearchAlwaysMatchesModel) {
+  sim::IoContext io;
+  IndexGroup g(9, &io);
+  ASSERT_TRUE(g.CreateIndex({"by_size", IndexType::kBTree, {"size"}}).ok());
+  Rng rng(321);
+  std::map<FileId, int64_t> model;  // file -> size
+
+  for (int step = 0; step < 300; ++step) {
+    auto f = static_cast<FileId>(rng.Uniform(40));
+    if (rng.Bernoulli(0.2) && model.count(f) != 0u) {
+      FileUpdate del;
+      del.file = f;
+      del.is_delete = true;
+      g.StageUpdate(std::move(del));
+      model.erase(f);
+    } else {
+      auto size = rng.UniformInt(0, 1000);
+      g.StageUpdate(Upsert(f, size, 0, "/f"));
+      model[f] = size;
+    }
+
+    if (step % 7 == 0) {
+      int64_t threshold = rng.UniformInt(0, 1000);
+      Predicate p;
+      p.And("size", CmpOp::kGt, AttrValue(threshold));
+      auto r = g.Search(p);
+      std::vector<FileId> expect;
+      for (auto [file, size] : model) {
+        if (size > threshold) expect.push_back(file);
+      }
+      std::sort(r.files.begin(), r.files.end());
+      ASSERT_EQ(r.files, expect) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace propeller::index

@@ -1,0 +1,203 @@
+// IndexNode unit tests: the RPC surface exercised directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/index_node.h"
+
+namespace propeller::core {
+namespace {
+
+using index::AttrValue;
+using index::CmpOp;
+
+FileUpdate Upsert(FileId f, int64_t size) {
+  FileUpdate u;
+  u.file = f;
+  u.attrs.Set("size", AttrValue(size));
+  return u;
+}
+
+class IndexNodeTest : public ::testing::Test {
+ protected:
+  IndexNodeTest() : node_(10) {}
+
+  net::RpcHandler::Response Call(const std::string& method,
+                                 const std::string& payload) {
+    return node_.Handle(method, payload);
+  }
+
+  void CreateGroup(GroupId g) {
+    CreateGroupRequest req;
+    req.group = g;
+    req.specs = {{"by_size", index::IndexType::kBTree, {"size"}}};
+    ASSERT_TRUE(Call("in.create_group", Encode(req)).status.ok());
+  }
+
+  void Stage(GroupId g, std::vector<FileUpdate> updates, double now = 0) {
+    StageUpdatesRequest req;
+    req.group = g;
+    req.now_s = now;
+    req.updates = std::move(updates);
+    ASSERT_TRUE(Call("in.stage_updates", Encode(req)).status.ok());
+  }
+
+  std::vector<FileId> Search(std::vector<GroupId> groups, int64_t min_size) {
+    SearchRequest req;
+    req.groups = std::move(groups);
+    req.predicate.And("size", CmpOp::kGt, AttrValue(min_size));
+    auto resp = Call("in.search", Encode(req));
+    EXPECT_TRUE(resp.status.ok());
+    auto decoded = Decode<SearchResponse>(resp.payload);
+    EXPECT_TRUE(decoded.ok());
+    std::sort(decoded->files.begin(), decoded->files.end());
+    return decoded->files;
+  }
+
+  IndexNode node_;
+};
+
+TEST_F(IndexNodeTest, CreateGroupIsIdempotentForSpecs) {
+  CreateGroup(5);
+  CreateGroup(5);  // re-sending the same specs is fine
+  EXPECT_EQ(node_.NumGroups(), 1u);
+  EXPECT_TRUE(node_.FindGroup(5)->HasIndex("by_size"));
+}
+
+TEST_F(IndexNodeTest, StageToUnknownGroupFails) {
+  StageUpdatesRequest req;
+  req.group = 99;
+  req.updates.push_back(Upsert(1, 10));
+  EXPECT_EQ(Call("in.stage_updates", Encode(req)).status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(IndexNodeTest, SearchCommitsStagedUpdates) {
+  CreateGroup(1);
+  Stage(1, {Upsert(1, 100), Upsert(2, 5)});
+  EXPECT_EQ(Search({1}, 50), (std::vector<FileId>{1}));
+  EXPECT_EQ(node_.FindGroup(1)->PendingUpdates(), 0u);
+}
+
+TEST_F(IndexNodeTest, SearchSkipsUnknownGroupsGracefully) {
+  CreateGroup(1);
+  Stage(1, {Upsert(1, 100)});
+  // Group 2 migrated away / never existed: the search still answers from
+  // group 1 (stale routing tolerance).
+  EXPECT_EQ(Search({1, 2}, 50), (std::vector<FileId>{1}));
+}
+
+TEST_F(IndexNodeTest, TickCommitsOnlyAfterTimeout) {
+  CreateGroup(1);
+  Stage(1, {Upsert(1, 100)}, /*now=*/10.0);
+
+  TickRequest early;
+  early.now_s = 12.0;  // only 2s elapsed < 5s timeout
+  ASSERT_TRUE(Call("in.tick", Encode(early)).status.ok());
+  EXPECT_EQ(node_.FindGroup(1)->PendingUpdates(), 1u);
+
+  TickRequest late;
+  late.now_s = 15.5;
+  ASSERT_TRUE(Call("in.tick", Encode(late)).status.ok());
+  EXPECT_EQ(node_.FindGroup(1)->PendingUpdates(), 0u);
+  EXPECT_EQ(node_.FindGroup(1)->NumFiles(), 1u);
+}
+
+TEST_F(IndexNodeTest, MigrateOutMovesSelectedFiles) {
+  CreateGroup(1);
+  Stage(1, {Upsert(1, 10), Upsert(2, 20), Upsert(3, 30)});
+
+  MigrateOutRequest req;
+  req.group = 1;
+  req.files = {1, 3};
+  auto resp = Call("in.migrate_out", Encode(req));
+  ASSERT_TRUE(resp.status.ok());
+  auto decoded = Decode<MigrateOutResponse>(resp.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->records.size(), 2u);
+
+  // Only file 2 remains locally.
+  EXPECT_EQ(node_.FindGroup(1)->NumFiles(), 1u);
+  EXPECT_EQ(Search({1}, 0), (std::vector<FileId>{2}));
+}
+
+TEST_F(IndexNodeTest, MigrateAllAndDropGroup) {
+  CreateGroup(1);
+  Stage(1, {Upsert(1, 10), Upsert(2, 20)});
+  MigrateOutRequest req;
+  req.group = 1;
+  req.drop_group = true;  // empty files list = take everything
+  auto resp = Call("in.migrate_out", Encode(req));
+  ASSERT_TRUE(resp.status.ok());
+  auto decoded = Decode<MigrateOutResponse>(resp.payload);
+  EXPECT_EQ(decoded->records.size(), 2u);
+  EXPECT_EQ(node_.NumGroups(), 0u);
+}
+
+TEST_F(IndexNodeTest, InstallGroupMakesRecordsSearchable) {
+  InstallGroupRequest req;
+  req.group = 9;
+  req.specs = {{"by_size", index::IndexType::kBTree, {"size"}}};
+  req.records = {Upsert(7, 700), Upsert(8, 800)};
+  ASSERT_TRUE(Call("in.install_group", Encode(req)).status.ok());
+  EXPECT_EQ(Search({9}, 750), (std::vector<FileId>{8}));
+}
+
+TEST_F(IndexNodeTest, GroupStatsReflectCommittedState) {
+  CreateGroup(1);
+  CreateGroup(2);
+  Stage(1, {Upsert(1, 10), Upsert(2, 20)});
+  TickRequest tick;
+  tick.now_s = 100;
+  ASSERT_TRUE(Call("in.tick", Encode(tick)).status.ok());
+
+  auto stats = node_.GroupStats();
+  ASSERT_EQ(stats.size(), 2u);
+  uint64_t total_files = 0;
+  for (auto& s : stats) total_files += s.files;
+  EXPECT_EQ(total_files, 2u);
+  EXPECT_GT(node_.TotalPages(), 0u);
+}
+
+TEST_F(IndexNodeTest, SearchMakespanUsesWorkerPool) {
+  // Many groups, searched in one request: the node-side cost must be far
+  // below the serial sum because 16 workers run in parallel.
+  IndexNodeConfig serial_cfg;
+  serial_cfg.search_threads = 1;
+  IndexNode serial(11, serial_cfg);
+  IndexNodeConfig pooled_cfg;
+  pooled_cfg.search_threads = 16;
+  IndexNode pooled(12, pooled_cfg);
+
+  for (IndexNode* node : {&serial, &pooled}) {
+    for (GroupId g = 1; g <= 32; ++g) {
+      CreateGroupRequest creq;
+      creq.group = g;
+      creq.specs = {{"by_size", index::IndexType::kBTree, {"size"}}};
+      ASSERT_TRUE(node->Handle("in.create_group", Encode(creq)).status.ok());
+      StageUpdatesRequest sreq;
+      sreq.group = g;
+      for (FileId f = 0; f < 50; ++f) {
+        sreq.updates.push_back(Upsert(g * 1000 + f, static_cast<int64_t>(f)));
+      }
+      ASSERT_TRUE(node->Handle("in.stage_updates", Encode(sreq)).status.ok());
+    }
+  }
+  SearchRequest req;
+  for (GroupId g = 1; g <= 32; ++g) req.groups.push_back(g);
+  req.predicate.And("size", CmpOp::kGt, AttrValue(int64_t{-1}));
+  auto serial_resp = serial.Handle("in.search", Encode(req));
+  auto pooled_resp = pooled.Handle("in.search", Encode(req));
+  ASSERT_TRUE(serial_resp.status.ok());
+  ASSERT_TRUE(pooled_resp.status.ok());
+  EXPECT_GT(serial_resp.cost.seconds(), pooled_resp.cost.seconds() * 4);
+}
+
+TEST_F(IndexNodeTest, MalformedPayloadRejected) {
+  EXPECT_FALSE(Call("in.stage_updates", "junk").status.ok());
+  EXPECT_FALSE(Call("in.search", "junk").status.ok());
+  EXPECT_EQ(Call("in.bogus", "").status.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace propeller::core

@@ -1,0 +1,202 @@
+// MasterNode unit tests: routing, placement, catalog, metadata flush.
+// (Cross-component behaviour lives in cluster_test.cc; these exercise the
+// master's RPC surface directly against stub index nodes.)
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/master_node.h"
+
+namespace propeller::core {
+namespace {
+
+// Stub Index Node: accepts everything, records calls.
+class StubIndexNode : public net::RpcHandler {
+ public:
+  Response Handle(const std::string& method,
+                  const std::string& /*payload*/) override {
+    ++calls[method];
+    if (method == "in.migrate_out") {
+      MigrateOutResponse resp;  // nothing stored: empty migration
+      return {Status::Ok(), Encode(resp), sim::Cost(0.001)};
+    }
+    return {Status::Ok(), {}, sim::Cost(0.0001)};
+  }
+  std::map<std::string, int> calls;
+};
+
+class MasterNodeTest : public ::testing::Test {
+ protected:
+  MasterNodeTest() : master_(1, &transport_, Config()) {
+    transport_.Register(1, &master_);
+    for (NodeId id = 10; id < 13; ++id) {
+      transport_.Register(id, &stubs_[id - 10]);
+      master_.AddIndexNode(id);
+    }
+  }
+
+  static MasterConfig Config() {
+    MasterConfig cfg;
+    cfg.acg_policy.cluster_target = 3;
+    cfg.acg_policy.merge_limit = 100;
+    cfg.metadata_flush_interval = 8;
+    return cfg;
+  }
+
+  net::RpcHandler::Response Call(const std::string& method,
+                                 const std::string& payload) {
+    auto r = transport_.Call(100, 1, method, payload);
+    return {r.status, r.payload, r.cost};
+  }
+
+  net::Transport transport_;
+  StubIndexNode stubs_[3];
+  MasterNode master_;
+};
+
+TEST_F(MasterNodeTest, ResolveUpdatePlacesUnknownFiles) {
+  ResolveUpdateRequest req;
+  req.files = {1, 2, 3};
+  auto resp = Call("mn.resolve_update", Encode(req));
+  ASSERT_TRUE(resp.status.ok());
+  auto decoded = Decode<ResolveUpdateResponse>(resp.payload);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->placements.size(), 3u);
+  // cluster_target=3: all three land in the same fill group.
+  EXPECT_EQ(decoded->placements[0].group, decoded->placements[1].group);
+  // The group was created on exactly one node.
+  int creates = 0;
+  for (auto& stub : stubs_) creates += stub.calls["in.create_group"];
+  EXPECT_EQ(creates, 1);
+
+  // Resolving again returns identical placements, no new groups.
+  auto resp2 = Call("mn.resolve_update", Encode(req));
+  auto decoded2 = Decode<ResolveUpdateResponse>(resp2.payload);
+  EXPECT_EQ(decoded2->placements[0].group, decoded->placements[0].group);
+  EXPECT_EQ(decoded2->placements[0].node, decoded->placements[0].node);
+}
+
+TEST_F(MasterNodeTest, PlacementBalancesAcrossNodes) {
+  // 9 files at cluster_target=3 -> 3 groups -> one per node.
+  ResolveUpdateRequest req;
+  for (FileId f = 1; f <= 9; ++f) req.files.push_back(f);
+  ASSERT_TRUE(Call("mn.resolve_update", Encode(req)).status.ok());
+  for (auto& stub : stubs_) {
+    EXPECT_EQ(stub.calls["in.create_group"], 1) << "least-loaded placement";
+  }
+}
+
+TEST_F(MasterNodeTest, CreateIndexBroadcastsToExistingGroups) {
+  ResolveUpdateRequest files;
+  files.files = {1};
+  ASSERT_TRUE(Call("mn.resolve_update", Encode(files)).status.ok());
+
+  CreateIndexRequest req;
+  req.spec = {"by_size", index::IndexType::kBTree, {"size"}};
+  ASSERT_TRUE(Call("mn.create_index", Encode(req)).status.ok());
+  int pushes = 0;
+  for (auto& stub : stubs_) pushes += stub.calls["in.create_group"];
+  EXPECT_GE(pushes, 2);  // initial create + index push
+
+  // Duplicate name rejected.
+  EXPECT_EQ(Call("mn.create_index", Encode(req)).status.code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_EQ(master_.Catalog().size(), 1u);
+}
+
+TEST_F(MasterNodeTest, ResolveSearchCoversEveryGroupExactlyOnce) {
+  ResolveUpdateRequest files;
+  for (FileId f = 1; f <= 9; ++f) files.files.push_back(f);
+  ASSERT_TRUE(Call("mn.resolve_update", Encode(files)).status.ok());
+
+  ResolveSearchRequest req;  // empty name: all groups
+  auto resp = Call("mn.resolve_search", Encode(req));
+  ASSERT_TRUE(resp.status.ok());
+  auto decoded = Decode<ResolveSearchResponse>(resp.payload);
+  ASSERT_TRUE(decoded.ok());
+  size_t total_groups = 0;
+  for (auto& t : decoded->targets) total_groups += t.groups.size();
+  EXPECT_EQ(total_groups, master_.NumGroups());
+  EXPECT_EQ(decoded->targets.size(), 3u);
+}
+
+TEST_F(MasterNodeTest, ResolveSearchUnknownIndexFails) {
+  ResolveSearchRequest req;
+  req.index_name = "missing";
+  EXPECT_EQ(Call("mn.resolve_search", Encode(req)).status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MasterNodeTest, FlushAcgTriggersSplitOrchestration) {
+  MasterConfig cfg = Config();
+  cfg.acg_policy.split_threshold = 10;
+  cfg.acg_policy.cluster_target = 100;
+  cfg.acg_policy.merge_limit = 100;
+  MasterNode master(2, &transport_, cfg);
+  transport_.Register(2, &master);
+  for (NodeId id = 10; id < 13; ++id) master.AddIndexNode(id);
+
+  FlushAcgRequest req;
+  for (FileId i = 0; i < 12; ++i) req.delta.AddEdge(100 + i, 100 + (i + 1) % 12);
+  auto r = transport_.Call(100, 2, "mn.flush_acg", Encode(req));
+  ASSERT_TRUE(r.status.ok());
+  // 12 > threshold 10: a split ran -> migrate_out + install_group issued.
+  int migrates = 0, installs = 0;
+  for (auto& stub : stubs_) {
+    migrates += stub.calls["in.migrate_out"];
+    installs += stub.calls["in.install_group"];
+  }
+  EXPECT_EQ(migrates, 1);
+  EXPECT_EQ(installs, 1);
+  EXPECT_EQ(master.NumGroups(), 2u);
+}
+
+TEST_F(MasterNodeTest, MetadataFlushFiresOnInterval) {
+  EXPECT_EQ(master_.FlushCount(), 0u);
+  ResolveUpdateRequest req;
+  for (FileId f = 1; f <= 30; ++f) req.files.push_back(f);
+  ASSERT_TRUE(Call("mn.resolve_update", Encode(req)).status.ok());
+  EXPECT_GE(master_.FlushCount(), 1u) << "30 mutations >> interval 8";
+}
+
+TEST_F(MasterNodeTest, SnapshotRestoreRoundTripsCatalogAndPlacement) {
+  CreateIndexRequest idx;
+  idx.spec = {"by_size", index::IndexType::kBTree, {"size"}};
+  ASSERT_TRUE(Call("mn.create_index", Encode(idx)).status.ok());
+  ResolveUpdateRequest req;
+  for (FileId f = 1; f <= 6; ++f) req.files.push_back(f);
+  ASSERT_TRUE(Call("mn.resolve_update", Encode(req)).status.ok());
+
+  std::string image = master_.SnapshotMetadata();
+  uint64_t groups_before = master_.NumGroups();
+  auto node_of_g1 = master_.NodeOfGroup(1);
+
+  ASSERT_TRUE(master_.RestoreMetadata(image).ok());
+  EXPECT_EQ(master_.NumGroups(), groups_before);
+  EXPECT_EQ(master_.NodeOfGroup(1), node_of_g1);
+  ASSERT_EQ(master_.Catalog().size(), 1u);
+  EXPECT_EQ(master_.Catalog()[0].name, "by_size");
+  // File->group mapping restored: resolving again must not re-place.
+  auto resp = Call("mn.resolve_update", Encode(req));
+  auto decoded = Decode<ResolveUpdateResponse>(resp.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(master_.NumGroups(), groups_before);
+}
+
+TEST_F(MasterNodeTest, CorruptMetadataImageRejected) {
+  EXPECT_FALSE(master_.RestoreMetadata("garbage").ok());
+}
+
+TEST_F(MasterNodeTest, UnknownMethodRejected) {
+  EXPECT_EQ(Call("mn.nope", "").status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(MasterNodeTest, HeartbeatUpdatesLoadView) {
+  HeartbeatRequest hb;
+  hb.node = 10;
+  hb.groups = {{1, 100, 10}, {2, 50, 5}};
+  EXPECT_TRUE(Call("mn.heartbeat", Encode(hb)).status.ok());
+}
+
+}  // namespace
+}  // namespace propeller::core

@@ -1,0 +1,94 @@
+// Transport layer: routing, cost accounting, failure injection.
+#include <gtest/gtest.h>
+
+#include "net/transport.h"
+
+namespace propeller::net {
+namespace {
+
+class EchoHandler : public RpcHandler {
+ public:
+  Response Handle(const std::string& method, const std::string& payload) override {
+    ++calls;
+    last_method = method;
+    if (method == "fail") return {Status::Internal("boom"), {}, sim::Cost(0.01)};
+    return {Status::Ok(), payload + "!", sim::Cost(0.001)};
+  }
+  int calls = 0;
+  std::string last_method;
+};
+
+TEST(TransportTest, CallRoutesAndEchoes) {
+  Transport t;
+  EchoHandler h;
+  t.Register(7, &h);
+  auto r = t.Call(1, 7, "ping", "hello");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.payload, "hello!");
+  EXPECT_EQ(h.calls, 1);
+  EXPECT_EQ(h.last_method, "ping");
+}
+
+TEST(TransportTest, UnknownNodeIsNotFound) {
+  Transport t;
+  auto r = t.Call(1, 99, "ping", "x");
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+}
+
+TEST(TransportTest, HandlerErrorsPropagate) {
+  Transport t;
+  EchoHandler h;
+  t.Register(7, &h);
+  auto r = t.Call(1, 7, "fail", "x");
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  // Cost still accounts the wasted round trip + server work.
+  EXPECT_GT(r.cost.seconds(), 0.01);
+}
+
+TEST(TransportTest, RemoteCallsChargeNetworkLocalDoNot) {
+  Transport t(sim::NetModel(sim::NetParams{.latency_us = 1000,
+                                           .bandwidth_mb_per_s = 100}));
+  EchoHandler h;
+  t.Register(7, &h);
+  auto remote = t.Call(1, 7, "ping", "x");
+  auto local = t.Call(7, 7, "ping", "x");
+  EXPECT_GT(remote.cost.seconds(), local.cost.seconds() + 0.0015)
+      << "two 1ms sends expected on the remote path";
+}
+
+TEST(TransportTest, DownNodeUnavailableAndRecovers) {
+  Transport t;
+  EchoHandler h;
+  t.Register(7, &h);
+  t.SetNodeDown(7, true);
+  EXPECT_TRUE(t.IsDown(7));
+  EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(h.calls, 0);
+  t.SetNodeDown(7, false);
+  EXPECT_TRUE(t.Call(1, 7, "ping", "x").status.ok());
+}
+
+TEST(TransportTest, TrafficCountersTrackRemoteMessages) {
+  Transport t;
+  EchoHandler h;
+  t.Register(7, &h);
+  uint64_t before = t.MessagesSent();
+  t.Call(1, 7, "ping", std::string(1000, 'a'));
+  EXPECT_EQ(t.MessagesSent(), before + 2);  // request + response
+  EXPECT_GT(t.BytesSent(), 1000u);
+  // Local calls do not count as traffic.
+  uint64_t after = t.MessagesSent();
+  t.Call(7, 7, "ping", "x");
+  EXPECT_EQ(t.MessagesSent(), after);
+}
+
+TEST(TransportTest, UnregisterStopsRouting) {
+  Transport t;
+  EchoHandler h;
+  t.Register(7, &h);
+  t.Unregister(7);
+  EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace propeller::net

@@ -1,0 +1,113 @@
+// File Query Engine behaviour through the full cluster: query strings,
+// index selection across types, and result-set semantics.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "workload/dataset.h"
+
+namespace propeller::core {
+namespace {
+
+class QueryEngineClusterTest : public ::testing::Test {
+ protected:
+  QueryEngineClusterTest() {
+    ClusterConfig cfg;
+    cfg.index_nodes = 2;
+    cfg.master.acg_policy.cluster_target = 200;
+    cluster_ = std::make_unique<PropellerCluster>(cfg);
+    auto& client = cluster_->client();
+    EXPECT_TRUE(
+        client.CreateIndex({"by_size", index::IndexType::kBTree, {"size"}}).ok());
+    EXPECT_TRUE(
+        client.CreateIndex({"by_kw", index::IndexType::kKeyword, {"path"}}).ok());
+    EXPECT_TRUE(client
+                    .CreateIndex({"by_attrs",
+                                  index::IndexType::kKdTreePaged,
+                                  {"size", "mtime", "uid"}})
+                    .ok());
+
+    workload::DatasetSpec spec;
+    spec.num_files = 2'000;
+    spec.keyword = "firefox";
+    spec.keyword_fraction = 0.05;
+    (void)workload::BuildDataset(vfs_, spec);
+    (void)client.BatchUpdate(workload::UpdatesForNamespace(vfs_.ns()),
+                             cluster_->now());
+  }
+
+  size_t GroundTruth(const index::Predicate& pred) {
+    size_t n = 0;
+    vfs_.ns().ForEachFile([&](const fs::FileStat& st) {
+      if (pred.Matches(st.ToAttrSet())) ++n;
+    });
+    return n;
+  }
+
+  fs::Vfs vfs_;
+  std::unique_ptr<PropellerCluster> cluster_;
+};
+
+TEST_F(QueryEngineClusterTest, SizeRangeQueryString) {
+  auto r = cluster_->client().SearchQuery("size>64k", vfs_.now());
+  ASSERT_TRUE(r.ok());
+  index::Predicate p;
+  p.And("size", index::CmpOp::kGt, index::AttrValue(int64_t{64 * 1024}));
+  EXPECT_EQ(r->files.size(), GroundTruth(p));
+  EXPECT_GT(r->files.size(), 0u);
+}
+
+TEST_F(QueryEngineClusterTest, KeywordPlusAgeQueryString) {
+  auto r = cluster_->client().SearchQuery("keyword:firefox & mtime<45day",
+                                          vfs_.now());
+  ASSERT_TRUE(r.ok());
+  auto parsed = ParseQuery("keyword:firefox & mtime<45day", vfs_.now());
+  EXPECT_EQ(r->files.size(), GroundTruth(parsed->predicate));
+  EXPECT_GT(r->files.size(), 0u);
+}
+
+TEST_F(QueryEngineClusterTest, ThreeDimensionalConjunction) {
+  auto r = cluster_->client().SearchQuery("size>8k & mtime<60day & uid=2",
+                                          vfs_.now());
+  ASSERT_TRUE(r.ok());
+  auto parsed = ParseQuery("size>8k & mtime<60day & uid=2", vfs_.now());
+  EXPECT_EQ(r->files.size(), GroundTruth(parsed->predicate));
+}
+
+TEST_F(QueryEngineClusterTest, NoMatchesIsEmptyNotError) {
+  auto r = cluster_->client().SearchQuery("size>1t", vfs_.now());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->files.empty());
+}
+
+TEST_F(QueryEngineClusterTest, MalformedQueryStringRejected) {
+  auto r = cluster_->client().SearchQuery("size>>>", vfs_.now());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryEngineClusterTest, ResultsAreSortedAndUnique) {
+  auto r = cluster_->client().SearchQuery("size>=0", vfs_.now());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->files.size(), vfs_.ns().NumFiles());
+  EXPECT_TRUE(std::is_sorted(r->files.begin(), r->files.end()));
+  EXPECT_EQ(std::adjacent_find(r->files.begin(), r->files.end()), r->files.end());
+}
+
+TEST_F(QueryEngineClusterTest, UpdatesBetweenQueriesReflectImmediately) {
+  auto before = cluster_->client().SearchQuery("size>900g", vfs_.now());
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->files.empty());
+
+  index::FileUpdate u;
+  u.file = 999'999;
+  u.attrs.Set("size", index::AttrValue(int64_t{1024LL * 1024 * 1024 * 1024}));
+  u.attrs.Set("path", index::AttrValue("/huge/file.bin"));
+  ASSERT_TRUE(cluster_->client().BatchUpdate({std::move(u)}, cluster_->now()).ok());
+
+  auto after = cluster_->client().SearchQuery("size>900g", vfs_.now());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->files, (std::vector<index::FileId>{999'999}));
+}
+
+}  // namespace
+}  // namespace propeller::core

@@ -1,0 +1,128 @@
+// Simulation substrate: cost algebra, disk model, IoContext, net model.
+#include <gtest/gtest.h>
+
+#include "sim/cost.h"
+#include "sim/disk_model.h"
+#include "sim/io_context.h"
+#include "sim/net_model.h"
+
+namespace propeller::sim {
+namespace {
+
+TEST(CostTest, Algebra) {
+  Cost a(1.5), b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((a * 3).seconds(), 4.5);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.seconds(), 2.0);
+  EXPECT_LT(b, a);
+  EXPECT_DOUBLE_EQ(Cost(0.001).millis(), 1.0);
+  EXPECT_DOUBLE_EQ(Cost(0.001).micros(), 1000.0);
+}
+
+TEST(CostTest, ParallelMaxTakesSlowestBranch) {
+  EXPECT_DOUBLE_EQ(Cost::ParallelMax({Cost(1), Cost(5), Cost(3)}).seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(Cost::ParallelMax({}).seconds(), 0.0);
+}
+
+TEST(CostClockTest, Accumulates) {
+  CostClock clock;
+  clock.Advance(Cost(1));
+  clock.Advance(Cost(2));
+  EXPECT_DOUBLE_EQ(clock.total().seconds(), 3.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.total().seconds(), 0.0);
+}
+
+TEST(DiskModelTest, RandomAccessIncludesSeekAndRotation) {
+  DiskModel disk;  // 8.5ms seek + 4.17ms rotation + 4KB transfer
+  double ms = disk.RandomPageAccess().millis();
+  EXPECT_GT(ms, 12.0);
+  EXPECT_LT(ms, 14.0);
+}
+
+TEST(DiskModelTest, SequentialAmortizesSeek) {
+  DiskModel disk;
+  // 1000 sequential pages: one seek + bandwidth-bound transfer.
+  double s = disk.SequentialPages(1000).seconds();
+  EXPECT_LT(s, 0.06);
+  EXPECT_GT(s, 0.04);  // ~4MB at 100MB/s + 12.7ms
+  EXPECT_DOUBLE_EQ(disk.SequentialPages(0).seconds(), 0.0);
+}
+
+TEST(DiskModelTest, AppendHasNoSeek) {
+  DiskModel disk;
+  EXPECT_LT(disk.AppendBytes(4096).seconds(), 0.0001);
+}
+
+TEST(IoContextTest, CacheHitsAreCheapMissesAreNot) {
+  IoContext io(IoParams{.disk = {}, .cache_pages = 16, .cache_hit_us = 2});
+  PageStore store = io.CreateStore();
+  double miss = store.Read(1).seconds();
+  double hit = store.Read(1).seconds();
+  EXPECT_GT(miss, 0.01);
+  EXPECT_LT(hit, 1e-5);
+  EXPECT_EQ(io.CacheStats().hits, 1u);
+  EXPECT_EQ(io.CacheStats().misses, 1u);
+}
+
+TEST(IoContextTest, StoresAreIsolatedInCache) {
+  IoContext io;
+  PageStore a = io.CreateStore();
+  PageStore b = io.CreateStore();
+  a.Read(1);
+  // Same page number, different store: still a miss.
+  EXPECT_GT(b.Read(1).seconds(), 0.01);
+}
+
+TEST(IoContextTest, SequentialLoadWarmsCache) {
+  IoContext io;
+  PageStore store = io.CreateStore();
+  double cold = store.SequentialLoad(100).seconds();
+  double warm = store.SequentialLoad(100).seconds();
+  EXPECT_GT(cold, warm * 10);
+}
+
+TEST(IoContextTest, InvalidateStoreForcesMisses) {
+  IoContext io;
+  PageStore store = io.CreateStore();
+  store.Read(7);
+  store.Invalidate();
+  EXPECT_GT(store.Read(7).seconds(), 0.01);
+}
+
+TEST(IoContextTest, DropCachesClearsEverything) {
+  IoContext io;
+  PageStore store = io.CreateStore();
+  store.Read(1);
+  store.Read(2);
+  EXPECT_EQ(io.CachedPages(), 2u);
+  io.DropCaches();
+  EXPECT_EQ(io.CachedPages(), 0u);
+}
+
+TEST(IoContextTest, CapacityZeroDisablesCaching) {
+  IoContext io(IoParams{.disk = {}, .cache_pages = 0, .cache_hit_us = 2});
+  PageStore store = io.CreateStore();
+  store.Read(1);
+  EXPECT_GT(store.Read(1).seconds(), 0.01) << "no cache -> always miss";
+}
+
+TEST(NetModelTest, LatencyPlusBandwidth) {
+  NetModel net(NetParams{.latency_us = 100, .bandwidth_mb_per_s = 100});
+  // 1 MB at 100 MB/s = 10ms + 0.1ms latency.
+  EXPECT_NEAR(net.Send(1'000'000).millis(), 10.1, 0.01);
+  // Round trip includes both directions.
+  EXPECT_NEAR(net.RoundTrip(1'000'000, 0).millis(), 10.2, 0.01);
+}
+
+TEST(PageCacheStatsTest, HitRate) {
+  PageCacheStats stats;
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.0);
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.75);
+}
+
+}  // namespace
+}  // namespace propeller::sim
