@@ -15,6 +15,10 @@ namespace propeller {
 
 class BinaryWriter {
  public:
+  // Pre-sizes the buffer for a payload of roughly `bytes`; callers on hot
+  // paths (RPC encode, WAL batches) use it to avoid repeated reallocation.
+  void Reserve(size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
   void PutU32(uint32_t v) { PutRaw(&v, sizeof v); }
   void PutU64(uint64_t v) { PutRaw(&v, sizeof v); }

@@ -1,5 +1,5 @@
-// Fixed-size thread pool used by the client's parallel search fan-out and by
-// Index Nodes' background (split/migration) work.
+// Fixed-size thread pool used by the client's parallel RPC fan-out and by
+// Index Nodes' per-group search workers.
 #pragma once
 
 #include <condition_variable>
@@ -9,6 +9,7 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace propeller {
@@ -33,6 +34,36 @@ class ThreadPool {
     }
     cv_.notify_one();
     return fut;
+  }
+
+  // Enqueues `count` indexed tasks fn(0) .. fn(count - 1) and returns their
+  // futures in index order.  The canonical fan-out shape: submit one task per
+  // RPC target / index group, then WaitAll.
+  template <typename Fn>
+  auto SubmitBatch(size_t count, Fn fn)
+      -> std::vector<std::future<std::invoke_result_t<Fn, size_t>>> {
+    using R = std::invoke_result_t<Fn, size_t>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      futures.push_back(Submit([fn, i] { return fn(i); }));
+    }
+    return futures;
+  }
+
+  // Blocks until every future is ready.  Rethrows the first task exception
+  // encountered (in index order).  Non-void tasks get their results back as
+  // a vector, in the same order the futures were submitted.
+  template <typename T>
+  static auto WaitAll(std::vector<std::future<T>>& futures) {
+    if constexpr (std::is_void_v<T>) {
+      for (auto& f : futures) f.get();
+    } else {
+      std::vector<T> results;
+      results.reserve(futures.size());
+      for (auto& f : futures) results.push_back(f.get());
+      return results;
+    }
   }
 
   size_t num_threads() const { return workers_.size(); }

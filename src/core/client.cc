@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 namespace propeller::core {
 
 PropellerClient::PropellerClient(NodeId id, net::Transport* transport,
-                                 NodeId master, ClientConfig config)
-    : id_(id), transport_(transport), master_(master), config_(config) {}
+                                 NodeId master, ClientConfig config,
+                                 ThreadPool* rpc_pool)
+    : id_(id),
+      transport_(transport),
+      master_(master),
+      config_(config),
+      rpc_pool_(rpc_pool) {}
 
 void PropellerClient::AttachVfs(fs::Vfs* vfs) { vfs->AddListener(&builder_); }
 
@@ -64,10 +70,21 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
     b.updates.push_back(std::move(u));
   }
 
-  // Stage on the Index Nodes.  Requests to *different* nodes proceed in
-  // parallel (cost = slowest node); a node handles its batches serially.
-  std::map<NodeId, sim::Cost> per_node;
+  // Encode every stage-request payload up front (deterministic order), one
+  // shipment per (node, group) bucket.  A bucket's batches must stay in
+  // order — same-file updates may span batches — so a shipment is the unit
+  // of concurrency, not a batch.
+  struct Shipment {
+    NodeId node = 0;
+    std::vector<std::string> payloads;
+    sim::Cost cost;
+    Status status;
+  };
+  std::vector<Shipment> shipments;
+  shipments.reserve(buckets.size());
   for (auto& [key, bucket] : buckets) {
+    Shipment s;
+    s.node = bucket.node;
     for (size_t off = 0; off < bucket.updates.size(); off += config_.update_batch) {
       StageUpdatesRequest sreq;
       sreq.group = bucket.group;
@@ -76,11 +93,42 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
       sreq.updates.assign(
           std::make_move_iterator(bucket.updates.begin() + static_cast<long>(off)),
           std::make_move_iterator(bucket.updates.begin() + static_cast<long>(end)));
-      auto call =
-          transport_->Call(id_, bucket.node, "in.stage_updates", Encode(sreq));
-      if (!call.status.ok()) return call.status;
-      per_node[bucket.node] += call.cost;
+      s.payloads.push_back(Encode(sreq));
     }
+    shipments.push_back(std::move(s));
+  }
+
+  // Stage on the Index Nodes.  Requests to *different* nodes proceed in
+  // parallel (simulated cost = slowest node); a node handles its batches
+  // serially.  With an RPC pool the shipments also execute concurrently in
+  // wall-clock time; per-shipment costs are state-independent WAL appends,
+  // so the aggregate below matches the serial run exactly.
+  auto ship_one = [&](size_t i) {
+    Shipment& s = shipments[i];
+    for (std::string& payload : s.payloads) {
+      auto call =
+          transport_->Call(id_, s.node, "in.stage_updates", std::move(payload));
+      if (!call.status.ok()) {
+        s.status = call.status;
+        return;
+      }
+      s.cost += call.cost;
+    }
+  };
+  if (rpc_pool_ != nullptr && shipments.size() > 1) {
+    auto futures = rpc_pool_->SubmitBatch(shipments.size(), ship_one);
+    ThreadPool::WaitAll(futures);
+  } else {
+    for (size_t i = 0; i < shipments.size(); ++i) {
+      ship_one(i);
+      if (!shipments[i].status.ok()) return shipments[i].status;
+    }
+  }
+
+  std::map<NodeId, sim::Cost> per_node;
+  for (const Shipment& s : shipments) {
+    if (!s.status.ok()) return s.status;
+    per_node[s.node] += s.cost;
   }
   std::vector<sim::Cost> branches;
   branches.reserve(per_node.size());
@@ -101,16 +149,37 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
   auto targets = Decode<ResolveSearchResponse>(rcall.payload);
   if (!targets.ok()) return targets.status();
 
-  // Fan out to every Index Node in parallel; aggregate file ids.
-  std::vector<sim::Cost> branches;
-  for (const auto& target : targets->targets) {
+  // Fan out to every Index Node — concurrently when an RPC pool is
+  // attached, serially otherwise.  Payloads are encoded up front and
+  // responses aggregated in target order, so both modes produce identical
+  // results and simulated costs.
+  const size_t n = targets->targets.size();
+  std::vector<net::Transport::CallResult> calls(n);
+  std::vector<std::string> payloads(n);
+  for (size_t i = 0; i < n; ++i) {
     SearchRequest sreq;
-    sreq.groups = target.groups;
+    sreq.groups = targets->targets[i].groups;
     sreq.predicate = predicate;
-    auto call = transport_->Call(id_, target.node, "in.search", Encode(sreq));
-    if (!call.status.ok()) return call.status;
-    branches.push_back(call.cost);
-    auto resp = Decode<SearchResponse>(call.payload);
+    payloads[i] = Encode(sreq);
+  }
+  auto call_one = [&](size_t i) {
+    calls[i] = transport_->Call(id_, targets->targets[i].node, "in.search",
+                                std::move(payloads[i]));
+  };
+  if (rpc_pool_ != nullptr && n > 1) {
+    auto futures = rpc_pool_->SubmitBatch(n, call_one);
+    ThreadPool::WaitAll(futures);
+  } else {
+    for (size_t i = 0; i < n; ++i) call_one(i);
+  }
+
+  // Aggregate file ids; the simulated fan-out latency is the slowest branch.
+  std::vector<sim::Cost> branches;
+  branches.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!calls[i].status.ok()) return calls[i].status;
+    branches.push_back(calls[i].cost);
+    auto resp = Decode<SearchResponse>(calls[i].payload);
     if (!resp.ok()) return resp.status();
     out.files.insert(out.files.end(), resp->files.begin(), resp->files.end());
     ++out.nodes_queried;

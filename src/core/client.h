@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "acg/acg_builder.h"
+#include "common/thread_pool.h"
 #include "core/proto.h"
 #include "core/query_parser.h"
 #include "fs/vfs.h"
@@ -21,12 +22,19 @@ namespace propeller::core {
 struct ClientConfig {
   // Updates per stage-request message (paper: batch size 128).
   size_t update_batch = 128;
+  // Width of the RPC fan-out pool (PropellerCluster sizes its shared pool
+  // from this when parallel execution is enabled); 0 = hardware_concurrency.
+  size_t fanout_threads = 0;
 };
 
 class PropellerClient {
  public:
+  // `rpc_pool` (optional, not owned, may be shared between clients) makes
+  // Search/BatchUpdate issue their per-node RPCs concurrently.  Without a
+  // pool the fan-out runs serially on the caller's thread.  Simulated costs
+  // and results are identical in both modes; only wall-clock time differs.
   PropellerClient(NodeId id, net::Transport* transport, NodeId master,
-                  ClientConfig config = {});
+                  ClientConfig config = {}, ThreadPool* rpc_pool = nullptr);
 
   NodeId id() const { return id_; }
 
@@ -63,6 +71,7 @@ class PropellerClient {
   net::Transport* transport_;
   NodeId master_;
   ClientConfig config_;
+  ThreadPool* rpc_pool_;  // not owned; null = serial fan-out
   acg::AcgBuilder builder_;
 };
 

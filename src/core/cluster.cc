@@ -1,9 +1,19 @@
 #include "core/cluster.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace propeller::core {
 
 PropellerCluster::PropellerCluster(ClusterConfig config)
     : config_(config), transport_(sim::NetModel(config.net)) {
+  if (config_.parallel_execution) {
+    size_t threads = config_.client.fanout_threads != 0
+                         ? config_.client.fanout_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    client_pool_ = std::make_unique<ThreadPool>(threads);
+    config_.index_node.parallel_search = true;
+  }
   master_ = std::make_unique<MasterNode>(kMasterId, &transport_, config_.master);
   transport_.Register(kMasterId, master_.get());
 
@@ -19,8 +29,8 @@ PropellerCluster::PropellerCluster(ClusterConfig config)
 
 PropellerClient& PropellerCluster::AddClient() {
   auto id = static_cast<NodeId>(kFirstClientId + clients_.size());
-  clients_.push_back(std::make_unique<PropellerClient>(id, &transport_,
-                                                       kMasterId, config_.client));
+  clients_.push_back(std::make_unique<PropellerClient>(
+      id, &transport_, kMasterId, config_.client, client_pool_.get()));
   return *clients_.back();
 }
 

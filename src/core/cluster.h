@@ -21,6 +21,12 @@ struct ClusterConfig {
   ClientConfig client;
   sim::NetParams net;
   double heartbeat_interval_s = 1.0;
+  // Wall-clock parallel execution engine: clients fan per-node RPCs out on
+  // a shared thread pool (client.fanout_threads wide, 0 = hardware
+  // concurrency) and every Index Node runs per-group searches on its own
+  // search_threads-wide pool.  Simulated costs and search results are
+  // identical to the serial engine; only real elapsed time changes.
+  bool parallel_execution = false;
 };
 
 class PropellerCluster {
@@ -65,6 +71,8 @@ class PropellerCluster {
  private:
   ClusterConfig config_;
   net::Transport transport_;
+  // Shared RPC fan-out pool handed to every client; null in serial mode.
+  std::unique_ptr<ThreadPool> client_pool_;
   std::unique_ptr<MasterNode> master_;
   std::unique_ptr<MasterNode> standby_;
   std::string replicated_image_;

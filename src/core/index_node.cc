@@ -8,9 +8,15 @@
 namespace propeller::core {
 
 IndexNode::IndexNode(NodeId id, IndexNodeConfig config)
-    : id_(id), config_(config), io_(config.io) {}
+    : id_(id), config_(config), io_(config.io) {
+  if (config_.parallel_search) {
+    search_pool_ = std::make_unique<ThreadPool>(
+        std::max<size_t>(1, static_cast<size_t>(config_.search_threads)));
+  }
+}
 
 index::IndexGroup* IndexNode::FindGroup(GroupId id) {
+  std::shared_lock<std::shared_mutex> lock(groups_mu_);
   auto it = groups_.find(id);
   return it == groups_.end() ? nullptr : it->second.group.get();
 }
@@ -23,9 +29,8 @@ IndexNode::GroupState* IndexNode::Find(GroupId id) {
 Status IndexNode::EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs) {
   auto it = groups_.find(id);
   if (it == groups_.end()) {
-    GroupState state;
-    state.group = std::make_unique<index::IndexGroup>(id, &io_);
-    it = groups_.emplace(id, std::move(state)).first;
+    it = groups_.try_emplace(id).first;
+    it->second.group = std::make_unique<index::IndexGroup>(id, &io_);
   }
   for (const IndexSpec& spec : specs) {
     if (it->second.group->HasIndex(spec.name)) continue;
@@ -48,6 +53,7 @@ net::RpcHandler::Response IndexNode::Handle(const std::string& method,
 net::RpcHandler::Response IndexNode::HandleCreateGroup(const std::string& payload) {
   auto req = Decode<CreateGroupRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
+  std::unique_lock<std::shared_mutex> lock(groups_mu_);
   Status st = EnsureGroup(req->group, req->specs);
   return Response{st, {}, sim::Cost(10e-6)};  // metadata-only work
 }
@@ -55,6 +61,7 @@ net::RpcHandler::Response IndexNode::HandleCreateGroup(const std::string& payloa
 net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& payload) {
   auto req = Decode<StageUpdatesRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
+  std::shared_lock<std::shared_mutex> lock(groups_mu_);
   GroupState* state = Find(req->group);
   if (state == nullptr) {
     return Response{Status::NotFound("no such group"), {}, {}};
@@ -63,7 +70,11 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
   for (FileUpdate& u : req->updates) {
     cost += state->group->StageUpdate(std::move(u));
   }
-  if (state->oldest_pending_s < 0) state->oldest_pending_s = req->now_s;
+  // First stager after a commit claims the pending-timeout slot.
+  double expected = -1.0;
+  while (expected < 0 &&
+         !state->oldest_pending_s.compare_exchange_weak(expected, req->now_s)) {
+  }
   return Response{Status::Ok(), {}, cost};
 }
 
@@ -71,16 +82,40 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
   auto req = Decode<SearchRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
 
-  // Run the per-group searches; schedule their simulated costs onto
-  // `search_threads` workers (longest-processing-time greedy) — the node's
-  // latency is the makespan of that schedule.
-  SearchResponse resp;
-  std::vector<double> group_costs;
+  // Hold the map lock (shared) for the whole request so a concurrent
+  // migrate-out cannot free a group under the workers.
+  std::shared_lock<std::shared_mutex> lock(groups_mu_);
+  std::vector<GroupState*> states;
+  states.reserve(req->groups.size());
   for (GroupId gid : req->groups) {
     GroupState* state = Find(gid);
     if (state == nullptr) continue;  // stale routing: group migrated away
-    auto r = state->group->Search(req->predicate);
-    state->oldest_pending_s = -1;  // search committed everything
+    states.push_back(state);
+  }
+
+  // Run the per-group searches — on the node's worker pool when parallel
+  // search is enabled, serially otherwise.  Results land in per-group slots
+  // and are aggregated in request order, so the response bytes and the
+  // simulated makespan are identical in both modes.
+  std::vector<index::IndexGroup::SearchResult> results(states.size());
+  auto run_one = [&](size_t i) {
+    results[i] = states[i]->group->Search(req->predicate);
+    states[i]->oldest_pending_s.store(-1.0);  // search committed everything
+  };
+  if (search_pool_ != nullptr && states.size() > 1) {
+    auto futures = search_pool_->SubmitBatch(states.size(), run_one);
+    ThreadPool::WaitAll(futures);
+  } else {
+    for (size_t i = 0; i < states.size(); ++i) run_one(i);
+  }
+
+  // Schedule the simulated costs onto `search_threads` workers
+  // (longest-processing-time greedy) — the node's latency is the makespan
+  // of that schedule.
+  SearchResponse resp;
+  std::vector<double> group_costs;
+  group_costs.reserve(results.size());
+  for (index::IndexGroup::SearchResult& r : results) {
     group_costs.push_back(r.cost.seconds());
     resp.files.insert(resp.files.end(), r.files.begin(), r.files.end());
   }
@@ -106,13 +141,14 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
 net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
   auto req = Decode<TickRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
+  std::shared_lock<std::shared_mutex> lock(groups_mu_);
   sim::Cost cost;
   for (auto& [gid, state] : groups_) {
-    if (state.oldest_pending_s >= 0 &&
-        req->now_s - state.oldest_pending_s >= config_.commit_timeout_s) {
+    double oldest = state.oldest_pending_s.load();
+    if (oldest >= 0 && req->now_s - oldest >= config_.commit_timeout_s) {
       cost += state.group->Commit();
       cost += state.group->MaintainIndexes();
-      state.oldest_pending_s = -1;
+      state.oldest_pending_s.store(-1.0);
     }
   }
   // Background commits overlap foreground work; report the cost so callers
@@ -123,11 +159,12 @@ net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
 net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload) {
   auto req = Decode<MigrateOutRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
+  std::unique_lock<std::shared_mutex> lock(groups_mu_);
   GroupState* state = Find(req->group);
   if (state == nullptr) return Response{Status::NotFound("no such group"), {}, {}};
 
   sim::Cost cost = state->group->Commit();  // migrate committed state only
-  state->oldest_pending_s = -1;
+  state->oldest_pending_s.store(-1.0);
 
   MigrateOutResponse resp;
   std::unordered_set<FileId> wanted(req->files.begin(), req->files.end());
@@ -161,6 +198,7 @@ net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload
 net::RpcHandler::Response IndexNode::HandleInstallGroup(const std::string& payload) {
   auto req = Decode<InstallGroupRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
+  std::unique_lock<std::shared_mutex> lock(groups_mu_);
   Status st = EnsureGroup(req->group, req->specs);
   if (!st.ok()) return Response{st, {}, {}};
   GroupState* state = Find(req->group);
@@ -172,7 +210,13 @@ net::RpcHandler::Response IndexNode::HandleInstallGroup(const std::string& paylo
   return Response{Status::Ok(), {}, cost};
 }
 
+size_t IndexNode::NumGroups() const {
+  std::shared_lock<std::shared_mutex> lock(groups_mu_);
+  return groups_.size();
+}
+
 std::vector<HeartbeatRequest::GroupStat> IndexNode::GroupStats() const {
+  std::shared_lock<std::shared_mutex> lock(groups_mu_);
   std::vector<HeartbeatRequest::GroupStat> stats;
   stats.reserve(groups_.size());
   for (const auto& [gid, state] : groups_) {
@@ -182,12 +226,14 @@ std::vector<HeartbeatRequest::GroupStat> IndexNode::GroupStats() const {
 }
 
 uint64_t IndexNode::TotalPages() const {
+  std::shared_lock<std::shared_mutex> lock(groups_mu_);
   uint64_t total = 0;
   for (const auto& [gid, state] : groups_) total += state.group->ApproxPages();
   return total;
 }
 
 Status IndexNode::CrashAndRecover() {
+  std::unique_lock<std::shared_mutex> lock(groups_mu_);
   for (auto& [gid, state] : groups_) {
     state.group->SimulateCrashLosingMemoryState();
     PROPELLER_RETURN_IF_ERROR(state.group->RecoverPendingFromWal());

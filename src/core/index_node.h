@@ -5,13 +5,26 @@
 // cluster clock passes stage-time + timeout (in.tick) or on the next
 // search touching the group (inside IndexGroup::Search).  Searches across
 // a node's groups run on a bounded worker pool (the paper uses 16 threads
-// per node); the node's simulated latency is the pool's makespan.
+// per node); the node's simulated latency is the pool's makespan.  With
+// `parallel_search` enabled the node actually executes the per-group
+// searches on its own `search_threads`-wide ThreadPool, so wall-clock time
+// shrinks with the hardware while the simulated makespan stays identical.
+//
+// Thread safety: Handle() may be called from concurrent threads.  The
+// groups map is guarded by a shared_mutex (shared for stage/search/tick,
+// exclusive for create/install/migrate); per-group data is guarded by each
+// IndexGroup's own mutex.  Lock order:
+//
+//     IndexNode::groups_mu_ -> IndexGroup::mu_ -> sim::IoContext::mu_
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/proto.h"
 #include "index/index_group.h"
 #include "net/transport.h"
@@ -23,6 +36,11 @@ struct IndexNodeConfig {
   sim::IoParams io;
   double commit_timeout_s = 5.0;  // paper: 5 seconds
   int search_threads = 16;        // paper: 16 threads per node
+  // Execute per-group searches on a real `search_threads`-wide pool instead
+  // of a serial loop.  Simulated costs are identical either way; only
+  // wall-clock time changes.  Off by default so single-threaded callers pay
+  // no thread-spawn tax.
+  bool parallel_search = false;
 };
 
 class IndexNode : public net::RpcHandler {
@@ -35,7 +53,7 @@ class IndexNode : public net::RpcHandler {
   Response Handle(const std::string& method, const std::string& payload) override;
 
   // --- direct accessors (tests, stats, heartbeats) ---
-  size_t NumGroups() const { return groups_.size(); }
+  size_t NumGroups() const;
   index::IndexGroup* FindGroup(GroupId id);
   std::vector<HeartbeatRequest::GroupStat> GroupStats() const;
   uint64_t TotalPages() const;
@@ -47,7 +65,9 @@ class IndexNode : public net::RpcHandler {
  private:
   struct GroupState {
     std::unique_ptr<index::IndexGroup> group;
-    double oldest_pending_s = -1;  // stage time of oldest uncommitted update
+    // Stage time of the oldest uncommitted update, < 0 when none.  Atomic:
+    // stage/search/tick touch it without holding the group mutex.
+    std::atomic<double> oldest_pending_s{-1.0};
   };
 
   Response HandleCreateGroup(const std::string& payload);
@@ -57,13 +77,19 @@ class IndexNode : public net::RpcHandler {
   Response HandleMigrateOut(const std::string& payload);
   Response HandleInstallGroup(const std::string& payload);
 
+  // Requires groups_mu_ held (shared suffices).
   GroupState* Find(GroupId id);
+  // Requires groups_mu_ held exclusively (may create the group).
   Status EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs);
 
   NodeId id_;
   IndexNodeConfig config_;
   sim::IoContext io_;
+  // Guards the map structure only; group payloads have their own locks.
+  mutable std::shared_mutex groups_mu_;
   std::map<GroupId, GroupState> groups_;
+  // Per-node search worker pool; null when parallel_search is off.
+  std::unique_ptr<ThreadPool> search_pool_;
 };
 
 }  // namespace propeller::core

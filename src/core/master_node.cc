@@ -35,6 +35,7 @@ NodeId MasterNode::LeastLoadedNode() const {
 
 net::RpcHandler::Response MasterNode::Handle(const std::string& method,
                                              const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (method == "mn.resolve_update") return HandleResolveUpdate(payload);
   if (method == "mn.resolve_search") return HandleResolveSearch(payload);
   if (method == "mn.create_index") return HandleCreateIndex(payload);

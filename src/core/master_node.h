@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -53,6 +54,10 @@ class MasterNode : public net::RpcHandler {
   // Registers an Index Node as placement target.
   void AddIndexNode(NodeId node);
 
+  // Thread-safe: concurrent client RPCs are serialized on mu_, modelling
+  // the paper's single-threaded master event loop (the master only routes,
+  // so it is never the bottleneck).  The direct accessors below are NOT
+  // synchronized; call them only when no RPCs are in flight.
   Response Handle(const std::string& method, const std::string& payload) override;
 
   // --- direct accessors ---
@@ -102,6 +107,10 @@ class MasterNode : public net::RpcHandler {
 
   NodeId id_;
   net::Transport* transport_;
+  // Serializes Handle() dispatch.  Held across nested transport calls to
+  // Index Nodes (group creation, migration); Index Nodes never call back
+  // into the master from a handler, so no cycle exists.
+  std::mutex mu_;
   MasterConfig config_;
   acg::AcgManager acg_;
   std::vector<NodeId> index_nodes_;

@@ -131,6 +131,10 @@ Status CreateGroupRequest::Deserialize(BinaryReader& r, CreateGroupRequest& out)
 }
 
 void StageUpdatesRequest::Serialize(BinaryWriter& w) const {
+  // Hot path: one message per update batch.  Pre-size for the typical
+  // serialized FileUpdate (~96 bytes of path + attributes) so the encode
+  // does not reallocate repeatedly.
+  w.Reserve(20 + updates.size() * 96);
   w.PutU64(group);
   w.PutDouble(now_s);
   w.PutU32(static_cast<uint32_t>(updates.size()));
@@ -151,6 +155,8 @@ Status StageUpdatesRequest::Deserialize(BinaryReader& r, StageUpdatesRequest& ou
 }
 
 void SearchRequest::Serialize(BinaryWriter& w) const {
+  // Hot path: one message per fan-out target; dominated by the group list.
+  w.Reserve(4 + groups.size() * 8 + 128);
   w.PutU32(static_cast<uint32_t>(groups.size()));
   for (GroupId g : groups) w.PutU64(g);
   predicate.Serialize(w);
@@ -168,6 +174,7 @@ Status SearchRequest::Deserialize(BinaryReader& r, SearchRequest& out) {
 }
 
 void SearchResponse::Serialize(BinaryWriter& w) const {
+  w.Reserve(4 + files.size() * 8);
   w.PutU32(static_cast<uint32_t>(files.size()));
   for (FileId f : files) w.PutU64(f);
 }

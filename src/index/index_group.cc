@@ -85,8 +85,12 @@ IndexGroup::IndexGroup(GroupId id, sim::IoContext* io)
       wal_(io->CreateStore()) {}
 
 Status IndexGroup::CreateIndex(const IndexSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (spec.name.empty()) return Status::InvalidArgument("index name empty");
-  if (HasIndex(spec.name)) return Status::AlreadyExists(spec.name);
+  bool exists = std::any_of(
+      indexes_.begin(), indexes_.end(),
+      [&](const NamedIndex& i) { return i.spec.name == spec.name; });
+  if (exists) return Status::AlreadyExists(spec.name);
   if (IsKdType(spec.type)) {
     if (spec.attrs.empty()) {
       return Status::InvalidArgument("kd-tree needs >= 1 dimension attr");
@@ -119,11 +123,13 @@ Status IndexGroup::CreateIndex(const IndexSpec& spec) {
 }
 
 bool IndexGroup::HasIndex(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return std::any_of(indexes_.begin(), indexes_.end(),
                      [&](const NamedIndex& i) { return i.spec.name == name; });
 }
 
 std::vector<IndexSpec> IndexGroup::Specs() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<IndexSpec> out;
   out.reserve(indexes_.size());
   for (const NamedIndex& i : indexes_) out.push_back(i.spec);
@@ -131,6 +137,7 @@ std::vector<IndexSpec> IndexGroup::Specs() const {
 }
 
 sim::Cost IndexGroup::StageUpdate(FileUpdate update) {
+  std::lock_guard<std::mutex> lock(mu_);
   BinaryWriter w;
   update.Serialize(w);
   sim::Cost cost = wal_.Append(std::move(w).Take());
@@ -139,6 +146,11 @@ sim::Cost IndexGroup::StageUpdate(FileUpdate update) {
 }
 
 sim::Cost IndexGroup::Commit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked();
+}
+
+sim::Cost IndexGroup::CommitLocked() {
   sim::Cost cost;
   if (pending_.empty()) return cost;
   for (const FileUpdate& u : pending_) cost += Apply(u);
@@ -296,9 +308,10 @@ const IndexGroup::NamedIndex* IndexGroup::ChooseAccessPath(
 }
 
 IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
   SearchResult out;
   // Strong consistency: staged updates must be visible to this search.
-  out.cost += Commit();
+  out.cost += CommitLocked();
 
   const NamedIndex* idx = ChooseAccessPath(pred);
   if (idx == nullptr) {
@@ -390,6 +403,7 @@ IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
 }
 
 sim::Cost IndexGroup::MaintainIndexes() {
+  std::lock_guard<std::mutex> lock(mu_);
   sim::Cost cost;
   for (NamedIndex& idx : indexes_) {
     if (IsKdType(idx.spec.type) && idx.kd->NeedsRebuild()) {
@@ -400,6 +414,7 @@ sim::Cost IndexGroup::MaintainIndexes() {
 }
 
 Status IndexGroup::RecoverPendingFromWal() {
+  std::lock_guard<std::mutex> lock(mu_);
   pending_.clear();
   return wal_.Replay([&](const std::string& rec) {
     BinaryReader r(rec);
@@ -411,6 +426,7 @@ Status IndexGroup::RecoverPendingFromWal() {
 }
 
 uint64_t IndexGroup::ApproxPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t pages = records_.NumPages();
   for (const NamedIndex& idx : indexes_) {
     switch (idx.spec.type) {

@@ -10,10 +10,24 @@
 // a write-ahead log and staged in an in-memory cache; they are committed
 // into the index structures on a timeout or — to keep results strongly
 // consistent — by the next search request touching the group.
+//
+// Thread safety / locking order: every public method takes the group's own
+// mutex, so one IndexGroup may be staged into, committed, and searched from
+// concurrent threads (the Index Node's per-group search pool does this).
+// Distinct groups never share index structures, so cross-group parallelism
+// needs no coordination beyond the (internally locked) shared IoContext.
+// Lock order is strictly:
+//
+//     IndexNode::groups_mu_  ->  IndexGroup::mu_  ->  IoContext::mu_
+//
+// Never acquire a second group's mutex while holding one, and never call
+// back into IndexGroup from inside a ForEachRecord callback (the callback
+// runs under mu_).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -69,8 +83,10 @@ class IndexGroup {
  public:
   IndexGroup(GroupId id, sim::IoContext* io);
 
-  IndexGroup(IndexGroup&&) = default;
-  IndexGroup& operator=(IndexGroup&&) = default;
+  // Not movable: the group owns a mutex (groups live behind unique_ptr on
+  // their Index Node, so moves are never needed).
+  IndexGroup(IndexGroup&&) = delete;
+  IndexGroup& operator=(IndexGroup&&) = delete;
 
   GroupId id() const { return id_; }
 
@@ -83,7 +99,10 @@ class IndexGroup {
   sim::Cost StageUpdate(FileUpdate update);
   // Applies all staged updates to the index structures; truncates the WAL.
   sim::Cost Commit();
-  size_t PendingUpdates() const { return pending_.size(); }
+  size_t PendingUpdates() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
 
   // --- Search path ---
   struct SearchResult {
@@ -104,14 +123,22 @@ class IndexGroup {
   Status RecoverPendingFromWal();
   // Drops in-memory staged state *without* touching the WAL (test hook
   // that simulates the crash itself).
-  void SimulateCrashLosingMemoryState() { pending_.clear(); }
+  void SimulateCrashLosingMemoryState() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+  }
 
   // --- Split / migration support ---
-  uint64_t NumFiles() const { return records_.NumRecords(); }
+  uint64_t NumFiles() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.NumRecords();
+  }
   // All (file, attrs) currently committed; used to move files to a new
-  // group during an ACG split.
+  // group during an ACG split.  `fn` runs under the group mutex — it must
+  // not call back into this IndexGroup.
   template <typename Fn>
   sim::Cost ForEachRecord(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return records_.ForEach(fn);
   }
   // Size estimate for migration cost accounting.
@@ -125,6 +152,8 @@ class IndexGroup {
     std::unique_ptr<KdTree> kd;
   };
 
+  // The *Locked helpers assume mu_ is held by the caller.
+  sim::Cost CommitLocked();
   sim::Cost Apply(const FileUpdate& update);
   sim::Cost RemovePostings(const NamedIndex& idx, FileId file, const AttrSet& attrs);
   sim::Cost InsertPostings(const NamedIndex& idx, FileId file, const AttrSet& attrs);
@@ -133,6 +162,9 @@ class IndexGroup {
 
   GroupId id_;
   sim::IoContext* io_;
+  // Guards all mutable group state (records, WAL, indexes, pending cache).
+  // See the locking-order comment at the top of this header.
+  mutable std::mutex mu_;
   RecordStore records_;
   WriteAheadLog wal_;
   std::vector<NamedIndex> indexes_;

@@ -4,14 +4,15 @@ namespace propeller::net {
 
 Transport::CallResult Transport::Call(NodeId from, NodeId to,
                                       const std::string& method,
-                                      const std::string& request) {
+                                      std::string request) {
   CallResult out;
-  if (down_.count(to) != 0u) {
+  if (IsDown(to)) {
     out.status = Status::Unavailable("node down");
     return out;
   }
-  auto it = handlers_.find(to);
-  if (it == handlers_.end()) {
+  std::shared_ptr<const HandlerMap> handlers = handlers_.load();
+  auto it = handlers->find(to);
+  if (it == handlers->end()) {
     out.status = Status::NotFound("no such node");
     return out;
   }
@@ -20,20 +21,24 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
   const uint64_t request_bytes = request.size() + method.size() + 32;
   if (remote) {
     out.cost += net_.Send(request_bytes);
-    ++messages_;
-    bytes_ += request_bytes;
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(request_bytes, std::memory_order_relaxed);
   }
 
   RpcHandler::Response resp = it->second->Handle(method, request);
   out.cost += resp.cost;
   out.status = resp.status;
   if (remote) {
-    const uint64_t response_bytes = resp.payload.size() + 32;
+    // A failed handler already consumed the request transfer (charged above)
+    // and its own work; the error travels back as a small status-only frame
+    // rather than whatever partial payload the response struct carried.
+    const uint64_t response_bytes =
+        (resp.status.ok() ? resp.payload.size() : 0) + 32;
     out.cost += net_.Send(response_bytes);
-    ++messages_;
-    bytes_ += response_bytes;
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(response_bytes, std::memory_order_relaxed);
   }
-  out.payload = std::move(resp.payload);
+  if (resp.status.ok()) out.payload = std::move(resp.payload);
   return out;
 }
 

@@ -6,11 +6,24 @@
 // exchange: request transfer + handler work + response transfer.  Local
 // calls (from == to) skip the network.
 //
+// Thread safety: Call() may be invoked from any number of threads
+// concurrently (the client fan-out pools do exactly that).  The handler
+// table is an immutable snapshot swapped atomically on Register/Unregister,
+// so the per-call lookup is lock-free; traffic counters are atomics and the
+// down-set takes a small mutex.  Register/Unregister are cheap but not
+// lock-free and are expected at setup / failover time, not on hot paths.
+// Handlers themselves must be safe for concurrent Handle() calls when the
+// caller side is concurrent (MasterNode serializes internally; IndexNode
+// uses per-group locking).
+//
 // Failure injection: a node can be marked down, after which calls to it
 // fail with kUnavailable — used by the recovery tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -39,40 +52,66 @@ class RpcHandler {
 
 class Transport {
  public:
-  explicit Transport(sim::NetModel net = sim::NetModel()) : net_(net) {}
+  explicit Transport(sim::NetModel net = sim::NetModel()) : net_(net) {
+    handlers_.store(std::make_shared<const HandlerMap>());
+  }
 
-  void Register(NodeId node, RpcHandler* handler) { handlers_[node] = handler; }
-  void Unregister(NodeId node) { handlers_.erase(node); }
+  void Register(NodeId node, RpcHandler* handler) {
+    MutateHandlers([&](HandlerMap& m) { m[node] = handler; });
+  }
+  void Unregister(NodeId node) {
+    MutateHandlers([&](HandlerMap& m) { m.erase(node); });
+  }
 
   void SetNodeDown(NodeId node, bool down) {
+    std::lock_guard<std::mutex> lock(down_mu_);
     if (down) {
       down_.insert(node);
     } else {
       down_.erase(node);
     }
   }
-  bool IsDown(NodeId node) const { return down_.count(node) != 0u; }
+  bool IsDown(NodeId node) const {
+    std::lock_guard<std::mutex> lock(down_mu_);
+    return down_.count(node) != 0u;
+  }
 
   struct CallResult {
     Status status;
     std::string payload;  // response body (valid when status.ok())
     sim::Cost cost;       // request + server work + response
   };
+  // Takes the request by value so hot-path callers can std::move their
+  // encoded payload in instead of copying it.
   CallResult Call(NodeId from, NodeId to, const std::string& method,
-                  const std::string& request);
+                  std::string request);
 
   const sim::NetModel& net() const { return net_; }
 
   // Traffic counters (diagnostics / EXPERIMENTS.md).
-  uint64_t MessagesSent() const { return messages_; }
-  uint64_t BytesSent() const { return bytes_; }
+  uint64_t MessagesSent() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  uint64_t BytesSent() const { return bytes_.load(std::memory_order_relaxed); }
 
  private:
+  using HandlerMap = std::unordered_map<NodeId, RpcHandler*>;
+
+  template <typename Fn>
+  void MutateHandlers(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(register_mu_);
+    auto next = std::make_shared<HandlerMap>(*handlers_.load());
+    fn(*next);
+    handlers_.store(std::shared_ptr<const HandlerMap>(std::move(next)));
+  }
+
   sim::NetModel net_;
-  std::unordered_map<NodeId, RpcHandler*> handlers_;
+  std::mutex register_mu_;  // serializes handler-map copy-on-write updates
+  std::atomic<std::shared_ptr<const HandlerMap>> handlers_;
+  mutable std::mutex down_mu_;
   std::unordered_set<NodeId> down_;
-  uint64_t messages_ = 0;
-  uint64_t bytes_ = 0;
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
 };
 
 }  // namespace propeller::net

@@ -128,6 +128,56 @@ TEST(ThreadPoolTest, ActuallyRunsConcurrently) {
   EXPECT_EQ(ids.size(), 4u) << "tasks must run on distinct workers";
 }
 
+TEST(ThreadPoolTest, SubmitBatchRunsIndexedTasksInOrder) {
+  ThreadPool pool(3);
+  auto futures = pool.SubmitBatch(16, [](size_t i) { return i * i; });
+  ASSERT_EQ(futures.size(), 16u);
+  std::vector<size_t> results = ThreadPool::WaitAll(futures);
+  ASSERT_EQ(results.size(), 16u);
+  for (size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ThreadPoolTest, WaitAllOnVoidFutures) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto futures = pool.SubmitBatch(25, [&](size_t) { ++counter; });
+  ThreadPool::WaitAll(futures);
+  EXPECT_EQ(counter.load(), 25);
+}
+
+TEST(ThreadPoolTest, WaitAllPropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto futures = pool.SubmitBatch(8, [](size_t i) -> int {
+    if (i == 5) throw std::runtime_error("task 5 failed");
+    return static_cast<int>(i);
+  });
+  EXPECT_THROW(ThreadPool::WaitAll(futures), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotPoisonWorkers) {
+  ThreadPool pool(1);
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives and keeps executing queued work.
+  auto good = pool.Submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, CleanShutdownWithQueuedWorkAndExceptions) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran, i]() {
+        ++ran;
+        if (i % 7 == 0) throw std::runtime_error("sporadic");
+      });
+    }
+  }  // destructor must drain the queue and join without touching the
+     // unconsumed exceptional futures
+  EXPECT_EQ(ran.load(), 64);
+}
+
 TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
   std::atomic<int> counter{0};
   {

@@ -1,5 +1,10 @@
-// Transport layer: routing, cost accounting, failure injection.
+// Transport layer: routing, cost accounting, failure injection,
+// concurrent-caller safety.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "net/transport.h"
 
@@ -80,6 +85,61 @@ TEST(TransportTest, TrafficCountersTrackRemoteMessages) {
   uint64_t after = t.MessagesSent();
   t.Call(7, 7, "ping", "x");
   EXPECT_EQ(t.MessagesSent(), after);
+}
+
+TEST(TransportTest, FailedHandlerStillChargesRequestTransfer) {
+  // Regression: an error reply must charge the full request transfer plus
+  // the server-side work, not just whatever partial cost the response
+  // struct carried.
+  Transport t{sim::NetModel(
+      sim::NetParams{.latency_us = 1000, .bandwidth_mb_per_s = 100})};
+  EchoHandler h;
+  t.Register(7, &h);
+
+  const std::string request(10'000, 'r');
+  auto fail = t.Call(1, 7, "fail", request);
+  EXPECT_EQ(fail.status.code(), StatusCode::kInternal);
+  sim::Cost request_transfer =
+      t.net().Send(request.size() + std::string("fail").size() + 32);
+  // Request transfer + 0.01s handler work must both be present.
+  EXPECT_GE(fail.cost.seconds(), request_transfer.seconds() + 0.01);
+  // The error travels back as a small status frame, not a payload.
+  EXPECT_TRUE(fail.payload.empty());
+  EXPECT_LT(fail.cost.seconds(),
+            request_transfer.seconds() + 0.01 + t.net().Send(64).seconds());
+}
+
+TEST(TransportTest, ConcurrentCallersAccountAllTraffic) {
+  Transport t;
+  class CountingHandler : public RpcHandler {
+   public:
+    Response Handle(const std::string&, const std::string& payload) override {
+      calls.fetch_add(1);
+      return {Status::Ok(), payload, sim::Cost(0.001)};
+    }
+    std::atomic<int> calls{0};
+  } counting;
+  t.Register(7, &counting);
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t, &ok] {
+      for (int c = 0; c < kCallsPerThread; ++c) {
+        auto r = t.Call(1, 7, "ping", std::string(100, 'x'));
+        if (r.status.ok()) ++ok;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), kThreads * kCallsPerThread);
+  EXPECT_EQ(counting.calls.load(), kThreads * kCallsPerThread);
+  // Two messages (request + response) per call, none lost to races.
+  EXPECT_EQ(t.MessagesSent(),
+            static_cast<uint64_t>(2 * kThreads * kCallsPerThread));
 }
 
 TEST(TransportTest, UnregisterStopsRouting) {
