@@ -24,6 +24,7 @@ enum class StatusCode {
   kCorruption,
   kUnavailable,
   kInternal,
+  kDeadlineExceeded,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string m = "") {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,68 @@
 
 namespace propeller::core {
 
+namespace {
+
+// Deterministic stateless jitter in [0, 1): a SplitMix64-style finalizer
+// over (seed, destination, method, attempt).  No shared RNG — safe under
+// parallel fan-out — and no draw happens unless a retry actually sleeps.
+double JitterFraction(uint64_t seed, net::NodeId node,
+                      const std::string& method, int attempt) {
+  uint64_t x = seed ^ (static_cast<uint64_t>(node) * 0x9e3779b97f4a7c15ull);
+  for (char c : method) {
+    x = (x ^ static_cast<uint64_t>(static_cast<unsigned char>(c))) *
+        0x100000001b3ull;
+  }
+  x ^= static_cast<uint64_t>(static_cast<unsigned int>(attempt)) << 32;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+net::Transport::CallResult PropellerClient::CallWithRetry(
+    NodeId to, const std::string& method, std::string payload) {
+  const RetryPolicy& rp = config_.retry;
+  const int attempts = std::max(1, rp.max_attempts);
+  const double deadline = rp.request_deadline_s;
+  net::Transport::CallResult out;
+  sim::Cost total;
+  double backoff = rp.initial_backoff_s;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const bool last = attempt + 1 == attempts;
+    // The transport consumes the payload; keep a copy while retries remain.
+    out = transport_->Call(id_, to, method,
+                           last ? std::move(payload) : std::string(payload));
+    total += out.cost;
+    out.cost = total;
+    if (out.status.code() != StatusCode::kUnavailable) return out;
+    if (deadline > 0 && total.seconds() >= deadline) {
+      out.status = Status::DeadlineExceeded(
+          method + " to node " + std::to_string(to) + " exceeded " +
+          std::to_string(deadline) + "s deadline after " +
+          std::to_string(attempt + 1) + " attempt(s)");
+      return out;
+    }
+    if (last) return out;
+    double sleep = std::min(backoff, rp.max_backoff_s);
+    sleep *= 1.0 + rp.jitter_frac * JitterFraction(rp.jitter_seed, to, method,
+                                                   attempt);
+    total += sim::Cost(sleep);
+    if (deadline > 0 && total.seconds() >= deadline) {
+      out.cost = total;
+      out.status = Status::DeadlineExceeded(
+          method + " to node " + std::to_string(to) + " exceeded " +
+          std::to_string(deadline) + "s deadline during backoff");
+      return out;
+    }
+    backoff *= rp.backoff_multiplier;
+  }
+  return out;
+}
+
 PropellerClient::PropellerClient(NodeId id, net::Transport* transport,
                                  NodeId master, ClientConfig config,
                                  ThreadPool* rpc_pool)
@@ -21,7 +83,7 @@ Result<sim::Cost> PropellerClient::FlushAcg() {
   if (!builder_.HasPendingDelta()) return sim::Cost::Zero();
   FlushAcgRequest req;
   req.delta = builder_.TakeDelta();
-  auto call = transport_->Call(id_, master_, "mn.flush_acg", Encode(req));
+  auto call = CallWithRetry(master_, "mn.flush_acg", Encode(req));
   if (!call.status.ok()) return call.status;
   return call.cost;
 }
@@ -29,7 +91,7 @@ Result<sim::Cost> PropellerClient::FlushAcg() {
 Result<sim::Cost> PropellerClient::CreateIndex(const IndexSpec& spec) {
   CreateIndexRequest req;
   req.spec = spec;
-  auto call = transport_->Call(id_, master_, "mn.create_index", Encode(req));
+  auto call = CallWithRetry(master_, "mn.create_index", Encode(req));
   if (!call.status.ok()) return call.status;
   return call.cost;
 }
@@ -43,7 +105,7 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   ResolveUpdateRequest rreq;
   rreq.files.reserve(updates.size());
   for (const FileUpdate& u : updates) rreq.files.push_back(u.file);
-  auto rcall = transport_->Call(id_, master_, "mn.resolve_update", Encode(rreq));
+  auto rcall = CallWithRetry(master_, "mn.resolve_update", Encode(rreq));
   if (!rcall.status.ok()) return rcall.status;
   cost += rcall.cost;
   auto resolved = Decode<ResolveUpdateResponse>(rcall.payload);
@@ -76,6 +138,7 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   // of concurrency, not a batch.
   struct Shipment {
     NodeId node = 0;
+    GroupId group = 0;
     std::vector<std::string> payloads;
     sim::Cost cost;
     Status status;
@@ -85,6 +148,7 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   for (auto& [key, bucket] : buckets) {
     Shipment s;
     s.node = bucket.node;
+    s.group = bucket.group;
     for (size_t off = 0; off < bucket.updates.size(); off += config_.update_batch) {
       StageUpdatesRequest sreq;
       sreq.group = bucket.group;
@@ -106,29 +170,38 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   auto ship_one = [&](size_t i) {
     Shipment& s = shipments[i];
     for (std::string& payload : s.payloads) {
-      auto call =
-          transport_->Call(id_, s.node, "in.stage_updates", std::move(payload));
+      auto call = CallWithRetry(s.node, "in.stage_updates", std::move(payload));
+      s.cost += call.cost;
       if (!call.status.ok()) {
         s.status = call.status;
         return;
       }
-      s.cost += call.cost;
     }
   };
+  // Every shipment is attempted even when one fails — partial-failure
+  // semantics: independent buckets still land, and the error below names
+  // exactly the (node, group) buckets that did not.
   if (rpc_pool_ != nullptr && shipments.size() > 1) {
     auto futures = rpc_pool_->SubmitBatch(shipments.size(), ship_one);
     ThreadPool::WaitAll(futures);
   } else {
-    for (size_t i = 0; i < shipments.size(); ++i) {
-      ship_one(i);
-      if (!shipments[i].status.ok()) return shipments[i].status;
-    }
+    for (size_t i = 0; i < shipments.size(); ++i) ship_one(i);
   }
 
   std::map<NodeId, sim::Cost> per_node;
+  std::string failed;
+  StatusCode failed_code = StatusCode::kOk;
   for (const Shipment& s : shipments) {
-    if (!s.status.ok()) return s.status;
     per_node[s.node] += s.cost;
+    if (!s.status.ok()) {
+      if (failed_code == StatusCode::kOk) failed_code = s.status.code();
+      if (!failed.empty()) failed += "; ";
+      failed += "node " + std::to_string(s.node) + " group " +
+                std::to_string(s.group) + ": " + s.status.ToString();
+    }
+  }
+  if (failed_code != StatusCode::kOk) {
+    return Status(failed_code, "batch update partially failed (" + failed + ")");
   }
   std::vector<sim::Cost> branches;
   branches.reserve(per_node.size());
@@ -143,7 +216,7 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
 
   ResolveSearchRequest rreq;
   rreq.index_name = index_name;
-  auto rcall = transport_->Call(id_, master_, "mn.resolve_search", Encode(rreq));
+  auto rcall = CallWithRetry(master_, "mn.resolve_search", Encode(rreq));
   if (!rcall.status.ok()) return rcall.status;
   out.cost += rcall.cost;
   auto targets = Decode<ResolveSearchResponse>(rcall.payload);
@@ -163,8 +236,8 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
     payloads[i] = Encode(sreq);
   }
   auto call_one = [&](size_t i) {
-    calls[i] = transport_->Call(id_, targets->targets[i].node, "in.search",
-                                std::move(payloads[i]));
+    calls[i] = CallWithRetry(targets->targets[i].node, "in.search",
+                             std::move(payloads[i]));
   };
   if (rpc_pool_ != nullptr && n > 1) {
     auto futures = rpc_pool_->SubmitBatch(n, call_one);
@@ -173,14 +246,31 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
     for (size_t i = 0; i < n; ++i) call_one(i);
   }
 
-  // Aggregate file ids; the simulated fan-out latency is the slowest branch.
+  // Aggregate file ids; the simulated fan-out latency is the slowest branch
+  // (failed branches included — the client waited on them too).  A failed
+  // branch either degrades the outcome (allow_partial_search) or fails the
+  // whole search with an error naming the node, never silently.
   std::vector<sim::Cost> branches;
   branches.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (!calls[i].status.ok()) return calls[i].status;
+    const NodeId node = targets->targets[i].node;
     branches.push_back(calls[i].cost);
+    if (!calls[i].status.ok()) {
+      if (!config_.allow_partial_search) {
+        return Status(calls[i].status.code(),
+                      "search fan-out to node " + std::to_string(node) +
+                          " failed: " + calls[i].status.ToString());
+      }
+      out.partial = true;
+      out.node_errors.push_back({node, calls[i].status});
+      continue;
+    }
     auto resp = Decode<SearchResponse>(calls[i].payload);
-    if (!resp.ok()) return resp.status();
+    if (!resp.ok()) {
+      return Status(resp.status().code(),
+                    "search response from node " + std::to_string(node) +
+                        " undecodable: " + resp.status().ToString());
+    }
     out.files.insert(out.files.end(), resp->files.begin(), resp->files.end());
     ++out.nodes_queried;
   }

@@ -19,12 +19,35 @@
 
 namespace propeller::core {
 
+// Client-side RPC resilience.  Retries apply only to kUnavailable (a
+// transport fault, a down node); every other code returns immediately.
+// Backoff is exponential with deterministic jitter — a stateless hash of
+// (jitter_seed, destination, method, attempt) — so parallel fan-outs need
+// no shared RNG and a fault-free run draws nothing, keeping results and
+// costs bit-identical to a no-retry configuration.
+struct RetryPolicy {
+  int max_attempts = 3;            // total tries; 1 = no retries
+  double initial_backoff_s = 0.010;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 1.0;
+  double jitter_frac = 0.2;        // sleep *= 1 + U[0,jitter_frac)
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  // Simulated per-request deadline across all attempts and backoffs;
+  // 0 = unbounded.  Exceeding it yields kDeadlineExceeded.
+  double request_deadline_s = 0;
+};
+
 struct ClientConfig {
   // Updates per stage-request message (paper: batch size 128).
   size_t update_batch = 128;
   // Width of the RPC fan-out pool (PropellerCluster sizes its shared pool
   // from this when parallel execution is enabled); 0 = hardware_concurrency.
   size_t fanout_threads = 0;
+  RetryPolicy retry;
+  // Degraded search: when some Index Nodes are unreachable, return the
+  // reachable nodes' results with SearchOutcome::partial = true and the
+  // failures listed per node, instead of failing the whole search.
+  bool allow_partial_search = false;
 };
 
 class PropellerClient {
@@ -56,9 +79,17 @@ class PropellerClient {
 
   // --- File search ---
   struct SearchOutcome {
+    struct NodeError {
+      NodeId node = 0;
+      Status status;
+    };
     std::vector<FileId> files;
     sim::Cost cost;            // end-to-end simulated latency
     size_t nodes_queried = 0;
+    // Degraded-mode fields (allow_partial_search): true when at least one
+    // Index Node could not be reached; node_errors names each one.
+    bool partial = false;
+    std::vector<NodeError> node_errors;
   };
   // `index_name` may be empty (all groups are eligible).
   Result<SearchOutcome> Search(const Predicate& predicate,
@@ -67,6 +98,12 @@ class PropellerClient {
   Result<SearchOutcome> SearchQuery(const std::string& query, int64_t now_s);
 
  private:
+  // Issues one RPC under the client's RetryPolicy: retries kUnavailable
+  // with backoff+jitter, enforces the simulated deadline, and returns the
+  // last attempt's result with `cost` covering every attempt and backoff.
+  net::Transport::CallResult CallWithRetry(NodeId to, const std::string& method,
+                                           std::string payload);
+
   NodeId id_;
   net::Transport* transport_;
   NodeId master_;

@@ -14,6 +14,13 @@ PropellerCluster::PropellerCluster(ClusterConfig config)
     client_pool_ = std::make_unique<ThreadPool>(threads);
     config_.index_node.parallel_search = true;
   }
+  if (config_.recovery_journal) {
+    journal_ = std::make_unique<GroupJournal>(config_.index_node.io);
+    config_.index_node.recovery_journal = journal_.get();
+  }
+  // The cluster clock drives both heartbeats and the master's failure
+  // detector; keep the detector's notion of the cadence in sync.
+  config_.master.heartbeat_interval_s = config_.heartbeat_interval_s;
   master_ = std::make_unique<MasterNode>(kMasterId, &transport_, config_.master);
   transport_.Register(kMasterId, master_.get());
 
@@ -53,10 +60,26 @@ void PropellerCluster::AdvanceTime(double seconds) {
       if (transport_.IsDown(node->id())) continue;
       HeartbeatRequest hb;
       hb.node = node->id();
+      hb.now_s = now_s_;
       hb.groups = node->GroupStats();
       transport_.Call(node->id(), kMasterId, "mn.heartbeat", Encode(hb));
     }
   }
+
+  // Failure-detector tick (local call from the cluster clock, so it is
+  // not charged to any request): declares nodes dead after enough missed
+  // heartbeats and re-homes their groups.
+  transport_.Call(kMasterId, kMasterId, "mn.tick", payload);
+}
+
+void PropellerCluster::KillIndexNode(size_t i, bool wipe) {
+  IndexNode& node = *index_nodes_.at(i);
+  transport_.SetNodeDown(node.id(), true);
+  if (wipe) (void)node.Reset();
+}
+
+void PropellerCluster::ReviveIndexNode(size_t i) {
+  transport_.SetNodeDown(index_nodes_.at(i)->id(), false);
 }
 
 void PropellerCluster::DropAllCaches() {
@@ -101,6 +124,26 @@ uint64_t PropellerCluster::TotalIndexPages() const {
   uint64_t total = 0;
   for (const auto& node : index_nodes_) total += node->TotalPages();
   return total;
+}
+
+ClusterStats PropellerCluster::Stats() const {
+  ClusterStats stats;
+  stats.groups = TotalGroups();
+  stats.index_pages = TotalIndexPages();
+  stats.dead_nodes = master_->DeadNodes().size();
+  for (const MasterNode::RecoveryEvent& e : master_->RecoveryEvents()) {
+    ++stats.recoveries;
+    stats.groups_recovered += e.groups_moved;
+    stats.records_restored += e.records_restored;
+  }
+  if (journal_ != nullptr) {
+    for (const auto& node : index_nodes_) {
+      for (const auto& stat : node->GroupStats()) {
+        stats.journal_records += journal_->NumRecords(stat.group);
+      }
+    }
+  }
+  return stats;
 }
 
 }  // namespace propeller::core

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/client.h"
+#include "core/group_journal.h"
 #include "core/index_node.h"
 #include "core/master_node.h"
 #include "net/transport.h"
@@ -27,6 +28,22 @@ struct ClusterConfig {
   // search_threads-wide pool.  Simulated costs and search results are
   // identical to the serial engine; only real elapsed time changes.
   bool parallel_execution = false;
+  // Shared-storage recovery journal: every update entering any group is
+  // replicated to a cluster-owned GroupJournal, letting the master rebuild
+  // a dead node's groups on survivors (in.recover_group).  Off by default
+  // — replication costs extra simulated I/O on the staging path.
+  bool recovery_journal = false;
+};
+
+// Aggregate cluster health / recovery view (see PropellerCluster::Stats).
+struct ClusterStats {
+  uint64_t groups = 0;
+  uint64_t index_pages = 0;
+  size_t dead_nodes = 0;
+  size_t recoveries = 0;          // node-death events the master handled
+  size_t groups_recovered = 0;    // groups re-homed across all events
+  uint64_t records_restored = 0;  // journal records replayed on survivors
+  uint64_t journal_records = 0;   // total records in the recovery journal
 };
 
 class PropellerCluster {
@@ -50,9 +67,23 @@ class PropellerCluster {
   // Drops every node's page cache (cold-run preparation).
   void DropAllCaches();
 
+  // --- fault orchestration (chaos tests) ---
+  // Marks Index Node i unreachable; `wipe` also destroys its in-memory
+  // state — a permanent machine loss, recoverable only via the journal.
+  // The master's failure detector notices once enough heartbeats are
+  // missed (AdvanceTime keeps the clock going).
+  void KillIndexNode(size_t i, bool wipe = false);
+  // Brings a killed node back; its next heartbeat re-admits it (the
+  // master wipes it first via in.reset when its groups were re-homed).
+  void ReviveIndexNode(size_t i);
+
+  // The cluster-wide recovery journal (null unless config.recovery_journal).
+  GroupJournal* recovery_journal() { return journal_.get(); }
+
   // Aggregate stats.
   uint64_t TotalGroups() const;
   uint64_t TotalIndexPages() const;
+  ClusterStats Stats() const;
 
   // --- Master high availability (extension beyond the paper) ---
   // Starts a standby master that receives every flushed metadata image.
@@ -71,6 +102,8 @@ class PropellerCluster {
  private:
   ClusterConfig config_;
   net::Transport transport_;
+  // Cluster-wide shared-storage journal; null unless recovery_journal.
+  std::unique_ptr<GroupJournal> journal_;
   // Shared RPC fan-out pool handed to every client; null in serial mode.
   std::unique_ptr<ThreadPool> client_pool_;
   std::unique_ptr<MasterNode> master_;

@@ -1,0 +1,70 @@
+#include "core/group_journal.h"
+
+#include "common/serialize.h"
+
+namespace propeller::core {
+
+sim::Cost GroupJournal::AppendLocked(index::GroupId group,
+                                     const index::FileUpdate& update) {
+  BinaryWriter w;
+  update.Serialize(w);
+  std::string rec = std::move(w).Take();
+  sim::Cost cost = store_.Append(rec.size() + 8);  // length-prefixed on "disk"
+  bytes_ += rec.size() + 8;
+  records_[group].push_back(std::move(rec));
+  return cost;
+}
+
+sim::Cost GroupJournal::Append(index::GroupId group,
+                               const index::FileUpdate& update) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(group, update);
+}
+
+sim::Cost GroupJournal::AppendBatch(
+    index::GroupId group, const std::vector<index::FileUpdate>& updates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim::Cost cost;
+  for (const index::FileUpdate& u : updates) cost += AppendLocked(group, u);
+  return cost;
+}
+
+Status GroupJournal::Replay(
+    index::GroupId group,
+    const std::function<Status(const index::FileUpdate&)>& fn,
+    sim::Cost* cost) const {
+  std::vector<std::string> records;
+  uint64_t record_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(group);
+    if (it != records_.end()) {
+      records = it->second;
+      for (const std::string& rec : records) record_bytes += rec.size() + 8;
+    }
+  }
+  if (cost != nullptr) {
+    // Sequential scan of the group's log segment from shared storage.
+    *cost += store_.SequentialLoad(record_bytes / 4096 + 1);
+  }
+  for (const std::string& rec : records) {
+    BinaryReader r(rec);
+    index::FileUpdate u;
+    PROPELLER_RETURN_IF_ERROR(index::FileUpdate::Deserialize(r, u));
+    PROPELLER_RETURN_IF_ERROR(fn(u));
+  }
+  return Status::Ok();
+}
+
+uint64_t GroupJournal::NumRecords(index::GroupId group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(group);
+  return it == records_.end() ? 0 : it->second.size();
+}
+
+uint64_t GroupJournal::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace propeller::core

@@ -1,0 +1,68 @@
+// Shared-storage recovery journal (extension beyond the paper).
+//
+// The paper's Index Nodes keep their WAL on node-local disk, so losing a
+// machine loses every group it hosted.  The ROADMAP's production target
+// needs to survive that: when a cluster enables the journal, every update
+// entering a group — client staging, group installs, the delete records a
+// migration retires locally — is also appended here, modelling a WAL
+// replicated to the same shared storage the Master Node flushes its
+// metadata to.  Replaying a group's full journal through a fresh
+// IndexGroup reproduces its committed *and* staged state, which is how
+// the master re-homes a dead node's groups onto survivors
+// (in.recover_group) without talking to the lost machine.
+//
+// The journal is keyed by group, not node, so migrations need no special
+// handling: a move appends the source's delete records and the target's
+// install records in order, and a later replay converges to the same
+// final state.
+//
+// Thread safety: every method locks an internal mutex (Index Nodes share
+// one journal and append from concurrent RPC handlers).  Replay copies
+// the group's records out under the lock and decodes outside it, so the
+// callback may take group locks without coupling lock orders.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index_group.h"
+#include "sim/io_context.h"
+
+namespace propeller::core {
+
+class GroupJournal {
+ public:
+  explicit GroupJournal(sim::IoParams io = {})
+      : io_(io), store_(io_.CreateStore()) {}
+
+  // Appends serialized updates under `group`; charged as sequential log
+  // I/O (the replication write to shared storage).
+  sim::Cost Append(index::GroupId group, const index::FileUpdate& update);
+  sim::Cost AppendBatch(index::GroupId group,
+                        const std::vector<index::FileUpdate>& updates);
+
+  // Replays every update recorded for `group`, oldest first.  Adds the
+  // simulated read cost to *cost when non-null.
+  Status Replay(index::GroupId group,
+                const std::function<Status(const index::FileUpdate&)>& fn,
+                sim::Cost* cost = nullptr) const;
+
+  uint64_t NumRecords(index::GroupId group) const;
+  uint64_t TotalBytes() const;
+
+ private:
+  sim::Cost AppendLocked(index::GroupId group, const index::FileUpdate& update);
+
+  sim::IoContext io_;
+  sim::PageStore store_;
+  mutable std::mutex mu_;
+  std::map<index::GroupId, std::vector<std::string>> records_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace propeller::core

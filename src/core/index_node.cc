@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "core/group_journal.h"
 
 namespace propeller::core {
 
@@ -47,6 +48,8 @@ net::RpcHandler::Response IndexNode::Handle(const std::string& method,
   if (method == "in.tick") return HandleTick(payload);
   if (method == "in.migrate_out") return HandleMigrateOut(payload);
   if (method == "in.install_group") return HandleInstallGroup(payload);
+  if (method == "in.recover_group") return HandleRecoverGroup(payload);
+  if (method == "in.reset") return HandleReset(payload);
   return Response{Status::NotFound("unknown method " + method), {}, {}};
 }
 
@@ -67,6 +70,11 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
     return Response{Status::NotFound("no such group"), {}, {}};
   }
   sim::Cost cost;
+  // Replicate to the shared recovery journal before staging (StageUpdate
+  // consumes the update), so a node lost after acking can be rebuilt.
+  if (config_.recovery_journal != nullptr) {
+    cost += config_.recovery_journal->AppendBatch(req->group, req->updates);
+  }
   for (FileUpdate& u : req->updates) {
     cost += state->group->StageUpdate(std::move(u));
   }
@@ -180,11 +188,17 @@ net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload
       });
 
   // Retire the moved files locally (delete-updates through the group so
-  // every index drops its postings).
+  // every index drops its postings).  The deletes go to the recovery
+  // journal too: replaying the group's full history (original upserts,
+  // these deletes, then the install's re-upserts) converges to the final
+  // state wherever the group ends up living.
   for (const FileUpdate& rec : resp.records) {
     FileUpdate del;
     del.file = rec.file;
     del.is_delete = true;
+    if (config_.recovery_journal != nullptr) {
+      cost += config_.recovery_journal->Append(req->group, del);
+    }
     cost += state->group->StageUpdate(std::move(del));
   }
   cost += state->group->Commit();
@@ -203,11 +217,53 @@ net::RpcHandler::Response IndexNode::HandleInstallGroup(const std::string& paylo
   if (!st.ok()) return Response{st, {}, {}};
   GroupState* state = Find(req->group);
   sim::Cost cost;
+  if (config_.recovery_journal != nullptr) {
+    cost += config_.recovery_journal->AppendBatch(req->group, req->records);
+  }
   for (FileUpdate& u : req->records) {
     cost += state->group->StageUpdate(std::move(u));
   }
   cost += state->group->Commit();
   return Response{Status::Ok(), {}, cost};
+}
+
+net::RpcHandler::Response IndexNode::HandleRecoverGroup(const std::string& payload) {
+  auto req = Decode<RecoverGroupRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  if (config_.recovery_journal == nullptr) {
+    return Response{
+        Status::FailedPrecondition("node has no recovery journal attached"),
+        {},
+        {}};
+  }
+  std::unique_lock<std::shared_mutex> lock(groups_mu_);
+  Status st = EnsureGroup(req->group, req->specs);
+  if (!st.ok()) return Response{st, {}, {}};
+  GroupState* state = Find(req->group);
+
+  // Replay the group's full journal history.  Note: the replay stages
+  // copies straight into the group — not back into the journal — so
+  // recovery does not double-append.
+  RecoverGroupResponse resp;
+  sim::Cost cost;
+  st = config_.recovery_journal->Replay(
+      req->group,
+      [&](const FileUpdate& u) {
+        cost += state->group->StageUpdate(FileUpdate(u));
+        ++resp.records_replayed;
+        return Status::Ok();
+      },
+      &cost);
+  if (!st.ok()) return Response{st, {}, cost};
+  cost += state->group->Commit();
+  return Response{Status::Ok(), Encode(resp), cost};
+}
+
+net::RpcHandler::Response IndexNode::HandleReset(const std::string& payload) {
+  auto req = Decode<ResetNodeRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  Status st = Reset();
+  return Response{st, {}, sim::Cost(10e-6)};  // metadata-only work
 }
 
 size_t IndexNode::NumGroups() const {
@@ -240,6 +296,13 @@ Status IndexNode::CrashAndRecover() {
     // Recovered updates will commit on the next tick or search.
   }
   io_.DropCaches();  // restart loses the page cache
+  return Status::Ok();
+}
+
+Status IndexNode::Reset() {
+  std::unique_lock<std::shared_mutex> lock(groups_mu_);
+  groups_.clear();
+  io_.DropCaches();
   return Status::Ok();
 }
 

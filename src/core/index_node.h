@@ -32,6 +32,8 @@
 
 namespace propeller::core {
 
+class GroupJournal;
+
 struct IndexNodeConfig {
   sim::IoParams io;
   double commit_timeout_s = 5.0;  // paper: 5 seconds
@@ -41,6 +43,12 @@ struct IndexNodeConfig {
   // wall-clock time changes.  Off by default so single-threaded callers pay
   // no thread-spawn tax.
   bool parallel_search = false;
+  // Shared-storage recovery journal (not owned, shared by every node in
+  // the cluster); when set, every update entering a group is replicated
+  // there so in.recover_group can rebuild the group after this node is
+  // lost.  Null disables replication — and its extra simulated I/O — on
+  // the staging path.
+  GroupJournal* recovery_journal = nullptr;
 };
 
 class IndexNode : public net::RpcHandler {
@@ -62,6 +70,12 @@ class IndexNode : public net::RpcHandler {
   // survive), then recovers from the WALs — an IN crash/restart.
   Status CrashAndRecover();
 
+  // Destroys every group and drops the page cache — the node rejoins the
+  // cluster empty.  Driven by in.reset when a dead node revives (its data
+  // was re-homed meanwhile) and by PropellerCluster::KillIndexNode(wipe)
+  // to model a permanent machine loss.
+  Status Reset();
+
  private:
   struct GroupState {
     std::unique_ptr<index::IndexGroup> group;
@@ -76,6 +90,8 @@ class IndexNode : public net::RpcHandler {
   Response HandleTick(const std::string& payload);
   Response HandleMigrateOut(const std::string& payload);
   Response HandleInstallGroup(const std::string& payload);
+  Response HandleRecoverGroup(const std::string& payload);
+  Response HandleReset(const std::string& payload);
 
   // Requires groups_mu_ held (shared suffices).
   GroupState* Find(GroupId id);

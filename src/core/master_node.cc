@@ -22,7 +22,7 @@ NodeId MasterNode::LeastLoadedNode() const {
   NodeId best = index_nodes_.front();
   uint64_t best_load = ~0ull;
   for (NodeId n : index_nodes_) {
-    if (transport_->IsDown(n)) continue;
+    if (transport_->IsDown(n) || dead_.count(n) != 0u) continue;
     auto it = node_load_.find(n);
     uint64_t load = it == node_load_.end() ? 0 : it->second;
     if (load < best_load) {
@@ -41,6 +41,7 @@ net::RpcHandler::Response MasterNode::Handle(const std::string& method,
   if (method == "mn.create_index") return HandleCreateIndex(payload);
   if (method == "mn.flush_acg") return HandleFlushAcg(payload);
   if (method == "mn.heartbeat") return HandleHeartbeat(payload);
+  if (method == "mn.tick") return HandleTick(payload);
   return Response{Status::NotFound("unknown method " + method), {}, {}};
 }
 
@@ -260,7 +261,7 @@ size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
     NodeId busiest = 0, idlest = 0;
     size_t hi = 0, lo = ~size_t{0};
     for (const auto& [node, groups] : by_node) {
-      if (transport_->IsDown(node)) continue;
+      if (transport_->IsDown(node) || dead_.count(node) != 0u) continue;
       if (groups.size() > hi || busiest == 0) {
         if (groups.size() >= hi) {
           hi = groups.size();
@@ -320,8 +321,125 @@ size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
 net::RpcHandler::Response MasterNode::HandleHeartbeat(const std::string& payload) {
   auto req = Decode<HeartbeatRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
+  sim::Cost cost(config_.lookup_us / 1e6);
+  // A heartbeat from a declared-dead node is a revival.  If its groups
+  // were re-homed while it was dead, wipe it (in.reset) so stale replicas
+  // cannot resurface, then re-admit it to the placement pool.
+  auto dead_it = dead_.find(req->node);
+  if (dead_it != dead_.end()) {
+    bool rehomed = dead_it->second;
+    dead_.erase(dead_it);
+    if (rehomed) {
+      auto call = transport_->Call(id_, req->node, "in.reset",
+                                   Encode(ResetNodeRequest{}));
+      cost += call.cost;
+      if (!call.status.ok()) {
+        PLOG(WARNING) << "in.reset on revived node " << req->node
+                      << " failed: " << call.status.ToString();
+      }
+    }
+  }
+  last_heartbeat_s_[req->node] = req->now_s;
   node_load_[req->node] = req->groups.size();
-  return Response{Status::Ok(), {}, sim::Cost(config_.lookup_us / 1e6)};
+  return Response{Status::Ok(), {}, cost};
+}
+
+net::RpcHandler::Response MasterNode::HandleTick(const std::string& payload) {
+  auto req = Decode<TickRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  const double window = static_cast<double>(config_.heartbeat_miss_threshold) *
+                        config_.heartbeat_interval_s;
+  sim::Cost cost;
+  for (NodeId n : index_nodes_) {
+    if (dead_.count(n) != 0u) continue;  // already handled
+    auto it = last_heartbeat_s_.find(n);
+    if (it == last_heartbeat_s_.end()) continue;  // never heard from it
+    if (req->now_s - it->second > window) {
+      cost += sim::Cost(config_.lookup_us / 1e6);
+      RecoverDeadNode(n, req->now_s, cost);
+    }
+  }
+  return Response{Status::Ok(), {}, cost};
+}
+
+void MasterNode::RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost) {
+  PLOG(WARNING) << "node " << node << " missed "
+                << config_.heartbeat_miss_threshold
+                << " heartbeats; declaring dead";
+  RecoveryEvent event;
+  event.at_s = now_s;
+  event.node = node;
+
+  // Sorted for deterministic recovery order.
+  std::vector<GroupId> groups;
+  for (const auto& [group, owner] : group_node_) {
+    if (owner == node) groups.push_back(group);
+  }
+  std::sort(groups.begin(), groups.end());
+
+  // Mark dead before picking targets so LeastLoadedNode skips it.  The
+  // rehomed flag (in.reset on revival) is set iff it held any groups.
+  dead_[node] = !groups.empty();
+
+  size_t live = 0;
+  for (NodeId n : index_nodes_) {
+    if (!transport_->IsDown(n) && dead_.count(n) == 0u) ++live;
+  }
+  if (live == 0 && !groups.empty()) {
+    PLOG(WARNING) << "no live index nodes; cannot re-home " << groups.size()
+                  << " groups of dead node " << node;
+    events_.push_back(std::move(event));
+    return;
+  }
+
+  for (GroupId g : groups) {
+    NodeId target = LeastLoadedNode();
+    RecoverGroupRequest rreq;
+    rreq.group = g;
+    rreq.specs = catalog_;
+    auto call = transport_->Call(id_, target, "in.recover_group", Encode(rreq));
+    cost += call.cost;
+    event.cost += call.cost;
+    if (call.status.ok()) {
+      if (auto resp = Decode<RecoverGroupResponse>(call.payload); resp.ok()) {
+        event.records_restored += resp->records_replayed;
+      }
+    } else {
+      // No journal on the survivor (or the call failed): keep routing
+      // valid with an empty replacement group.  The data is lost, exactly
+      // as it would be without a shared-storage journal.
+      PLOG(WARNING) << "recover_group " << g << " on node " << target
+                    << " failed (" << call.status.ToString()
+                    << "); creating empty replacement";
+      CreateGroupRequest creq;
+      creq.group = g;
+      creq.specs = catalog_;
+      auto fallback =
+          transport_->Call(id_, target, "in.create_group", Encode(creq));
+      cost += fallback.cost;
+      event.cost += fallback.cost;
+      if (!fallback.status.ok()) {
+        PLOG(WARNING) << "replacement group " << g << " creation failed: "
+                      << fallback.status.ToString();
+        continue;  // leave the mapping; a later tick may retry placement
+      }
+    }
+    group_node_[g] = target;
+    ++node_load_[target];
+    if (node_load_[node] > 0) --node_load_[node];
+    ++mutations_since_flush_;
+    ++event.groups_moved;
+  }
+  MaybeFlushMetadata(cost);
+  events_.push_back(std::move(event));
+}
+
+std::vector<NodeId> MasterNode::DeadNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(dead_.size());
+  for (const auto& [n, rehomed] : dead_) nodes.push_back(n);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
 }
 
 std::optional<NodeId> MasterNode::NodeOfGroup(GroupId group) const {

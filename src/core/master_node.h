@@ -42,6 +42,16 @@ struct MasterConfig {
   uint64_t metadata_flush_interval = 4096;
   // CPU cost of one routing-table lookup/insert.
   double lookup_us = 0.3;
+  // --- failure detection (mn.tick) ---
+  // Expected heartbeat cadence; a node is declared dead once
+  //   now - last_heartbeat > heartbeat_miss_threshold * heartbeat_interval_s.
+  double heartbeat_interval_s = 1.0;
+  int heartbeat_miss_threshold = 3;
+  // When a node is declared dead, immediately re-home its groups onto
+  // the least-loaded survivors (in.recover_group, falling back to an
+  // empty in.create_group when no recovery journal is attached).  Off:
+  // the node is only excluded from placement.
+  bool auto_recover_dead_nodes = true;
 };
 
 class MasterNode : public net::RpcHandler {
@@ -89,12 +99,30 @@ class MasterNode : public net::RpcHandler {
   // Returns the number of groups moved; migration cost in *cost.
   size_t RunRebalance(sim::Cost* cost, uint64_t slack = 1);
 
+  // --- failure detection & recovery introspection ---
+  // One entry per node-death the failure detector handled.
+  struct RecoveryEvent {
+    double at_s = 0;               // cluster time the death was declared
+    NodeId node = 0;               // the dead node
+    size_t groups_moved = 0;       // groups re-homed onto survivors
+    uint64_t records_restored = 0; // journal records replayed on survivors
+    sim::Cost cost;                // simulated recovery work
+  };
+  std::vector<RecoveryEvent> RecoveryEvents() const { return events_; }
+  std::vector<NodeId> DeadNodes() const;
+  bool IsNodeDead(NodeId node) const { return dead_.count(node) != 0u; }
+
  private:
   Response HandleResolveUpdate(const std::string& payload);
   Response HandleResolveSearch(const std::string& payload);
   Response HandleCreateIndex(const std::string& payload);
   Response HandleFlushAcg(const std::string& payload);
   Response HandleHeartbeat(const std::string& payload);
+  Response HandleTick(const std::string& payload);
+
+  // Declares `node` dead and (if configured) re-homes its groups onto the
+  // least-loaded live survivors.  Appends a RecoveryEvent either way.
+  void RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost);
 
   // Ensures `group` exists on some Index Node; creates it (with the
   // catalog's indices) on the least-loaded node if new.
@@ -118,6 +146,16 @@ class MasterNode : public net::RpcHandler {
   // Load view (updated by heartbeats + own placements): groups per node.
   std::unordered_map<NodeId, uint64_t> node_load_;
   std::vector<IndexSpec> catalog_;
+  // Failure detector state.  A node enters last_heartbeat_s_ on its first
+  // heartbeat; nodes the master never heard from are never declared dead
+  // (so a standby master taking over with a cold map does not mass-kill
+  // the cluster before the first heartbeat round).
+  std::unordered_map<NodeId, double> last_heartbeat_s_;
+  // Declared-dead nodes; value = whether their groups were re-homed (a
+  // revived node whose data moved elsewhere must be wiped via in.reset
+  // before it can rejoin the placement pool).
+  std::unordered_map<NodeId, bool> dead_;
+  std::vector<RecoveryEvent> events_;
   MetadataSink metadata_sink_;
   sim::IoContext shared_storage_;
   sim::PageStore metadata_store_;

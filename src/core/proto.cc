@@ -90,6 +90,7 @@ Status FlushAcgRequest::Deserialize(BinaryReader& r, FlushAcgRequest& out) {
 
 void HeartbeatRequest::Serialize(BinaryWriter& w) const {
   w.PutU32(node);
+  w.PutDouble(now_s);
   w.PutU32(static_cast<uint32_t>(groups.size()));
   for (const GroupStat& g : groups) {
     w.PutU64(g.group);
@@ -99,6 +100,7 @@ void HeartbeatRequest::Serialize(BinaryWriter& w) const {
 }
 Status HeartbeatRequest::Deserialize(BinaryReader& r, HeartbeatRequest& out) {
   PROPELLER_RETURN_IF_ERROR(r.GetU32(out.node));
+  PROPELLER_RETURN_IF_ERROR(r.GetDouble(out.now_s));
   uint32_t n = 0;
   PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
   out.groups.clear();
@@ -258,6 +260,38 @@ Status InstallGroupRequest::Deserialize(BinaryReader& r, InstallGroupRequest& ou
     PROPELLER_RETURN_IF_ERROR(FileUpdate::Deserialize(r, u));
     out.records.push_back(std::move(u));
   }
+  return Status::Ok();
+}
+
+void RecoverGroupRequest::Serialize(BinaryWriter& w) const {
+  w.PutU64(group);
+  w.PutU32(static_cast<uint32_t>(specs.size()));
+  for (const IndexSpec& s : specs) s.Serialize(w);
+}
+Status RecoverGroupRequest::Deserialize(BinaryReader& r,
+                                        RecoverGroupRequest& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.group));
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.specs.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    IndexSpec s;
+    PROPELLER_RETURN_IF_ERROR(IndexSpec::Deserialize(r, s));
+    out.specs.push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+void RecoverGroupResponse::Serialize(BinaryWriter& w) const {
+  w.PutU64(records_replayed);
+}
+Status RecoverGroupResponse::Deserialize(BinaryReader& r,
+                                         RecoverGroupResponse& out) {
+  return r.GetU64(out.records_replayed);
+}
+
+void ResetNodeRequest::Serialize(BinaryWriter&) const {}
+Status ResetNodeRequest::Deserialize(BinaryReader&, ResetNodeRequest&) {
   return Status::Ok();
 }
 

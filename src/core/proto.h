@@ -4,9 +4,10 @@
 //
 // Method names (see master_node.cc / index_node.cc for handlers):
 //   Master:  mn.resolve_update  mn.resolve_search  mn.create_index
-//            mn.flush_acg       mn.heartbeat
+//            mn.flush_acg       mn.heartbeat       mn.tick
 //   Index:   in.create_group    in.stage_updates   in.search
 //            in.tick            in.migrate_out     in.install_group
+//            in.recover_group   in.reset
 #pragma once
 
 #include <cstdint>
@@ -81,8 +82,11 @@ struct FlushAcgRequest {
 };
 
 // ---- mn.heartbeat ----
+// Also the master's liveness signal: `now_s` stamps the node's
+// last-heartbeat time, which mn.tick compares against the miss threshold.
 struct HeartbeatRequest {
   NodeId node = 0;
+  double now_s = 0;  // cluster virtual time the heartbeat was sent
   struct GroupStat {
     GroupId group = 0;
     uint64_t files = 0;
@@ -123,9 +127,12 @@ struct SearchResponse {
   static Status Deserialize(BinaryReader& r, SearchResponse& out);
 };
 
-// ---- in.tick ----
-// Commits every group whose oldest staged update has aged past the
-// timeout ("after a predetermined time interval, e.g. 5 seconds").
+// ---- in.tick / mn.tick ----
+// On an Index Node: commits every group whose oldest staged update has
+// aged past the timeout ("after a predetermined time interval, e.g. 5
+// seconds").  On the Master Node: advances the failure detector — nodes
+// whose last heartbeat is older than the miss window are declared dead
+// and their groups recovered onto survivors.
 struct TickRequest {
   double now_s = 0;
   void Serialize(BinaryWriter& w) const;
@@ -156,6 +163,30 @@ struct InstallGroupRequest {
   std::vector<FileUpdate> records;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, InstallGroupRequest& out);
+};
+
+// ---- in.recover_group ----
+// Master -> survivor node after a node death: rebuild `group` by
+// replaying the shared-storage recovery journal (FailedPrecondition when
+// the node has no journal attached).
+struct RecoverGroupRequest {
+  GroupId group = 0;
+  std::vector<IndexSpec> specs;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, RecoverGroupRequest& out);
+};
+struct RecoverGroupResponse {
+  uint64_t records_replayed = 0;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, RecoverGroupResponse& out);
+};
+
+// ---- in.reset ----
+// Master -> revived node: drop every group (their data was re-homed while
+// the node was dead) so the node rejoins the placement pool empty.
+struct ResetNodeRequest {
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, ResetNodeRequest& out);
 };
 
 // ---- generic helpers ----

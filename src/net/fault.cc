@@ -1,0 +1,50 @@
+#include "net/fault.h"
+
+namespace propeller::net {
+
+void FaultPlan::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(RuleState{std::move(rule), 0});
+}
+
+void FaultPlan::ClearRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+FaultPlan::Decision FaultPlan::Decide(NodeId src, NodeId dst,
+                                      const std::string& method) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (state.triggers >= rule.max_triggers) continue;
+    if (!rule.Matches(src, dst, method)) continue;
+
+    const double u = rng_.UniformDouble();
+    if (u < rule.drop_prob) {
+      ++state.triggers;
+      ++counters_.dropped;
+      return Decision{Action::kDrop, {}};
+    }
+    if (u < rule.drop_prob + rule.fail_prob) {
+      ++state.triggers;
+      ++counters_.failed;
+      return Decision{Action::kFail, {}};
+    }
+    if (u < rule.drop_prob + rule.fail_prob + rule.delay_prob) {
+      ++state.triggers;
+      ++counters_.delayed;
+      return Decision{Action::kDelay, sim::Cost(rule.delay_s)};
+    }
+    ++counters_.passed;
+    return Decision{};
+  }
+  return Decision{};
+}
+
+FaultPlan::Counters FaultPlan::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace propeller::net

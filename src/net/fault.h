@@ -1,0 +1,100 @@
+// Deterministic transport fault injection.
+//
+// A FaultPlan is a seeded rule list consulted on every *remote* RPC
+// (local from == to calls never fault).  The first rule matching the
+// call's (src, dst, method) consumes exactly one uniform draw from the
+// plan's RNG and decides the call's fate:
+//
+//   * drop  — the request vanishes before reaching the handler; the
+//             caller sees kUnavailable and is charged the request
+//             transfer it wasted.
+//   * fail  — the destination rejects the call without running the
+//             handler; charged like a failed handler (request transfer
+//             plus a small status-only frame back).
+//   * delay — the handler runs normally and the response carries
+//             `delay_s` of extra simulated latency.
+//
+// Calls matching no rule (and calls matching only exhausted rules, see
+// FaultRule::max_triggers) consume no randomness, so unrelated traffic
+// does not perturb the fault schedule: a fixed seed plus a fixed sequence
+// of matching calls yields the same drop/delay sequence every run.
+//
+// Thread safety: Decide() takes a small mutex around the RNG, so one plan
+// may be shared by any number of concurrent Transport::Call()ers.  With
+// concurrent callers the draw *order* follows the thread schedule; tests
+// that assert an exact schedule drive the transport from one thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/cost.h"
+
+namespace propeller::net {
+
+using NodeId = uint32_t;
+
+// Wildcard for FaultRule::src / FaultRule::dst.
+inline constexpr NodeId kAnyNode = ~NodeId{0};
+
+struct FaultRule {
+  NodeId src = kAnyNode;  // kAnyNode matches every caller
+  NodeId dst = kAnyNode;  // kAnyNode matches every callee
+  std::string method{};   // empty matches every method
+
+  // Probabilities are evaluated against a single uniform draw in this
+  // order; their sum must be <= 1 (the remainder passes the call clean).
+  double drop_prob = 0;
+  double fail_prob = 0;
+  double delay_prob = 0;
+  double delay_s = 0;  // extra simulated latency when delayed
+
+  // The rule stops matching after this many injected faults (passes do
+  // not count).  Lets tests script "drop exactly N, then heal".
+  uint64_t max_triggers = ~uint64_t{0};
+
+  bool Matches(NodeId s, NodeId d, const std::string& m) const {
+    return (src == kAnyNode || src == s) && (dst == kAnyNode || dst == d) &&
+           (method.empty() || method == m);
+  }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed) : rng_(seed) {}
+
+  void AddRule(FaultRule rule);
+  void ClearRules();
+
+  enum class Action : uint8_t { kNone, kDrop, kFail, kDelay };
+  struct Decision {
+    Action action = Action::kNone;
+    sim::Cost delay;  // meaningful when action == kDelay
+  };
+  // First matching live rule wins; consumes one draw iff a rule matched.
+  Decision Decide(NodeId src, NodeId dst, const std::string& method);
+
+  struct Counters {
+    uint64_t dropped = 0;
+    uint64_t failed = 0;
+    uint64_t delayed = 0;
+    uint64_t passed = 0;  // matched a rule but drew a clean pass
+  };
+  Counters counters() const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    uint64_t triggers = 0;
+  };
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<RuleState> rules_;
+  Counters counters_;
+};
+
+}  // namespace propeller::net

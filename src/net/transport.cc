@@ -19,6 +19,39 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
 
   const bool remote = from != to;
   const uint64_t request_bytes = request.size() + method.size() + 32;
+
+  // Fault injection applies to remote calls only: a node cannot drop its
+  // own in-process calls.
+  sim::Cost injected_delay;
+  if (remote) {
+    if (std::shared_ptr<FaultPlan> plan = fault_.load(); plan != nullptr) {
+      FaultPlan::Decision d = plan->Decide(from, to, method);
+      switch (d.action) {
+        case FaultPlan::Action::kDrop:
+          // The request left the wire and vanished: its transfer is spent.
+          out.cost += net_.Send(request_bytes);
+          messages_.fetch_add(1, std::memory_order_relaxed);
+          bytes_.fetch_add(request_bytes, std::memory_order_relaxed);
+          out.status = Status::Unavailable("fault: request dropped");
+          return out;
+        case FaultPlan::Action::kFail:
+          // Rejected at the destination without running the handler;
+          // charged like a failed handler: request transfer plus a small
+          // status-only frame back.
+          out.cost += net_.Send(request_bytes) + net_.Send(32);
+          messages_.fetch_add(2, std::memory_order_relaxed);
+          bytes_.fetch_add(request_bytes + 32, std::memory_order_relaxed);
+          out.status = Status::Unavailable("fault: injected failure");
+          return out;
+        case FaultPlan::Action::kDelay:
+          injected_delay = d.delay;
+          break;
+        case FaultPlan::Action::kNone:
+          break;
+      }
+    }
+  }
+  out.cost += injected_delay;
   if (remote) {
     out.cost += net_.Send(request_bytes);
     messages_.fetch_add(1, std::memory_order_relaxed);

@@ -17,7 +17,9 @@
 // uses per-group locking).
 //
 // Failure injection: a node can be marked down, after which calls to it
-// fail with kUnavailable — used by the recovery tests.
+// fail with kUnavailable — used by the recovery tests.  Finer-grained,
+// probabilistic faults (drops, delays, injected failures per method) come
+// from an optional seeded FaultPlan; see net/fault.h.
 #pragma once
 
 #include <atomic>
@@ -29,6 +31,7 @@
 #include <unordered_set>
 
 #include "common/status.h"
+#include "net/fault.h"
 #include "sim/cost.h"
 #include "sim/net_model.h"
 
@@ -76,6 +79,13 @@ class Transport {
     return down_.count(node) != 0u;
   }
 
+  // Installs (nullptr clears) the fault plan consulted on every remote
+  // call.  The plan may be shared and swapped while calls are in flight.
+  void SetFaultPlan(std::shared_ptr<FaultPlan> plan) {
+    fault_.store(std::move(plan));
+  }
+  std::shared_ptr<FaultPlan> fault_plan() const { return fault_.load(); }
+
   struct CallResult {
     Status status;
     std::string payload;  // response body (valid when status.ok())
@@ -110,6 +120,7 @@ class Transport {
   std::atomic<std::shared_ptr<const HandlerMap>> handlers_;
   mutable std::mutex down_mu_;
   std::unordered_set<NodeId> down_;
+  std::atomic<std::shared_ptr<FaultPlan>> fault_;
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> bytes_{0};
 };

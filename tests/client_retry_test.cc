@@ -1,0 +1,229 @@
+// Client resilience: retry/backoff under injected faults, simulated
+// deadlines, degraded partial-result search, and batch-update
+// partial-failure semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "net/fault.h"
+
+namespace propeller::core {
+namespace {
+
+using index::AttrValue;
+using index::CmpOp;
+
+FileUpdate Upsert(FileId f, int64_t size) {
+  FileUpdate u;
+  u.file = f;
+  u.attrs.Set("size", AttrValue(size));
+  return u;
+}
+
+IndexSpec SizeIndex() { return {"by_size", index::IndexType::kBTree, {"size"}}; }
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.index_nodes = 4;
+  cfg.master.acg_policy.cluster_target = 10;
+  cfg.master.acg_policy.split_threshold = 1000;
+  cfg.master.acg_policy.merge_limit = 1000;
+  return cfg;
+}
+
+// Seeds the cluster with `n` files of the given size and returns the
+// all-files predicate.
+Predicate Seed(PropellerCluster& cluster, int n, int64_t size = 7) {
+  EXPECT_TRUE(cluster.client().CreateIndex(SizeIndex()).ok());
+  std::vector<FileUpdate> updates;
+  for (FileId f = 1; f <= static_cast<FileId>(n); ++f) {
+    updates.push_back(Upsert(f, size));
+  }
+  EXPECT_TRUE(cluster.client().BatchUpdate(std::move(updates), cluster.now()).ok());
+  Predicate p;
+  p.And("size", CmpOp::kEq, AttrValue(size));
+  return p;
+}
+
+// First index node that owns at least one group.
+size_t NodeWithGroups(PropellerCluster& cluster) {
+  for (size_t i = 0; i < cluster.num_index_nodes(); ++i) {
+    if (cluster.index_node(i).NumGroups() > 0) return i;
+  }
+  ADD_FAILURE() << "no node holds any group";
+  return 0;
+}
+
+TEST(ClientRetryTest, RetriesRecoverFromTransientDrops) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.client.retry.max_attempts = 3;
+  PropellerCluster cluster(cfg);
+  Predicate p = Seed(cluster, 40);
+  NodeId victim = cluster.index_node(NodeWithGroups(cluster)).id();
+
+  auto clean = cluster.client().Search(p, "by_size");
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(clean->files.size(), 40u);
+
+  // Drop the next two searches hitting the victim, then heal.  The third
+  // attempt goes through, so the client succeeds without degrading.
+  auto plan = std::make_shared<net::FaultPlan>(99);
+  plan->AddRule(net::FaultRule{.dst = victim,
+                               .method = "in.search",
+                               .drop_prob = 1.0,
+                               .max_triggers = 2});
+  cluster.transport().SetFaultPlan(plan);
+
+  auto retried = cluster.client().Search(p, "by_size");
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried->files, clean->files);
+  EXPECT_FALSE(retried->partial);
+  EXPECT_EQ(plan->counters().dropped, 2u);
+  // The wasted attempts and backoff sleeps are on the simulated clock.
+  EXPECT_GT(retried->cost.seconds(), clean->cost.seconds());
+}
+
+TEST(ClientRetryTest, StrictSearchErrorNamesTheFailedNode) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.client.retry.max_attempts = 2;
+  PropellerCluster cluster(cfg);
+  Predicate p = Seed(cluster, 40);
+  size_t victim = NodeWithGroups(cluster);
+  NodeId victim_id = cluster.index_node(victim).id();
+  cluster.KillIndexNode(victim);
+
+  auto r = cluster.client().Search(p, "by_size");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find(std::to_string(victim_id)),
+            std::string::npos)
+      << "error must name the failed node, got: " << r.status().ToString();
+}
+
+TEST(ClientRetryTest, PartialSearchReturnsSurvivorsAndNamesTheDead) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.client.allow_partial_search = true;
+  cfg.client.retry.max_attempts = 2;
+  PropellerCluster cluster(cfg);
+  Predicate p = Seed(cluster, 60);
+
+  auto full = cluster.client().Search(p, "by_size");
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->files.size(), 60u);
+  EXPECT_FALSE(full->partial);
+  EXPECT_TRUE(full->node_errors.empty());
+
+  size_t victim = NodeWithGroups(cluster);
+  NodeId victim_id = cluster.index_node(victim).id();
+  cluster.KillIndexNode(victim);
+
+  auto degraded = cluster.client().Search(p, "by_size");
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->partial);
+  ASSERT_EQ(degraded->node_errors.size(), 1u)
+      << "exactly the unreachable node must be reported";
+  EXPECT_EQ(degraded->node_errors[0].node, victim_id);
+  EXPECT_EQ(degraded->node_errors[0].status.code(), StatusCode::kUnavailable);
+  // Survivors' results are intact: everything except the victim's files.
+  EXPECT_LT(degraded->files.size(), 60u);
+  for (FileId f : degraded->files) {
+    EXPECT_NE(std::find(full->files.begin(), full->files.end(), f),
+              full->files.end());
+  }
+
+  // Node restored: full results and no degradation.
+  cluster.ReviveIndexNode(victim);
+  auto restored = cluster.client().Search(p, "by_size");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->partial);
+  EXPECT_EQ(restored->files.size(), 60u);
+}
+
+TEST(ClientRetryTest, DeadlineBoundsRetrying) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.client.retry.max_attempts = 10;
+  cfg.client.retry.initial_backoff_s = 0.010;
+  cfg.client.retry.request_deadline_s = 0.050;
+  PropellerCluster cluster(cfg);
+  Predicate p = Seed(cluster, 20);
+
+  // Every search RPC is dropped: the deadline, not the attempt budget,
+  // must end the retry loop.
+  auto plan = std::make_shared<net::FaultPlan>(7);
+  plan->AddRule(net::FaultRule{.method = "in.search", .drop_prob = 1.0});
+  cluster.transport().SetFaultPlan(plan);
+
+  auto r = cluster.client().Search(p, "by_size");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  EXPECT_LT(plan->counters().dropped, 10u)
+      << "deadline should fire before all 10 attempts burn";
+}
+
+TEST(ClientRetryTest, BatchUpdatePartialFailureNamesBuckets) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.client.retry.max_attempts = 2;
+  PropellerCluster cluster(cfg);
+  ASSERT_TRUE(cluster.client().CreateIndex(SizeIndex()).ok());
+
+  // First wave places groups on every node.
+  std::vector<FileUpdate> wave1;
+  for (FileId f = 1; f <= 80; ++f) wave1.push_back(Upsert(f, 1));
+  ASSERT_TRUE(cluster.client().BatchUpdate(std::move(wave1), cluster.now()).ok());
+
+  size_t victim = NodeWithGroups(cluster);
+  NodeId victim_id = cluster.index_node(victim).id();
+  cluster.KillIndexNode(victim);
+
+  // Second wave re-touches every existing file: buckets for the dead
+  // node fail, the rest must still land.
+  std::vector<FileUpdate> wave2;
+  for (FileId f = 1; f <= 80; ++f) wave2.push_back(Upsert(f, 2));
+  auto up = cluster.client().BatchUpdate(std::move(wave2), cluster.now());
+  ASSERT_FALSE(up.ok());
+  EXPECT_EQ(up.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(up.status().message().find("partially failed"), std::string::npos);
+  EXPECT_NE(up.status().message().find("node " + std::to_string(victim_id)),
+            std::string::npos)
+      << "error must name the failed bucket's node: " << up.status().ToString();
+  EXPECT_NE(up.status().message().find("group"), std::string::npos);
+
+  // The healthy nodes' buckets were shipped despite the failure.
+  Predicate p;
+  p.And("size", CmpOp::kEq, AttrValue(int64_t{2}));
+  cluster.ReviveIndexNode(victim);
+  auto r = cluster.client().Search(p, "by_size");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->files.size(), 0u) << "independent buckets must still land";
+  EXPECT_LT(r->files.size(), 80u) << "the dead node's bucket cannot land";
+}
+
+TEST(ClientRetryTest, JitterIsDeterministicAcrossRuns) {
+  // Two identical clusters with identical fault schedules must charge
+  // bit-identical retry costs (stateless hash jitter, no shared RNG).
+  auto run = [] {
+    ClusterConfig cfg = SmallConfig();
+    cfg.client.retry.max_attempts = 3;
+    PropellerCluster cluster(cfg);
+    Predicate p = Seed(cluster, 40);
+    NodeId victim = cluster.index_node(NodeWithGroups(cluster)).id();
+    auto plan = std::make_shared<net::FaultPlan>(5);
+    plan->AddRule(net::FaultRule{.dst = victim,
+                                 .method = "in.search",
+                                 .drop_prob = 1.0,
+                                 .max_triggers = 2});
+    cluster.transport().SetFaultPlan(plan);
+    auto r = cluster.client().Search(p, "by_size");
+    EXPECT_TRUE(r.ok());
+    return r->cost.seconds();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace propeller::core

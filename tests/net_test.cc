@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/transport.h"
 
 namespace propeller::net {
@@ -148,6 +150,162 @@ TEST(TransportTest, UnregisterStopsRouting) {
   t.Register(7, &h);
   t.Unregister(7);
   EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(), StatusCode::kNotFound);
+}
+
+// ---- fault injection ----
+
+TEST(FaultPlanTest, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.AddRule(FaultRule{.drop_prob = 0.2, .fail_prob = 0.2,
+                           .delay_prob = 0.2, .delay_s = 0.5});
+    std::string schedule;
+    for (int i = 0; i < 200; ++i) {
+      switch (plan.Decide(1, 7, "ping").action) {
+        case FaultPlan::Action::kDrop: schedule += 'D'; break;
+        case FaultPlan::Action::kFail: schedule += 'F'; break;
+        case FaultPlan::Action::kDelay: schedule += 'd'; break;
+        case FaultPlan::Action::kNone: schedule += '.'; break;
+      }
+    }
+    return schedule;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43)) << "different seeds should diverge";
+  // All three actions actually occur at these probabilities.
+  std::string s = run(42);
+  EXPECT_NE(s.find('D'), std::string::npos);
+  EXPECT_NE(s.find('F'), std::string::npos);
+  EXPECT_NE(s.find('d'), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);
+}
+
+TEST(FaultPlanTest, NonMatchingCallsConsumeNoRandomness) {
+  // The schedule of matching calls must not shift when unrelated traffic
+  // is interleaved: non-matching calls draw nothing.
+  auto run = [](bool interleave) {
+    FaultPlan plan(7);
+    plan.AddRule(FaultRule{.method = "in.search", .drop_prob = 0.5});
+    std::string schedule;
+    for (int i = 0; i < 100; ++i) {
+      if (interleave) (void)plan.Decide(1, 7, "mn.heartbeat");
+      schedule += plan.Decide(1, 7, "in.search").action ==
+                          FaultPlan::Action::kDrop
+                      ? 'D'
+                      : '.';
+    }
+    return schedule;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(TransportFaultTest, DropChargesRequestOnlyAndSkipsHandler) {
+  Transport t(sim::NetModel(sim::NetParams{.latency_us = 1000,
+                                           .bandwidth_mb_per_s = 100}));
+  EchoHandler h;
+  t.Register(7, &h);
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->AddRule(FaultRule{.drop_prob = 1.0});
+  t.SetFaultPlan(plan);
+
+  const std::string request(10'000, 'r');
+  uint64_t messages_before = t.MessagesSent();
+  auto r = t.Call(1, 7, "ping", request);
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(h.calls, 0) << "dropped request must not reach the handler";
+  EXPECT_EQ(t.MessagesSent(), messages_before + 1) << "request only, no reply";
+  // The caller is charged exactly the wasted request transfer.
+  sim::Cost request_transfer =
+      t.net().Send(request.size() + std::string("ping").size() + 32);
+  EXPECT_DOUBLE_EQ(r.cost.seconds(), request_transfer.seconds());
+  EXPECT_EQ(plan->counters().dropped, 1u);
+}
+
+TEST(TransportFaultTest, FailMatchesErrorPathAccounting) {
+  // An injected failure must cost exactly what a real failed handler
+  // costs on the wire: request transfer + a 32-byte status frame (minus
+  // the handler work a real failure would add).
+  Transport t(sim::NetModel(sim::NetParams{.latency_us = 1000,
+                                           .bandwidth_mb_per_s = 100}));
+  EchoHandler h;
+  t.Register(7, &h);
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->AddRule(FaultRule{.fail_prob = 1.0});
+  t.SetFaultPlan(plan);
+
+  const std::string request(10'000, 'r');
+  uint64_t messages_before = t.MessagesSent();
+  auto r = t.Call(1, 7, "fail", request);
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(h.calls, 0);
+  EXPECT_EQ(t.MessagesSent(), messages_before + 2);  // request + status frame
+  sim::Cost expected =
+      t.net().Send(request.size() + std::string("fail").size() + 32) +
+      t.net().Send(32);
+  EXPECT_DOUBLE_EQ(r.cost.seconds(), expected.seconds());
+  EXPECT_EQ(plan->counters().failed, 1u);
+}
+
+TEST(TransportFaultTest, DelayRunsHandlerAndAddsLatency) {
+  Transport t;
+  EchoHandler h;
+  t.Register(7, &h);
+
+  auto clean = t.Call(1, 7, "ping", "x");
+  ASSERT_TRUE(clean.status.ok());
+
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->AddRule(FaultRule{.delay_prob = 1.0, .delay_s = 0.25});
+  t.SetFaultPlan(plan);
+  auto delayed = t.Call(1, 7, "ping", "x");
+  ASSERT_TRUE(delayed.status.ok());
+  EXPECT_EQ(delayed.payload, "x!") << "delayed call still runs the handler";
+  EXPECT_DOUBLE_EQ(delayed.cost.seconds(), clean.cost.seconds() + 0.25);
+  EXPECT_EQ(plan->counters().delayed, 1u);
+}
+
+TEST(TransportFaultTest, LocalCallsNeverFault) {
+  Transport t;
+  EchoHandler h;
+  t.Register(7, &h);
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->AddRule(FaultRule{.drop_prob = 1.0});
+  t.SetFaultPlan(plan);
+  EXPECT_TRUE(t.Call(7, 7, "ping", "x").status.ok());
+  EXPECT_EQ(plan->counters().dropped, 0u);
+}
+
+TEST(TransportFaultTest, MaxTriggersHealsTheRule) {
+  Transport t;
+  EchoHandler h;
+  t.Register(7, &h);
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->AddRule(FaultRule{.drop_prob = 1.0, .max_triggers = 3});
+  t.SetFaultPlan(plan);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_TRUE(t.Call(1, 7, "ping", "x").status.ok())
+      << "rule exhausted after 3 triggers";
+  EXPECT_EQ(plan->counters().dropped, 3u);
+}
+
+TEST(TransportFaultTest, RuleScopingByDstAndMethod) {
+  Transport t;
+  EchoHandler h7, h8;
+  t.Register(7, &h7);
+  t.Register(8, &h8);
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->AddRule(FaultRule{.dst = 7, .method = "ping", .drop_prob = 1.0});
+  t.SetFaultPlan(plan);
+  EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(t.Call(1, 8, "ping", "x").status.ok()) << "other dst unaffected";
+  EXPECT_TRUE(t.Call(1, 7, "other", "x").status.ok())
+      << "other method unaffected";
+  // Clearing the plan heals everything.
+  t.SetFaultPlan(nullptr);
+  EXPECT_TRUE(t.Call(1, 7, "ping", "x").status.ok());
 }
 
 }  // namespace

@@ -86,6 +86,43 @@ TEST(ParallelSearchTest, ParallelModeIsBitIdenticalToSerial) {
   }
 }
 
+TEST(ParallelSearchTest, DefaultRetryPolicyIsCostNeutralWithoutFaults) {
+  // Regression for the resilience layer: with no fault plan installed and
+  // the retry policy at its defaults, every result and simulated cost must
+  // be bit-identical to a no-retry configuration — retries only engage on
+  // kUnavailable, jitter is only drawn on an actual retry, and the
+  // recovery journal is off by default.
+  auto build = [](int max_attempts) {
+    ClusterConfig cfg = MakeConfig(false);
+    cfg.client.retry.max_attempts = max_attempts;
+    auto cluster = std::make_unique<PropellerCluster>(cfg);
+    EXPECT_TRUE(
+        cluster->client()
+            .CreateIndex({"by_size", index::IndexType::kBTree, {"size"}})
+            .ok());
+    auto load = cluster->client().BatchUpdate(
+        workload::SyntheticRows(1, kBaseFiles, Spec()), cluster->now());
+    EXPECT_TRUE(load.ok());
+    cluster->AdvanceTime(6.0);
+    return std::make_pair(std::move(cluster), load->seconds());
+  };
+  auto [defaults, d_load] = build(ClientConfig{}.retry.max_attempts);
+  auto [no_retry, nr_load] = build(1);
+  EXPECT_EQ(d_load, nr_load);
+
+  auto parsed = ParseQuery(kQuery, 1'000'000);
+  ASSERT_TRUE(parsed.ok());
+  for (int round = 0; round < 3; ++round) {
+    auto d = defaults->client().Search(parsed->predicate);
+    auto n = no_retry->client().Search(parsed->predicate);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(d->files, n->files);
+    EXPECT_EQ(d->cost.seconds(), n->cost.seconds());
+    EXPECT_FALSE(d->partial);
+  }
+}
+
 TEST(ParallelSearchTest, BatchUpdateCostsMatchSerialExactly) {
   auto serial = MakeLoadedCluster(false);
   auto parallel = MakeLoadedCluster(true);
