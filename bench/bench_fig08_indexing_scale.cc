@@ -257,6 +257,10 @@ int main() {
       "\nPaper shapes: Propeller 30-60x faster than MySQL; Propeller's time "
       "is dataset-scale-independent (50M == 100M), MySQL degrades ~2x from "
       "50M to 100M.\n");
+  // Metrics sidecar from the 50M cluster: WAL appends/bytes and the
+  // staged-vs-committed update split accumulated across every Run() above.
+  bench::WriteMetricsSidecar("bench_fig08_indexing_scale",
+                             prop50.cluster->PerNodeMetrics());
   StagingComparison();
   return 0;
 }

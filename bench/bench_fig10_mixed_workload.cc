@@ -89,6 +89,10 @@ int main() {
         if (s.ok()) prop.search_latency_s.push_back(s->cost.seconds());
       }
     }
+    // Metrics sidecar: mixed-workload counters (WAL traffic, commit
+    // timeouts, search/update latency percentiles) per node + merged.
+    bench::WriteMetricsSidecar("bench_fig10_mixed_workload",
+                               cluster.PerNodeMetrics());
   }
 
   // ---------- MiniSql ----------

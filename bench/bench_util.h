@@ -8,8 +8,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/fmt.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace propeller::bench {
 
@@ -38,6 +43,49 @@ inline std::string Secs(double s) {
   if (s >= 1) return Sprintf("%.3f", s);
   if (s >= 1e-3) return Sprintf("%.3fms", s * 1e3);
   return Sprintf("%.1fus", s * 1e6);
+}
+
+// --- observability sidecars ---
+// Every bench can drop a metrics snapshot (<experiment>.metrics.json) and a
+// span dump (<experiment>.trace.json, chrome://tracing format) next to its
+// results.  PROPELLER_OBS_DIR overrides the output directory (default ".").
+
+inline std::string ObsDir() {
+  const char* env = std::getenv("PROPELLER_OBS_DIR");
+  return env != nullptr && env[0] != '\0' ? env : ".";
+}
+
+inline bool WriteSidecarFile(const std::string& path,
+                             const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// `sections` is one named metrics snapshot per component (e.g. from
+// PropellerCluster::PerNodeMetrics()); the file carries each section plus
+// the cluster-wide merge.
+inline void WriteMetricsSidecar(
+    const std::string& experiment,
+    const std::vector<std::pair<std::string, obs::MetricsSnapshot>>& sections) {
+  const std::string path = ObsDir() + "/" + experiment + ".metrics.json";
+  if (WriteSidecarFile(path, obs::MetricsReportToJson(sections))) {
+    std::printf("metrics sidecar: %s\n", path.c_str());
+  }
+}
+
+inline void WriteTraceSidecar(const std::string& experiment,
+                              const obs::Tracer& tracer) {
+  const std::string path = ObsDir() + "/" + experiment + ".trace.json";
+  if (WriteSidecarFile(path, obs::SpansToChromeTrace(tracer.Spans()))) {
+    std::printf("trace sidecar: %s (%zu spans; open in chrome://tracing)\n",
+                path.c_str(), tracer.SpanCount());
+  }
 }
 
 }  // namespace propeller::bench

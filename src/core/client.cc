@@ -38,9 +38,23 @@ net::Transport::CallResult PropellerClient::CallWithRetry(
   double backoff = rp.initial_backoff_s;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     const bool last = attempt + 1 == attempts;
-    // The transport consumes the payload; keep a copy while retries remain.
-    out = transport_->Call(id_, to, method,
-                           last ? std::move(payload) : std::string(payload));
+    rpc_attempts_->Add(1);
+    if (attempt > 0) rpc_retries_->Add(1);
+    {
+      // One span per attempt; the transport's server span nests under it.
+      // The key mixes attempt into the id so retries get distinct spans at
+      // distinct (backoff-advanced) instants.
+      obs::SpanGuard attempt_span(
+          "rpc", static_cast<uint64_t>(to) ^
+                     (static_cast<uint64_t>(attempt + 1) << 40));
+      attempt_span.Tag("method", method);
+      attempt_span.Tag("to", static_cast<uint64_t>(to));
+      attempt_span.Tag("attempt", static_cast<uint64_t>(attempt + 1));
+      // The transport consumes the payload; keep a copy while retries remain.
+      out = transport_->Call(id_, to, method,
+                             last ? std::move(payload) : std::string(payload));
+      attempt_span.Tag("status", StatusCodeName(out.status.code()));
+    }
     total += out.cost;
     out.cost = total;
     if (out.status.code() != StatusCode::kUnavailable) return out;
@@ -55,6 +69,13 @@ net::Transport::CallResult PropellerClient::CallWithRetry(
     double sleep = std::min(backoff, rp.max_backoff_s);
     sleep *= 1.0 + rp.jitter_frac * JitterFraction(rp.jitter_seed, to, method,
                                                    attempt);
+    {
+      obs::SpanGuard backoff_span(
+          "backoff", static_cast<uint64_t>(to) ^
+                         (static_cast<uint64_t>(attempt + 1) << 40));
+      backoff_span.Tag("to", static_cast<uint64_t>(to));
+      backoff_span.Advance(sim::Cost(sleep));
+    }
     total += sim::Cost(sleep);
     if (deadline > 0 && total.seconds() >= deadline) {
       out.cost = total;
@@ -75,12 +96,21 @@ PropellerClient::PropellerClient(NodeId id, net::Transport* transport,
       transport_(transport),
       master_(master),
       config_(config),
-      rpc_pool_(rpc_pool) {}
+      rpc_pool_(rpc_pool),
+      rpc_attempts_(&metrics_.GetCounter("client.rpc.attempts")),
+      rpc_retries_(&metrics_.GetCounter("client.rpc.retries")),
+      partial_searches_(&metrics_.GetCounter("client.search.partial")),
+      search_latency_(&metrics_.GetHistogram("client.search.latency_s")),
+      update_latency_(&metrics_.GetHistogram("client.batch_update.latency_s")) {
+}
 
 void PropellerClient::AttachVfs(fs::Vfs* vfs) { vfs->AddListener(&builder_); }
 
 Result<sim::Cost> PropellerClient::FlushAcg() {
   if (!builder_.HasPendingDelta()) return sim::Cost::Zero();
+  obs::TraceRoot root(tracer_, "client.flush_acg", id_,
+                      trace_seq_.fetch_add(1, std::memory_order_relaxed),
+                      clock_s_ != nullptr ? *clock_s_ : 0.0, id_);
   FlushAcgRequest req;
   req.delta = builder_.TakeDelta();
   auto call = CallWithRetry(master_, "mn.flush_acg", Encode(req));
@@ -89,6 +119,9 @@ Result<sim::Cost> PropellerClient::FlushAcg() {
 }
 
 Result<sim::Cost> PropellerClient::CreateIndex(const IndexSpec& spec) {
+  obs::TraceRoot root(tracer_, "client.create_index", id_,
+                      trace_seq_.fetch_add(1, std::memory_order_relaxed),
+                      clock_s_ != nullptr ? *clock_s_ : 0.0, id_);
   CreateIndexRequest req;
   req.spec = spec;
   auto call = CallWithRetry(master_, "mn.create_index", Encode(req));
@@ -99,6 +132,10 @@ Result<sim::Cost> PropellerClient::CreateIndex(const IndexSpec& spec) {
 Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
                                                double now_s) {
   if (updates.empty()) return sim::Cost::Zero();
+  obs::TraceRoot root(tracer_, "client.batch_update", id_,
+                      trace_seq_.fetch_add(1, std::memory_order_relaxed),
+                      clock_s_ != nullptr ? *clock_s_ : 0.0, id_);
+  root.Tag("updates", static_cast<uint64_t>(updates.size()));
   sim::Cost cost;
 
   // Ask the master where every file lives (one batched request).
@@ -167,7 +204,12 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   // serially.  With an RPC pool the shipments also execute concurrently in
   // wall-clock time; per-shipment costs are state-independent WAL appends,
   // so the aggregate below matches the serial run exactly.
+  // Every fan-out branch starts from the cursor captured here — in serial
+  // mode too — so span timestamps mirror the cost model (branches run
+  // concurrently from the fan-out instant) regardless of execution order.
+  const obs::TraceCursor fanout_base = obs::CurrentTrace();
   auto ship_one = [&](size_t i) {
+    obs::ScopedTraceCursor branch(fanout_base);
     Shipment& s = shipments[i];
     for (std::string& payload : s.payloads) {
       auto call = CallWithRetry(s.node, "in.stage_updates", std::move(payload));
@@ -207,12 +249,22 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   branches.reserve(per_node.size());
   for (const auto& [node, c] : per_node) branches.push_back(c);
   cost += sim::Cost::ParallelMax(branches);
+  if (obs::CurrentTrace().active()) {
+    // Join: the client resumes when the slowest branch finishes.
+    obs::CurrentTrace().now_s =
+        fanout_base.now_s + sim::Cost::ParallelMax(branches).seconds();
+  }
+  update_latency_->Observe(cost.seconds());
   return cost;
 }
 
 Result<PropellerClient::SearchOutcome> PropellerClient::Search(
     const Predicate& predicate, const std::string& index_name) {
   SearchOutcome out;
+  obs::TraceRoot root(tracer_, "client.search", id_,
+                      trace_seq_.fetch_add(1, std::memory_order_relaxed),
+                      clock_s_ != nullptr ? *clock_s_ : 0.0, id_);
+  if (!index_name.empty()) root.Tag("index", index_name);
 
   ResolveSearchRequest rreq;
   rreq.index_name = index_name;
@@ -235,7 +287,11 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
     sreq.predicate = predicate;
     payloads[i] = Encode(sreq);
   }
+  // Branches fork from the cursor captured here (also in serial mode), so
+  // fan-out span timestamps match the cost model's parallel composition.
+  const obs::TraceCursor fanout_base = obs::CurrentTrace();
   auto call_one = [&](size_t i) {
+    obs::ScopedTraceCursor branch(fanout_base);
     calls[i] = CallWithRetry(targets->targets[i].node, "in.search",
                              std::move(payloads[i]));
   };
@@ -275,9 +331,20 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
     ++out.nodes_queried;
   }
   out.cost += sim::Cost::ParallelMax(branches);
+  if (obs::CurrentTrace().active()) {
+    obs::CurrentTrace().now_s =
+        fanout_base.now_s + sim::Cost::ParallelMax(branches).seconds();
+  }
   std::sort(out.files.begin(), out.files.end());
   out.files.erase(std::unique(out.files.begin(), out.files.end()),
                   out.files.end());
+  if (out.partial) {
+    partial_searches_->Add(1);
+    root.Tag("partial", "true");
+  }
+  root.Tag("nodes", static_cast<uint64_t>(out.nodes_queried));
+  root.Tag("files", static_cast<uint64_t>(out.files.size()));
+  search_latency_->Observe(out.cost.seconds());
   return out;
 }
 

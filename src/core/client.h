@@ -7,6 +7,7 @@
 // simulated latency of a fan-out is the slowest branch).
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "core/query_parser.h"
 #include "fs/vfs.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace propeller::core {
 
@@ -60,6 +63,17 @@ class PropellerClient {
                   ClientConfig config = {}, ThreadPool* rpc_pool = nullptr);
 
   NodeId id() const { return id_; }
+
+  // Observability wiring (optional; PropellerCluster::AddClient binds its
+  // tracer and virtual clock).  When bound, every Search/BatchUpdate/... is
+  // a trace root anchored at `*clock_s` and the whole causal tree —
+  // retries, fan-out, server-side work — is recorded on `tracer`.
+  void BindObservability(obs::Tracer* tracer, const double* clock_s) {
+    tracer_ = tracer;
+    clock_s_ = clock_s;
+  }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
 
   // --- File Access Management ---
   // Registers the ACG capture hooks on a Vfs (FUSE-intercept stand-in).
@@ -110,6 +124,16 @@ class PropellerClient {
   ClientConfig config_;
   ThreadPool* rpc_pool_;  // not owned; null = serial fan-out
   acg::AcgBuilder builder_;
+
+  obs::Tracer* tracer_ = nullptr;    // not owned; null = tracing off
+  const double* clock_s_ = nullptr;  // cluster virtual clock; null = epoch 0
+  obs::MetricsRegistry metrics_;
+  std::atomic<uint64_t> trace_seq_{0};  // per-client trace id sequence
+  obs::Counter* rpc_attempts_;
+  obs::Counter* rpc_retries_;
+  obs::Counter* partial_searches_;
+  obs::Histogram* search_latency_;
+  obs::Histogram* update_latency_;
 };
 
 }  // namespace propeller::core

@@ -21,6 +21,7 @@ PropellerCluster::PropellerCluster(ClusterConfig config)
   // The cluster clock drives both heartbeats and the master's failure
   // detector; keep the detector's notion of the cadence in sync.
   config_.master.heartbeat_interval_s = config_.heartbeat_interval_s;
+  if (config_.tracing) tracer_.Enable();
   master_ = std::make_unique<MasterNode>(kMasterId, &transport_, config_.master);
   transport_.Register(kMasterId, master_.get());
 
@@ -38,11 +39,18 @@ PropellerClient& PropellerCluster::AddClient() {
   auto id = static_cast<NodeId>(kFirstClientId + clients_.size());
   clients_.push_back(std::make_unique<PropellerClient>(
       id, &transport_, kMasterId, config_.client, client_pool_.get()));
+  clients_.back()->BindObservability(&tracer_, &now_s_);
   return *clients_.back();
 }
 
 void PropellerCluster::AdvanceTime(double seconds) {
   now_s_ += seconds;
+
+  // One trace per clock tick so background work — commit-on-timeout
+  // flushes, heartbeats, failure-detector recoveries — lands in the span
+  // tree alongside client request traces.
+  obs::TraceRoot root(&tracer_, "cluster.tick", kMasterId, tick_seq_++,
+                      now_s_, kMasterId);
 
   // Commit-timeout ticks.
   TickRequest tick;
@@ -143,7 +151,24 @@ ClusterStats PropellerCluster::Stats() const {
       }
     }
   }
+  for (const auto& [name, snap] : PerNodeMetrics()) stats.metrics.Merge(snap);
   return stats;
+}
+
+std::vector<std::pair<std::string, obs::MetricsSnapshot>>
+PropellerCluster::PerNodeMetrics() const {
+  std::vector<std::pair<std::string, obs::MetricsSnapshot>> sections;
+  sections.emplace_back("transport", transport_.MetricsSnapshot());
+  sections.emplace_back("master", master_->MetricsSnapshot());
+  for (const auto& node : index_nodes_) {
+    sections.emplace_back("in." + std::to_string(node->id()),
+                          node->MetricsSnapshot());
+  }
+  for (const auto& client : clients_) {
+    sections.emplace_back("client." + std::to_string(client->id()),
+                          client->MetricsSnapshot());
+  }
+  return sections;
 }
 
 }  // namespace propeller::core

@@ -7,11 +7,16 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+#include <utility>
+
 #include "core/client.h"
 #include "core/group_journal.h"
 #include "core/index_node.h"
 #include "core/master_node.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace propeller::core {
 
@@ -33,6 +38,11 @@ struct ClusterConfig {
   // a dead node's groups on survivors (in.recover_group).  Off by default
   // — replication costs extra simulated I/O on the staging path.
   bool recovery_journal = false;
+  // Distributed tracing (src/obs): record a causal span tree for every
+  // client request and cluster tick on the cluster's tracer.  Off by
+  // default — when off, every instrumentation point is a thread-local read
+  // plus one branch.  Metrics counters are always on.
+  bool tracing = false;
 };
 
 // Aggregate cluster health / recovery view (see PropellerCluster::Stats).
@@ -44,6 +54,10 @@ struct ClusterStats {
   size_t groups_recovered = 0;    // groups re-homed across all events
   uint64_t records_restored = 0;  // journal records replayed on survivors
   uint64_t journal_records = 0;   // total records in the recovery journal
+  // Merged per-node metrics snapshot (transport + master + every Index
+  // Node + every client): WAL bytes, cache hit/miss, staged-vs-committed
+  // update counts, latency histograms, ... — see DESIGN.md Observability.
+  obs::MetricsSnapshot metrics;
 };
 
 class PropellerCluster {
@@ -85,6 +99,17 @@ class PropellerCluster {
   uint64_t TotalIndexPages() const;
   ClusterStats Stats() const;
 
+  // --- observability ---
+  // The cluster-wide tracer; enabled when config.tracing is set (or call
+  // tracer().Enable() directly).  Every client bound via AddClient records
+  // its request trees here.
+  obs::Tracer& tracer() { return tracer_; }
+  // One named metrics section per component ("transport", "master",
+  // "in.<id>", "client.<id>") — the benches' JSON sidecar shape; merging
+  // all sections gives ClusterStats::metrics.
+  std::vector<std::pair<std::string, obs::MetricsSnapshot>> PerNodeMetrics()
+      const;
+
   // --- Master high availability (extension beyond the paper) ---
   // Starts a standby master that receives every flushed metadata image.
   void EnableStandbyMaster();
@@ -113,6 +138,8 @@ class PropellerCluster {
   std::vector<std::unique_ptr<PropellerClient>> clients_;
   double now_s_ = 0;
   double last_heartbeat_s_ = 0;
+  obs::Tracer tracer_;
+  uint64_t tick_seq_ = 0;  // trace-id sequence for cluster.tick roots
 };
 
 }  // namespace propeller::core

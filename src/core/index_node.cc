@@ -5,11 +5,18 @@
 
 #include "common/logging.h"
 #include "core/group_journal.h"
+#include "obs/trace.h"
 
 namespace propeller::core {
 
 IndexNode::IndexNode(NodeId id, IndexNodeConfig config)
-    : id_(id), config_(config), io_(config.io) {
+    : id_(id),
+      config_(config),
+      io_(config.io),
+      searches_(&metrics_.GetCounter("in.searches")),
+      stage_batches_(&metrics_.GetCounter("in.stage_batches")),
+      commit_timeouts_(&metrics_.GetCounter("in.commit_timeouts")),
+      search_latency_(&metrics_.GetHistogram("in.search.latency_s")) {
   if (config_.parallel_search) {
     search_pool_ = std::make_unique<ThreadPool>(
         std::max<size_t>(1, static_cast<size_t>(config_.search_threads)));
@@ -31,7 +38,7 @@ Status IndexNode::EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs) {
   auto it = groups_.find(id);
   if (it == groups_.end()) {
     it = groups_.try_emplace(id).first;
-    it->second.group = std::make_unique<index::IndexGroup>(id, &io_);
+    it->second.group = std::make_unique<index::IndexGroup>(id, &io_, &metrics_);
   }
   for (const IndexSpec& spec : specs) {
     if (it->second.group->HasIndex(spec.name)) continue;
@@ -69,6 +76,10 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
   if (state == nullptr) {
     return Response{Status::NotFound("no such group"), {}, {}};
   }
+  stage_batches_->Add(1);
+  obs::SpanGuard span("wal.append", req->group, id_);
+  span.Tag("group", req->group);
+  span.Tag("records", static_cast<uint64_t>(req->updates.size()));
   sim::Cost cost;
   // Replicate to the shared recovery journal before staging (StageUpdate
   // consumes the update), so a node lost after acking can be rebuilt.
@@ -78,6 +89,7 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
   for (FileUpdate& u : req->updates) {
     cost += state->group->StageUpdate(std::move(u));
   }
+  span.Advance(cost);
   // First stager after a commit claims the pending-timeout slot.
   double expected = -1.0;
   while (expected < 0 &&
@@ -106,7 +118,12 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
   // and are aggregated in request order, so the response bytes and the
   // simulated makespan are identical in both modes.
   std::vector<index::IndexGroup::SearchResult> results(states.size());
+  // Per-group search spans fork from this instant (the node's own fan-out
+  // point) — in serial mode too — so trace timestamps are identical
+  // whether the searches run on the pool or inline.
+  const obs::TraceCursor fanout_base = obs::CurrentTrace();
   auto run_one = [&](size_t i) {
+    obs::ScopedTraceCursor branch(fanout_base);
     results[i] = states[i]->group->Search(req->predicate);
     states[i]->oldest_pending_s.store(-1.0);  // search committed everything
   };
@@ -143,6 +160,12 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
     makespan = loads.top();
     loads.pop();
   }
+  searches_->Add(1);
+  search_latency_->Observe(makespan);
+  if (obs::CurrentTrace().active()) {
+    // Join: the node answers when its worker schedule drains.
+    obs::CurrentTrace().now_s = fanout_base.now_s + makespan;
+  }
   return Response{Status::Ok(), Encode(resp), sim::Cost(makespan)};
 }
 
@@ -154,9 +177,19 @@ net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
   for (auto& [gid, state] : groups_) {
     double oldest = state.oldest_pending_s.load();
     if (oldest >= 0 && req->now_s - oldest >= config_.commit_timeout_s) {
-      cost += state.group->Commit();
-      cost += state.group->MaintainIndexes();
+      commit_timeouts_->Add(1);
+      obs::SpanGuard span("group.commit_timeout", gid, id_);
+      span.Tag("group", gid);
+      sim::Cost group_cost = state.group->Commit();
+      group_cost += state.group->MaintainIndexes();
       state.oldest_pending_s.store(-1.0);
+      // The nested group.commit span advanced part of this; top up the rest.
+      double inside = span.active()
+                          ? obs::CurrentTrace().now_s - span.start_s()
+                          : 0.0;
+      double topup = group_cost.seconds() - inside;
+      if (topup > 0) span.Advance(sim::Cost(topup));
+      cost += group_cost;
     }
   }
   // Background commits overlap foreground work; report the cost so callers
@@ -286,6 +319,22 @@ uint64_t IndexNode::TotalPages() const {
   uint64_t total = 0;
   for (const auto& [gid, state] : groups_) total += state.group->ApproxPages();
   return total;
+}
+
+obs::MetricsSnapshot IndexNode::MetricsSnapshot() const {
+  obs::MetricsSnapshot snap = metrics_.Snapshot();
+  sim::PageCacheStats cache = io_.CacheStats();
+  snap.counters["io.cache.hits"] += cache.hits;
+  snap.counters["io.cache.misses"] += cache.misses;
+  snap.counters["io.cache.evictions"] += cache.evictions;
+  {
+    std::shared_lock<std::shared_mutex> lock(groups_mu_);
+    snap.gauges["in.groups"] = static_cast<double>(groups_.size());
+    uint64_t pages = 0;
+    for (const auto& [gid, state] : groups_) pages += state.group->ApproxPages();
+    snap.gauges["in.pages"] = static_cast<double>(pages);
+  }
+  return snap;
 }
 
 Status IndexNode::CrashAndRecover() {

@@ -28,6 +28,7 @@
 #include "core/proto.h"
 #include "index/index_group.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "sim/io_context.h"
 
 namespace propeller::core {
@@ -76,6 +77,13 @@ class IndexNode : public net::RpcHandler {
   // to model a permanent machine loss.
   Status Reset();
 
+  // Node-local metrics: the registry shared with this node's groups, plus
+  // page-cache counters injected from the IoContext at snapshot time.
+  // Cache stats survive Reset() (PageCache keeps its monotone counters), so
+  // merged counters never move backwards across kills/revivals.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
  private:
   struct GroupState {
     std::unique_ptr<index::IndexGroup> group;
@@ -106,6 +114,11 @@ class IndexNode : public net::RpcHandler {
   std::map<GroupId, GroupState> groups_;
   // Per-node search worker pool; null when parallel_search is off.
   std::unique_ptr<ThreadPool> search_pool_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* searches_;
+  obs::Counter* stage_batches_;
+  obs::Counter* commit_timeouts_;
+  obs::Histogram* search_latency_;
 };
 
 }  // namespace propeller::core

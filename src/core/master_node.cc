@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace propeller::core {
 
@@ -11,7 +12,12 @@ MasterNode::MasterNode(NodeId id, net::Transport* transport, MasterConfig config
       transport_(transport),
       config_(config),
       acg_(config.acg_policy),
-      metadata_store_(shared_storage_.CreateStore()) {}
+      metadata_store_(shared_storage_.CreateStore()),
+      handle_calls_(&metrics_.GetCounter("mn.handle.calls")),
+      metadata_flushes_(&metrics_.GetCounter("mn.metadata.flushes")),
+      recoveries_(&metrics_.GetCounter("mn.recoveries")),
+      groups_recovered_(&metrics_.GetCounter("mn.groups_recovered")),
+      handle_latency_(&metrics_.GetHistogram("mn.handle.latency_s")) {}
 
 void MasterNode::AddIndexNode(NodeId node) {
   index_nodes_.push_back(node);
@@ -36,13 +42,19 @@ NodeId MasterNode::LeastLoadedNode() const {
 net::RpcHandler::Response MasterNode::Handle(const std::string& method,
                                              const std::string& payload) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (method == "mn.resolve_update") return HandleResolveUpdate(payload);
-  if (method == "mn.resolve_search") return HandleResolveSearch(payload);
-  if (method == "mn.create_index") return HandleCreateIndex(payload);
-  if (method == "mn.flush_acg") return HandleFlushAcg(payload);
-  if (method == "mn.heartbeat") return HandleHeartbeat(payload);
-  if (method == "mn.tick") return HandleTick(payload);
-  return Response{Status::NotFound("unknown method " + method), {}, {}};
+  handle_calls_->Add(1);
+  metrics_.GetCounter("mn.calls." + method).Add(1);
+  Response resp = [&]() -> Response {
+    if (method == "mn.resolve_update") return HandleResolveUpdate(payload);
+    if (method == "mn.resolve_search") return HandleResolveSearch(payload);
+    if (method == "mn.create_index") return HandleCreateIndex(payload);
+    if (method == "mn.flush_acg") return HandleFlushAcg(payload);
+    if (method == "mn.heartbeat") return HandleHeartbeat(payload);
+    if (method == "mn.tick") return HandleTick(payload);
+    return Response{Status::NotFound("unknown method " + method), {}, {}};
+  }();
+  handle_latency_->Observe(resp.cost.seconds());
+  return resp;
 }
 
 Result<NodeId> MasterNode::EnsureGroupPlaced(GroupId group, sim::Cost& cost) {
@@ -366,6 +378,12 @@ void MasterNode::RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost) {
   PLOG(WARNING) << "node " << node << " missed "
                 << config_.heartbeat_miss_threshold
                 << " heartbeats; declaring dead";
+  recoveries_->Add(1);
+  // The nested in.recover_group / in.create_group transport calls advance
+  // the ambient clock themselves, so this span's extent is the whole
+  // re-homing sweep.
+  obs::SpanGuard span("mn.recover_node", node, id_);
+  span.Tag("dead_node", static_cast<uint64_t>(node));
   RecoveryEvent event;
   event.at_s = now_s;
   event.node = node;
@@ -431,6 +449,9 @@ void MasterNode::RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost) {
     ++event.groups_moved;
   }
   MaybeFlushMetadata(cost);
+  groups_recovered_->Add(event.groups_moved);
+  span.Tag("groups_moved", static_cast<uint64_t>(event.groups_moved));
+  span.Tag("records_restored", event.records_restored);
   events_.push_back(std::move(event));
 }
 
@@ -519,8 +540,12 @@ void MasterNode::MaybeFlushMetadata(sim::Cost& cost) {
 }
 
 sim::Cost MasterNode::ForceMetadataFlush() {
+  obs::SpanGuard span("mn.metadata_flush", flush_count_, id_);
+  metadata_flushes_->Add(1);
   std::string image = SnapshotMetadata();
   sim::Cost cost = metadata_store_.Append(image.size());
+  span.Tag("bytes", static_cast<uint64_t>(image.size()));
+  span.Advance(cost);
   mutations_since_flush_ = 0;
   ++flush_count_;
   if (metadata_sink_) metadata_sink_(image);

@@ -32,6 +32,7 @@
 #include "acg/acg_manager.h"
 #include "core/proto.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "sim/io_context.h"
 
 namespace propeller::core {
@@ -112,6 +113,11 @@ class MasterNode : public net::RpcHandler {
   std::vector<NodeId> DeadNodes() const;
   bool IsNodeDead(NodeId node) const { return dead_.count(node) != 0u; }
 
+  // Master-side metrics (per-method call counts, handle latency,
+  // metadata flushes, recovery totals).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+
  private:
   Response HandleResolveUpdate(const std::string& payload);
   Response HandleResolveSearch(const std::string& payload);
@@ -161,6 +167,12 @@ class MasterNode : public net::RpcHandler {
   sim::PageStore metadata_store_;
   uint64_t mutations_since_flush_ = 0;
   uint64_t flush_count_ = 0;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* handle_calls_;
+  obs::Counter* metadata_flushes_;
+  obs::Counter* recoveries_;
+  obs::Counter* groups_recovered_;
+  obs::Histogram* handle_latency_;
 };
 
 }  // namespace propeller::core

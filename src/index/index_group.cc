@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace propeller::index {
 
@@ -78,11 +79,19 @@ std::vector<std::string> ExtractKeywords(const std::string& path) {
   return words;
 }
 
-IndexGroup::IndexGroup(GroupId id, sim::IoContext* io)
+IndexGroup::IndexGroup(GroupId id, sim::IoContext* io,
+                       obs::MetricsRegistry* metrics)
     : id_(id),
       io_(io),
       records_(io->CreateStore()),
-      wal_(io->CreateStore()) {}
+      wal_(io->CreateStore()) {
+  if (metrics != nullptr) {
+    wal_appends_ = &metrics->GetCounter("in.wal.appends");
+    wal_bytes_ = &metrics->GetCounter("in.wal.bytes");
+    staged_ = &metrics->GetCounter("in.updates.staged");
+    committed_ = &metrics->GetCounter("in.updates.committed");
+  }
+}
 
 Status IndexGroup::CreateIndex(const IndexSpec& spec) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -140,7 +149,13 @@ sim::Cost IndexGroup::StageUpdate(FileUpdate update) {
   std::lock_guard<std::mutex> lock(mu_);
   BinaryWriter w;
   update.Serialize(w);
-  sim::Cost cost = wal_.Append(std::move(w).Take());
+  std::string record = std::move(w).Take();
+  if (wal_appends_ != nullptr) {
+    wal_appends_->Add(1);
+    wal_bytes_->Add(record.size());
+    staged_->Add(1);
+  }
+  sim::Cost cost = wal_.Append(std::move(record));
   pending_.push_back(std::move(update));
   return cost;
 }
@@ -153,9 +168,14 @@ sim::Cost IndexGroup::Commit() {
 sim::Cost IndexGroup::CommitLocked() {
   sim::Cost cost;
   if (pending_.empty()) return cost;
+  obs::SpanGuard span("group.commit", id_);
+  span.Tag("group", id_);
+  span.Tag("records", static_cast<uint64_t>(pending_.size()));
+  if (committed_ != nullptr) committed_->Add(pending_.size());
   for (const FileUpdate& u : pending_) cost += Apply(u);
   pending_.clear();
   cost += wal_.Truncate();
+  span.Advance(cost);
   return cost;
 }
 
@@ -310,8 +330,20 @@ const IndexGroup::NamedIndex* IndexGroup::ChooseAccessPath(
 IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
   std::lock_guard<std::mutex> lock(mu_);
   SearchResult out;
+  // The commit span inside advances the ambient clock by its own cost; the
+  // remainder of this search's cost is topped up before the span closes.
+  obs::SpanGuard span("group.search", id_);
+  span.Tag("group", id_);
   // Strong consistency: staged updates must be visible to this search.
   out.cost += CommitLocked();
+  auto finish = [&]() {
+    if (!span.active()) return;
+    double inside = obs::CurrentTrace().now_s - span.start_s();
+    double topup = out.cost.seconds() - inside;
+    if (topup > 0) span.Advance(sim::Cost(topup));
+    span.Tag("access_path", out.access_path);
+    span.Tag("hits", static_cast<uint64_t>(out.files.size()));
+  };
 
   const NamedIndex* idx = ChooseAccessPath(pred);
   if (idx == nullptr) {
@@ -320,6 +352,7 @@ IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
     out.cost += records_.ForEach([&](FileId file, const AttrSet& attrs) {
       if (pred.Matches(attrs)) out.files.push_back(file);
     });
+    finish();
     return out;
   }
 
@@ -392,6 +425,7 @@ IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
     // Single-term queries served exactly by a btree/hash index need no
     // verification pass.
     out.files = std::move(candidates);
+    finish();
     return out;
   }
   for (FileId f : candidates) {
@@ -399,6 +433,7 @@ IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
     out.cost += got.cost;
     if (got.attrs && pred.Matches(*got.attrs)) out.files.push_back(f);
   }
+  finish();
   return out;
 }
 

@@ -33,6 +33,7 @@
 
 #include "common/status.h"
 #include "index/attr.h"
+#include "obs/metrics.h"
 #include "index/btree.h"
 #include "index/hash_index.h"
 #include "index/kdtree.h"
@@ -81,7 +82,11 @@ struct FileUpdate {
 
 class IndexGroup {
  public:
-  IndexGroup(GroupId id, sim::IoContext* io);
+  // `metrics` (optional, not owned) receives WAL / staging / commit
+  // counters; the hosting Index Node passes its own registry so per-node
+  // snapshots aggregate all of that node's groups.
+  IndexGroup(GroupId id, sim::IoContext* io,
+             obs::MetricsRegistry* metrics = nullptr);
 
   // Not movable: the group owns a mutex (groups live behind unique_ptr on
   // their Index Node, so moves are never needed).
@@ -162,6 +167,11 @@ class IndexGroup {
 
   GroupId id_;
   sim::IoContext* io_;
+  // Null when the group is unobserved (standalone tests / micro-benches).
+  obs::Counter* wal_appends_ = nullptr;
+  obs::Counter* wal_bytes_ = nullptr;
+  obs::Counter* staged_ = nullptr;
+  obs::Counter* committed_ = nullptr;
   // Guards all mutable group state (records, WAL, indexes, pending cache).
   // See the locking-order comment at the top of this header.
   mutable std::mutex mu_;

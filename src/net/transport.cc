@@ -1,5 +1,7 @@
 #include "net/transport.h"
 
+#include "obs/trace.h"
+
 namespace propeller::net {
 
 Transport::CallResult Transport::Call(NodeId from, NodeId to,
@@ -20,6 +22,12 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
   const bool remote = from != to;
   const uint64_t request_bytes = request.size() + method.size() + 32;
 
+  // The in-process analogue of wire trace metadata: the caller's ambient
+  // cursor flows into this span, and the span becomes the parent for every
+  // span the handler opens underneath.
+  obs::SpanGuard span(method, to, to);
+  span.Tag("from", static_cast<uint64_t>(from));
+
   // Fault injection applies to remote calls only: a node cannot drop its
   // own in-process calls.
   sim::Cost injected_delay;
@@ -30,21 +38,31 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
         case FaultPlan::Action::kDrop:
           // The request left the wire and vanished: its transfer is spent.
           out.cost += net_.Send(request_bytes);
-          messages_.fetch_add(1, std::memory_order_relaxed);
-          bytes_.fetch_add(request_bytes, std::memory_order_relaxed);
+          messages_->Add(1);
+          bytes_->Add(request_bytes);
+          faults_dropped_->Add(1);
           out.status = Status::Unavailable("fault: request dropped");
+          span.Advance(out.cost);
+          span.Tag("fault", "drop");
+          span.Tag("status", StatusCodeName(out.status.code()));
           return out;
         case FaultPlan::Action::kFail:
           // Rejected at the destination without running the handler;
           // charged like a failed handler: request transfer plus a small
           // status-only frame back.
           out.cost += net_.Send(request_bytes) + net_.Send(32);
-          messages_.fetch_add(2, std::memory_order_relaxed);
-          bytes_.fetch_add(request_bytes + 32, std::memory_order_relaxed);
+          messages_->Add(2);
+          bytes_->Add(request_bytes + 32);
+          faults_failed_->Add(1);
           out.status = Status::Unavailable("fault: injected failure");
+          span.Advance(out.cost);
+          span.Tag("fault", "fail");
+          span.Tag("status", StatusCodeName(out.status.code()));
           return out;
         case FaultPlan::Action::kDelay:
           injected_delay = d.delay;
+          faults_delayed_->Add(1);
+          span.Tag("fault", "delay");
           break;
         case FaultPlan::Action::kNone:
           break;
@@ -54,11 +72,22 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
   out.cost += injected_delay;
   if (remote) {
     out.cost += net_.Send(request_bytes);
-    messages_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(request_bytes, std::memory_order_relaxed);
+    messages_->Add(1);
+    bytes_->Add(request_bytes);
   }
+  span.Advance(out.cost);  // delay + request transfer precede the handler
 
+  // Handler-internal spans (WAL appends, per-group searches...) advance the
+  // ambient clock themselves; whatever part of the reported handler cost
+  // they did not cover is topped up afterwards so the server span always
+  // closes at request start + full handler cost.
+  const double handler_start_s = obs::CurrentTrace().now_s;
   RpcHandler::Response resp = it->second->Handle(method, request);
+  if (span.active()) {
+    double inside = obs::CurrentTrace().now_s - handler_start_s;
+    double topup = resp.cost.seconds() - inside;
+    if (topup > 0) span.Advance(sim::Cost(topup));
+  }
   out.cost += resp.cost;
   out.status = resp.status;
   if (remote) {
@@ -67,10 +96,13 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
     // rather than whatever partial payload the response struct carried.
     const uint64_t response_bytes =
         (resp.status.ok() ? resp.payload.size() : 0) + 32;
-    out.cost += net_.Send(response_bytes);
-    messages_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(response_bytes, std::memory_order_relaxed);
+    sim::Cost response_cost = net_.Send(response_bytes);
+    out.cost += response_cost;
+    span.Advance(response_cost);
+    messages_->Add(1);
+    bytes_->Add(response_bytes);
   }
+  span.Tag("status", StatusCodeName(out.status.code()));
   if (resp.status.ok()) out.payload = std::move(resp.payload);
   return out;
 }

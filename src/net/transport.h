@@ -32,6 +32,7 @@
 
 #include "common/status.h"
 #include "net/fault.h"
+#include "obs/metrics.h"
 #include "sim/cost.h"
 #include "sim/net_model.h"
 
@@ -55,7 +56,13 @@ class RpcHandler {
 
 class Transport {
  public:
-  explicit Transport(sim::NetModel net = sim::NetModel()) : net_(net) {
+  explicit Transport(sim::NetModel net = sim::NetModel())
+      : net_(net),
+        messages_(&metrics_.GetCounter("net.messages_sent")),
+        bytes_(&metrics_.GetCounter("net.bytes_sent")),
+        faults_dropped_(&metrics_.GetCounter("net.faults.dropped")),
+        faults_failed_(&metrics_.GetCounter("net.faults.failed")),
+        faults_delayed_(&metrics_.GetCounter("net.faults.delayed")) {
     handlers_.store(std::make_shared<const HandlerMap>());
   }
 
@@ -98,11 +105,15 @@ class Transport {
 
   const sim::NetModel& net() const { return net_; }
 
+  // Network-level metrics (net.messages_sent, net.bytes_sent,
+  // net.faults.*).  Counters live in the registry; the legacy accessors
+  // below are thin wrappers over it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+
   // Traffic counters (diagnostics / EXPERIMENTS.md).
-  uint64_t MessagesSent() const {
-    return messages_.load(std::memory_order_relaxed);
-  }
-  uint64_t BytesSent() const { return bytes_.load(std::memory_order_relaxed); }
+  uint64_t MessagesSent() const { return messages_->value(); }
+  uint64_t BytesSent() const { return bytes_->value(); }
 
  private:
   using HandlerMap = std::unordered_map<NodeId, RpcHandler*>;
@@ -121,8 +132,14 @@ class Transport {
   mutable std::mutex down_mu_;
   std::unordered_set<NodeId> down_;
   std::atomic<std::shared_ptr<FaultPlan>> fault_;
-  std::atomic<uint64_t> messages_{0};
-  std::atomic<uint64_t> bytes_{0};
+  obs::MetricsRegistry metrics_;
+  // Hot-path counters, resolved once at construction (registry lookups take
+  // a mutex; these pointers stay valid for the transport's lifetime).
+  obs::Counter* messages_;
+  obs::Counter* bytes_;
+  obs::Counter* faults_dropped_;
+  obs::Counter* faults_failed_;
+  obs::Counter* faults_delayed_;
 };
 
 }  // namespace propeller::net

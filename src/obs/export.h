@@ -1,0 +1,32 @@
+// Exporters: JSON metrics snapshots and Chrome-trace-format span dumps.
+//
+// Bench binaries write these next to their results (see bench/bench_util.h);
+// the trace file opens directly in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace propeller::obs {
+
+// One metrics snapshot as a JSON object:
+//   {"counters": {...}, "gauges": {...},
+//    "histograms": {"name": {"count":, "sum":, "max":, "mean":,
+//                            "p50":, "p95":, "p99":}, ...}}
+std::string MetricsToJson(const MetricsSnapshot& snapshot, int indent = 0);
+
+// A named-section report: {"sections": {"<name>": <snapshot>, ...},
+// "merged": <merge of all sections>}.  Benches use one section per node.
+std::string MetricsReportToJson(
+    const std::vector<std::pair<std::string, MetricsSnapshot>>& sections);
+
+// Chrome trace event format ("X" complete events).  pid = hosting node,
+// tid = a small per-trace index so each trace renders as its own row group.
+// Simulated seconds map to microseconds on the trace timeline.
+std::string SpansToChromeTrace(const std::vector<Span>& spans);
+
+}  // namespace propeller::obs

@@ -1,0 +1,132 @@
+// Metrics registry: named counters, gauges, and fixed-bucket latency
+// histograms for the whole cluster.
+//
+// Every node-like object (Transport, MasterNode, IndexNode, client) owns a
+// MetricsRegistry; hot paths hold raw Counter*/Histogram* pointers obtained
+// once at construction, so recording is a relaxed atomic op with no map
+// lookup and no lock.  Snapshots are plain data: they serialize to JSON
+// (obs/export.h) and merge across nodes — counters and histogram buckets
+// add, gauges add (they are per-node quantities like cached pages, so the
+// cluster-wide value is the sum), histogram max takes the max — so a
+// cluster-wide view is Merge() over the per-node snapshots and the result
+// does not depend on merge order.
+//
+// Histograms use fixed bucket upper bounds (value v lands in the first
+// bucket with v <= bound; larger values land in an overflow bucket that
+// reports the maximum observed value).  Percentiles are computed from the
+// bucket counts: the p-th percentile is the upper bound of the bucket
+// containing the ceil(p/100 * count)-th observation — exact whenever
+// observations sit on bucket bounds, one-bucket-conservative otherwise.
+//
+// Thread safety: all recording methods are lock-free atomics; registry
+// lookup/creation and Snapshot() take the registry mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace propeller::obs {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Snapshot of one histogram: plain data, mergeable, percentile-queryable.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    // strictly increasing upper bounds
+  std::vector<uint64_t> counts;  // bounds.size() + 1; last = overflow
+  uint64_t count = 0;
+  double sum = 0;
+  double max = 0;  // largest observation (drives overflow percentiles)
+
+  // p in [0, 100].  Empty histogram -> 0.  Overflow bucket -> max.
+  double Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  // Adds `other` into this snapshot.  Bucket bounds must match (all
+  // histograms of one metric name share the same bounds); mismatched
+  // bounds merge only the scalar fields and return InvalidArgument.
+  Status Merge(const HistogramSnapshot& other);
+};
+
+class Histogram {
+ public:
+  // `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Default bucket bounds for simulated latencies (seconds): 1us .. 1000s
+// in a 1-2-5 progression.  Every latency histogram in the system uses
+// these unless it asks for custom bounds, so cross-node merges line up.
+const std::vector<double>& LatencyBucketBounds();
+
+// One node's named metrics, merged cluster-wide via Merge().
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Merge(const MetricsSnapshot& other);
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returned references stay valid for the registry's lifetime.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  // `bounds` applies only when the histogram is created by this call.
+  Histogram& GetHistogram(std::string_view name,
+                          const std::vector<double>& bounds = LatencyBucketBounds());
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace propeller::obs

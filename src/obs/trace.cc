@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/fmt.h"
+
+namespace propeller::obs {
+
+TraceCursor& CurrentTrace() {
+  thread_local TraceCursor cursor;
+  return cursor;
+}
+
+void Tracer::Record(Span span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+    if (a.start_s != b.start_s) return a.start_s < b.start_s;
+    if (a.end_s != b.end_s) return a.end_s < b.end_s;
+    if (a.name != b.name) return a.name < b.name;
+    return a.span_id < b.span_id;
+  });
+  return out;
+}
+
+size_t Tracer::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+namespace {
+
+constexpr uint64_t kMixConst = 0x9e3779b97f4a7c15ULL;
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t MixInto(uint64_t h, uint64_t v) { return Mix64(h ^ (v + kMixConst)); }
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (char c : s) h = MixInto(h, static_cast<uint8_t>(c));
+  return h;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t DeriveTraceId(uint64_t origin, uint64_t seq) {
+  uint64_t id = MixInto(MixInto(0x50726f70ULL /* "Prop" */, origin), seq);
+  return id == 0 ? 1 : id;
+}
+
+uint64_t DeriveSpanId(uint64_t trace_id, uint64_t parent_id,
+                      std::string_view name, uint64_t key, double start_s) {
+  uint64_t id = trace_id;
+  id = MixInto(id, parent_id);
+  id = MixInto(id, HashString(name));
+  id = MixInto(id, key);
+  id = MixInto(id, DoubleBits(start_s));
+  return id == 0 ? 1 : id;
+}
+
+SpanGuard::SpanGuard(std::string_view name, uint64_t key, uint64_t node) {
+  TraceCursor& cur = CurrentTrace();
+  if (!cur.active()) return;
+  active_ = true;
+  span_.trace_id = cur.trace_id;
+  span_.parent_id = cur.span_id;
+  span_.name = std::string(name);
+  span_.node = node;
+  span_.start_s = cur.now_s;
+  span_.span_id =
+      DeriveSpanId(cur.trace_id, cur.span_id, name, key, cur.now_s);
+  saved_parent_ = cur.span_id;
+  cur.span_id = span_.span_id;
+}
+
+void SpanGuard::Tag(std::string_view k, std::string_view v) {
+  if (active_) span_.tags.emplace_back(std::string(k), std::string(v));
+}
+
+void SpanGuard::Tag(std::string_view k, uint64_t v) {
+  if (active_) {
+    span_.tags.emplace_back(std::string(k), Sprintf("%llu",
+                                                    (unsigned long long)v));
+  }
+}
+
+void SpanGuard::Close() {
+  if (!active_) return;
+  active_ = false;
+  TraceCursor& cur = CurrentTrace();
+  span_.end_s = cur.now_s;
+  cur.span_id = saved_parent_;
+  if (cur.tracer != nullptr) cur.tracer->Record(std::move(span_));
+}
+
+TraceRoot::TraceRoot(Tracer* tracer, std::string_view name, uint64_t origin,
+                     uint64_t seq, double now_s, uint64_t node) {
+  TraceCursor& cur = CurrentTrace();
+  if (cur.active()) {
+    // Already inside a trace (e.g. nested call) — just a child span.
+    span_ = std::make_unique<SpanGuard>(name, seq, node);
+    return;
+  }
+  if (tracer == nullptr || !tracer->enabled()) return;
+  TraceCursor fresh;
+  fresh.tracer = tracer;
+  fresh.trace_id = DeriveTraceId(origin, seq);
+  fresh.span_id = 0;
+  fresh.now_s = now_s;
+  cursor_ = std::make_unique<ScopedTraceCursor>(fresh);
+  span_ = std::make_unique<SpanGuard>(name, seq, node);
+}
+
+}  // namespace propeller::obs

@@ -23,9 +23,47 @@
 #include "common/rng.h"
 #include "core/cluster.h"
 #include "net/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace propeller::core {
 namespace {
+
+// --- observability consistency (runs with the tracer on for the whole
+// soak: faults, kills, and recoveries must never corrupt the span tree or
+// make a counter go backwards) ---
+
+std::map<std::string, uint64_t> MergedCounters(const PropellerCluster& c) {
+  obs::MetricsSnapshot merged;
+  for (const auto& [name, snap] : c.PerNodeMetrics()) merged.Merge(snap);
+  return merged.counters;
+}
+
+// Every counter present in `prev` must still exist and be >= its previous
+// value — node wipes and recoveries must not reset cluster-wide totals.
+void ExpectCountersMonotone(const std::map<std::string, uint64_t>& prev,
+                            const std::map<std::string, uint64_t>& cur,
+                            const char* phase) {
+  for (const auto& [name, v] : prev) {
+    auto it = cur.find(name);
+    ASSERT_TRUE(it != cur.end()) << name << " vanished during " << phase;
+    EXPECT_GE(it->second, v) << name << " went backwards during " << phase;
+  }
+}
+
+// No orphan spans: within each trace, every non-root parent_id must
+// resolve to a recorded span.  Kills and fault-injected drops end spans
+// early; they must never lose a parent.
+void ExpectNoOrphanSpans(const std::vector<obs::Span>& spans) {
+  std::map<uint64_t, std::set<uint64_t>> ids_by_trace;
+  for (const auto& s : spans) ids_by_trace[s.trace_id].insert(s.span_id);
+  for (const auto& s : spans) {
+    if (s.parent_id == 0) continue;
+    EXPECT_TRUE(ids_by_trace[s.trace_id].count(s.parent_id) != 0u)
+        << "orphan span '" << s.name << "' (node " << s.node << ")";
+    EXPECT_LE(s.start_s, s.end_s) << s.name;
+  }
+}
 
 using index::AttrValue;
 using index::CmpOp;
@@ -45,6 +83,7 @@ class ChaosSoak {
     cfg.client.allow_partial_search = true;
     cfg.client.retry.max_attempts = 3;
     cluster_ = std::make_unique<PropellerCluster>(cfg);
+    cluster_->tracer().Enable();  // soak with full tracing overhead on
     EXPECT_TRUE(cluster_->client().CreateIndex(SizeIndex()).ok());
     cluster_->AdvanceTime(1.0);  // establish heartbeat history
   }
@@ -140,6 +179,7 @@ void RunSoak(uint64_t seed) {
   // Phase 1 — clean warm-up: exact answers required.
   soak.RunUpdates(/*batches=*/6, /*batch_size=*/40);
   for (int i = 0; i < 3; ++i) soak.CheckSearch(/*expect_exact=*/true);
+  auto counters_p1 = MergedCounters(cluster);
 
   // Phase 2 — flaky network on the search path: drops and delays, no
   // stage-path faults so the model stays authoritative.
@@ -155,6 +195,8 @@ void RunSoak(uint64_t seed) {
   }
   cluster.transport().SetFaultPlan(nullptr);
   for (int i = 0; i < 2; ++i) soak.CheckSearch(/*expect_exact=*/true);
+  auto counters_p2 = MergedCounters(cluster);
+  ExpectCountersMonotone(counters_p1, counters_p2, "flaky-network phase");
 
   // Phase 3 — transient outage: a node goes dark and comes back before
   // anything is permanent.  Degraded searches must name only real nodes.
@@ -164,6 +206,8 @@ void RunSoak(uint64_t seed) {
   cluster.ReviveIndexNode(flaky);
   cluster.AdvanceTime(1.0);
   soak.CheckSearch(/*expect_exact=*/true);
+  auto counters_p3 = MergedCounters(cluster);
+  ExpectCountersMonotone(counters_p2, counters_p3, "transient-outage phase");
 
   // Phase 4 — permanent mid-workload loss: more updates land, then a
   // loaded node is wiped for good.  After the master's failure detector
@@ -205,6 +249,14 @@ void RunSoak(uint64_t seed) {
   soak.RunUpdates(/*batches=*/3, /*batch_size=*/40);
   soak.CheckSearch(/*expect_exact=*/true);
   EXPECT_GT(soak.model_size(), 0u);
+
+  // Observability held up through the whole soak: every recorded span tree
+  // is parent-complete and cluster-wide counters only ever grew — even
+  // across the wipe of a loaded node and its journal recovery.
+  ExpectCountersMonotone(counters_p3, MergedCounters(cluster),
+                         "node-loss/recovery phase");
+  ExpectNoOrphanSpans(cluster.tracer().Spans());
+  EXPECT_GT(cluster.tracer().SpanCount(), 0u);
 }
 
 TEST(ChaosSoakTest, SeededSoakSurvivesFaultsAndNodeLoss) {

@@ -1,0 +1,235 @@
+// MetricsRegistry / histogram percentile math: exact bucket edges, empty
+// and overflow behavior, cross-node merge associativity, registry identity,
+// and JSON export sanity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace propeller::obs {
+namespace {
+
+TEST(HistogramTest, ExactBucketEdges) {
+  Histogram h({1.0, 2.0, 5.0});
+  // Upper bounds are inclusive: an observation equal to a bound lands in
+  // that bound's bucket, so percentiles on edge values are exact.
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Observe(2.0);
+  h.Observe(5.0);
+  HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.count, 4u);
+  EXPECT_EQ(s.counts, (std::vector<uint64_t>{1, 2, 1, 0}));
+  // rank(p) = ceil(p/100 * 4): p25 -> 1st obs, p50 -> 2nd, p75 -> 3rd.
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(75), 2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 10.0 / 4.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h({1.0, 2.0});
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramTest, OverflowBucketReportsObservedMax) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(17.25);  // beyond the last bound -> overflow bucket
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.counts.back(), 1u);
+  EXPECT_DOUBLE_EQ(s.max, 17.25);
+  // The top percentile falls in the overflow bucket, which has no upper
+  // bound; it reports the observed maximum instead.
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 17.25);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeP) {
+  Histogram h({1.0});
+  h.Observe(1.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(250), 1.0);
+}
+
+// Cross-node merge: bucket counts add exactly, so merging is associative
+// and commutative — the cluster-wide view cannot depend on merge order.
+TEST(HistogramTest, MergeAssociativity) {
+  auto make = [](std::vector<double> obs) {
+    Histogram h({0.001, 0.01, 0.1, 1.0});
+    for (double v : obs) h.Observe(v);
+    return h.Snapshot();
+  };
+  HistogramSnapshot a = make({0.0005, 0.002, 0.05});
+  HistogramSnapshot b = make({0.02, 0.7, 3.0});
+  HistogramSnapshot c = make({0.001, 0.001, 9.0});
+
+  HistogramSnapshot ab_c = a;  // (a + b) + c
+  ASSERT_TRUE(ab_c.Merge(b).ok());
+  ASSERT_TRUE(ab_c.Merge(c).ok());
+  HistogramSnapshot bc = b;  // a + (b + c)
+  ASSERT_TRUE(bc.Merge(c).ok());
+  HistogramSnapshot a_bc = a;
+  ASSERT_TRUE(a_bc.Merge(bc).ok());
+
+  EXPECT_EQ(ab_c.counts, a_bc.counts);
+  EXPECT_EQ(ab_c.count, a_bc.count);
+  EXPECT_DOUBLE_EQ(ab_c.sum, a_bc.sum);
+  EXPECT_DOUBLE_EQ(ab_c.max, a_bc.max);
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(ab_c.Percentile(p), a_bc.Percentile(p)) << "p" << p;
+  }
+  EXPECT_EQ(ab_c.count, 9u);
+  EXPECT_DOUBLE_EQ(ab_c.max, 9.0);
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsBounds) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1.5);
+  HistogramSnapshot empty;  // default-constructed: no bounds yet
+  ASSERT_TRUE(empty.Merge(h.Snapshot()).ok());
+  EXPECT_EQ(empty.bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(empty.count, 1u);
+}
+
+TEST(HistogramTest, MergeBoundsMismatchMergesScalarsOnly) {
+  Histogram a({1.0, 2.0});
+  a.Observe(1.0);
+  Histogram b({1.0, 3.0});
+  b.Observe(2.5);
+  HistogramSnapshot s = a.Snapshot();
+  Status st = s.Merge(b.Snapshot());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Scalars still merged, so cluster totals stay truthful.
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.sum, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.5);
+  // Bucket counts untouched.
+  EXPECT_EQ(s.counts, (std::vector<uint64_t>{1, 0, 0}));
+}
+
+TEST(MetricsRegistryTest, NamesResolveToStableIdentities) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.GetCounter("x.count");
+  Counter& c2 = reg.GetCounter("x.count");
+  EXPECT_EQ(&c1, &c2);
+  Gauge& g1 = reg.GetGauge("x.gauge");
+  EXPECT_EQ(&g1, &reg.GetGauge("x.gauge"));
+  Histogram& h1 = reg.GetHistogram("x.lat");
+  EXPECT_EQ(&h1, &reg.GetHistogram("x.lat"));
+  c1.Add(3);
+  c2.Add(2);
+  EXPECT_EQ(reg.Snapshot().counters.at("x.count"), 5u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("n");
+  Histogram& h = reg.GetHistogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add(1);
+        h.Observe(0.001);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), uint64_t{kThreads} * kPerThread);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, uint64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(s.max, 0.001);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsCountersAndGauges) {
+  MetricsRegistry a;
+  a.GetCounter("c").Add(2);
+  a.GetGauge("g").Set(1.5);
+  a.GetHistogram("h").Observe(0.01);
+  MetricsRegistry b;
+  b.GetCounter("c").Add(3);
+  b.GetCounter("only_b").Add(1);
+  b.GetGauge("g").Set(2.5);
+  b.GetHistogram("h").Observe(0.02);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.counters.at("c"), 5u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 4.0);  // per-node quantities sum
+  EXPECT_EQ(merged.histograms.at("h").count, 2u);
+}
+
+TEST(ExportTest, MetricsJsonCarriesPercentiles) {
+  MetricsRegistry reg;
+  reg.GetCounter("net.bytes_sent").Add(123);
+  Histogram& h = reg.GetHistogram("in.search.latency_s");
+  for (int i = 0; i < 100; ++i) h.Observe(0.001);
+  std::string json = MetricsToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"net.bytes_sent\": 123"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"in.search.latency_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ExportTest, ReportMergesSections) {
+  MetricsRegistry a;
+  a.GetCounter("c").Add(1);
+  MetricsRegistry b;
+  b.GetCounter("c").Add(2);
+  std::string json = MetricsReportToJson(
+      {{"in.10", a.Snapshot()}, {"in.11", b.Snapshot()}});
+  EXPECT_NE(json.find("\"sections\""), std::string::npos);
+  EXPECT_NE(json.find("\"in.10\""), std::string::npos);
+  EXPECT_NE(json.find("\"merged\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 3"), std::string::npos) << json;
+}
+
+TEST(ExportTest, ChromeTraceShapesSpans) {
+  Span s;
+  s.trace_id = 7;
+  s.span_id = 9;
+  s.parent_id = 0;
+  s.name = "client.search";
+  s.node = 100;
+  s.start_s = 1.5;
+  s.end_s = 1.75;
+  s.tags.emplace_back("files", "4");
+  std::string json = SpansToChromeTrace({s});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"client.search\""), std::string::npos);
+  // Timestamps exported in microseconds.
+  EXPECT_NE(json.find("1500000"), std::string::npos) << json;
+  EXPECT_NE(json.find("250000"), std::string::npos) << json;
+}
+
+TEST(TraceIdTest, DerivationIsDeterministicAndNonZero) {
+  EXPECT_EQ(DeriveTraceId(100, 0), DeriveTraceId(100, 0));
+  EXPECT_NE(DeriveTraceId(100, 0), DeriveTraceId(100, 1));
+  EXPECT_NE(DeriveTraceId(100, 0), 0u);
+  uint64_t t = DeriveTraceId(100, 0);
+  EXPECT_EQ(DeriveSpanId(t, 0, "rpc", 10, 1.5),
+            DeriveSpanId(t, 0, "rpc", 10, 1.5));
+  EXPECT_NE(DeriveSpanId(t, 0, "rpc", 10, 1.5),
+            DeriveSpanId(t, 0, "rpc", 11, 1.5));
+  EXPECT_NE(DeriveSpanId(t, 0, "rpc", 10, 1.5), 0u);
+}
+
+}  // namespace
+}  // namespace propeller::obs
