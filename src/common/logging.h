@@ -4,7 +4,6 @@
 // Level is controlled globally (SetLogLevel) or via PROPELLER_LOG env var.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string_view>
 

@@ -1,0 +1,140 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// These expand to Clang's `-Wthread-safety` attributes when the compiler
+// supports them and to nothing everywhere else (GCC, MSVC), so annotated
+// code stays portable.  The build enables the analysis as an error
+// (`-Wthread-safety -Werror=thread-safety`) behind the CMake option
+// PROPELLER_THREAD_SAFETY_ANALYSIS, default ON whenever the compiler
+// understands the flag.
+//
+// Use them through the propeller::Mutex / propeller::SharedMutex wrappers
+// (common/mutex.h), which also carry the runtime lock-rank deadlock
+// detector:
+//
+//   class Cache {
+//    public:
+//     void Put(Key k, Value v) {
+//       MutexLock lock(mu_);
+//       map_[k] = v;                      // OK: mu_ held
+//     }
+//    private:
+//     void EvictLocked() REQUIRES(mu_);  // caller must hold mu_
+//     Mutex mu_{LockRank::kIoContext, "Cache::mu_"};
+//     std::map<Key, Value> map_ GUARDED_BY(mu_);
+//   };
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define PROPELLER_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PROPELLER_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+// A type that models a capability (a lock).  `x` names the capability kind
+// in diagnostics ("mutex", "shared_mutex").
+#ifndef CAPABILITY
+#define CAPABILITY(x) PROPELLER_THREAD_ANNOTATION__(capability(x))
+#endif
+
+// A RAII type that acquires a capability in its constructor and releases
+// it in its destructor (MutexLock and friends).
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY PROPELLER_THREAD_ANNOTATION__(scoped_lockable)
+#endif
+
+// Data member readable/writable only while holding the given lock.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) PROPELLER_THREAD_ANNOTATION__(guarded_by(x))
+#endif
+
+// Pointer member whose *pointee* is protected by the given lock.
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) PROPELLER_THREAD_ANNOTATION__(pt_guarded_by(x))
+#endif
+
+// Static lock-order declarations (we enforce order at runtime through
+// LockRank instead, but the attributes exist for ad-hoc pairs).
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  PROPELLER_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  PROPELLER_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#endif
+
+// Function requires the listed capabilities held on entry (and does not
+// release them).
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  PROPELLER_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  PROPELLER_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+// Function acquires the capability and holds it past return.
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  PROPELLER_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  PROPELLER_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+// Function releases the capability (held on entry).
+#ifndef RELEASE
+#define RELEASE(...) \
+  PROPELLER_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  PROPELLER_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_GENERIC
+#define RELEASE_GENERIC(...) \
+  PROPELLER_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#endif
+
+// Function attempts to acquire the capability; `b` is the success value.
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  PROPELLER_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE_SHARED
+#define TRY_ACQUIRE_SHARED(...) \
+  PROPELLER_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+#endif
+
+// Function must be called *without* the listed capabilities held (guards
+// against self-deadlock on non-reentrant locks).
+#ifndef EXCLUDES
+#define EXCLUDES(...) PROPELLER_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#endif
+
+// Runtime assertion that the capability is held (for code the analysis
+// cannot follow, e.g. after a callback).
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) PROPELLER_THREAD_ANNOTATION__(assert_capability(x))
+#endif
+#ifndef ASSERT_SHARED_CAPABILITY
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PROPELLER_THREAD_ANNOTATION__(assert_shared_capability(x))
+#endif
+
+// Function returns a reference to the capability guarding its result.
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) PROPELLER_THREAD_ANNOTATION__(lock_returned(x))
+#endif
+
+// Escape hatch: disables the analysis for one function.  Every use must
+// carry a comment saying why the function is exempt (e.g. a quiescent-only
+// test hook that hands out a reference to guarded state).
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PROPELLER_THREAD_ANNOTATION__(no_thread_safety_analysis)
+#endif

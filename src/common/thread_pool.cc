@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -23,8 +23,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Explicit wait loop (not a predicate lambda) so the guarded reads
+      // of stop_/queue_ stay in this function, under the lock the static
+      // analysis can see.
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();

@@ -17,13 +17,13 @@ sim::Cost GroupJournal::AppendLocked(index::GroupId group,
 
 sim::Cost GroupJournal::Append(index::GroupId group,
                                const index::FileUpdate& update) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AppendLocked(group, update);
 }
 
 sim::Cost GroupJournal::AppendBatch(
     index::GroupId group, const std::vector<index::FileUpdate>& updates) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sim::Cost cost;
   for (const index::FileUpdate& u : updates) cost += AppendLocked(group, u);
   return cost;
@@ -36,7 +36,7 @@ Status GroupJournal::Replay(
   std::vector<std::string> records;
   uint64_t record_bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = records_.find(group);
     if (it != records_.end()) {
       records = it->second;
@@ -57,13 +57,13 @@ Status GroupJournal::Replay(
 }
 
 uint64_t GroupJournal::NumRecords(index::GroupId group) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = records_.find(group);
   return it == records_.end() ? 0 : it->second.size();
 }
 
 uint64_t GroupJournal::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 

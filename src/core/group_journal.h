@@ -25,10 +25,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "index/index_group.h"
 #include "sim/io_context.h"
@@ -56,13 +56,14 @@ class GroupJournal {
   uint64_t TotalBytes() const;
 
  private:
-  sim::Cost AppendLocked(index::GroupId group, const index::FileUpdate& update);
+  sim::Cost AppendLocked(index::GroupId group, const index::FileUpdate& update)
+      REQUIRES(mu_);
 
   sim::IoContext io_;
   sim::PageStore store_;
-  mutable std::mutex mu_;
-  std::map<index::GroupId, std::vector<std::string>> records_;
-  uint64_t bytes_ = 0;
+  mutable Mutex mu_{LockRank::kGroupJournal, "GroupJournal::mu_"};
+  std::map<index::GroupId, std::vector<std::string>> records_ GUARDED_BY(mu_);
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace propeller::core

@@ -24,25 +24,25 @@ IndexNode::IndexNode(NodeId id, IndexNodeConfig config)
 }
 
 index::IndexGroup* IndexNode::FindGroup(GroupId id) {
-  std::shared_lock<std::shared_mutex> lock(groups_mu_);
+  ReaderMutexLock lock(groups_mu_);
   auto it = groups_.find(id);
-  return it == groups_.end() ? nullptr : it->second.group.get();
+  return it == groups_.end() ? nullptr : it->second.get();
 }
 
-IndexNode::GroupState* IndexNode::Find(GroupId id) {
+index::IndexGroup* IndexNode::Find(GroupId id) {
   auto it = groups_.find(id);
-  return it == groups_.end() ? nullptr : &it->second;
+  return it == groups_.end() ? nullptr : it->second.get();
 }
 
 Status IndexNode::EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs) {
   auto it = groups_.find(id);
   if (it == groups_.end()) {
     it = groups_.try_emplace(id).first;
-    it->second.group = std::make_unique<index::IndexGroup>(id, &io_, &metrics_);
+    it->second = std::make_unique<index::IndexGroup>(id, &io_, &metrics_);
   }
   for (const IndexSpec& spec : specs) {
-    if (it->second.group->HasIndex(spec.name)) continue;
-    PROPELLER_RETURN_IF_ERROR(it->second.group->CreateIndex(spec));
+    if (it->second->HasIndex(spec.name)) continue;
+    PROPELLER_RETURN_IF_ERROR(it->second->CreateIndex(spec));
   }
   return Status::Ok();
 }
@@ -63,7 +63,7 @@ net::RpcHandler::Response IndexNode::Handle(const std::string& method,
 net::RpcHandler::Response IndexNode::HandleCreateGroup(const std::string& payload) {
   auto req = Decode<CreateGroupRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
-  std::unique_lock<std::shared_mutex> lock(groups_mu_);
+  WriterMutexLock lock(groups_mu_);
   Status st = EnsureGroup(req->group, req->specs);
   return Response{st, {}, sim::Cost(10e-6)};  // metadata-only work
 }
@@ -71,9 +71,9 @@ net::RpcHandler::Response IndexNode::HandleCreateGroup(const std::string& payloa
 net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& payload) {
   auto req = Decode<StageUpdatesRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
-  std::shared_lock<std::shared_mutex> lock(groups_mu_);
-  GroupState* state = Find(req->group);
-  if (state == nullptr) {
+  ReaderMutexLock lock(groups_mu_);
+  index::IndexGroup* group = Find(req->group);
+  if (group == nullptr) {
     return Response{Status::NotFound("no such group"), {}, {}};
   }
   stage_batches_->Add(1);
@@ -86,15 +86,13 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
   if (config_.recovery_journal != nullptr) {
     cost += config_.recovery_journal->AppendBatch(req->group, req->updates);
   }
+  // StageUpdate also stamps the group's oldest-pending clock (first stager
+  // after a commit claims the commit-timeout slot) — atomically with the
+  // staging itself, under the group mutex.
   for (FileUpdate& u : req->updates) {
-    cost += state->group->StageUpdate(std::move(u));
+    cost += group->StageUpdate(std::move(u), req->now_s);
   }
   span.Advance(cost);
-  // First stager after a commit claims the pending-timeout slot.
-  double expected = -1.0;
-  while (expected < 0 &&
-         !state->oldest_pending_s.compare_exchange_weak(expected, req->now_s)) {
-  }
   return Response{Status::Ok(), {}, cost};
 }
 
@@ -104,34 +102,36 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
 
   // Hold the map lock (shared) for the whole request so a concurrent
   // migrate-out cannot free a group under the workers.
-  std::shared_lock<std::shared_mutex> lock(groups_mu_);
-  std::vector<GroupState*> states;
-  states.reserve(req->groups.size());
+  ReaderMutexLock lock(groups_mu_);
+  std::vector<index::IndexGroup*> targets;
+  targets.reserve(req->groups.size());
   for (GroupId gid : req->groups) {
-    GroupState* state = Find(gid);
-    if (state == nullptr) continue;  // stale routing: group migrated away
-    states.push_back(state);
+    index::IndexGroup* group = Find(gid);
+    if (group == nullptr) continue;  // stale routing: group migrated away
+    targets.push_back(group);
   }
 
   // Run the per-group searches — on the node's worker pool when parallel
   // search is enabled, serially otherwise.  Results land in per-group slots
   // and are aggregated in request order, so the response bytes and the
   // simulated makespan are identical in both modes.
-  std::vector<index::IndexGroup::SearchResult> results(states.size());
+  std::vector<index::IndexGroup::SearchResult> results(targets.size());
   // Per-group search spans fork from this instant (the node's own fan-out
   // point) — in serial mode too — so trace timestamps are identical
   // whether the searches run on the pool or inline.
   const obs::TraceCursor fanout_base = obs::CurrentTrace();
+  // Search commits staged updates and clears the group's oldest-pending
+  // stamp internally, under the group mutex, so a stage racing this search
+  // can never have its timeout stamp wiped while its update stays pending.
   auto run_one = [&](size_t i) {
     obs::ScopedTraceCursor branch(fanout_base);
-    results[i] = states[i]->group->Search(req->predicate);
-    states[i]->oldest_pending_s.store(-1.0);  // search committed everything
+    results[i] = targets[i]->Search(req->predicate);
   };
-  if (search_pool_ != nullptr && states.size() > 1) {
-    auto futures = search_pool_->SubmitBatch(states.size(), run_one);
+  if (search_pool_ != nullptr && targets.size() > 1) {
+    auto futures = search_pool_->SubmitBatch(targets.size(), run_one);
     ThreadPool::WaitAll(futures);
   } else {
-    for (size_t i = 0; i < states.size(); ++i) run_one(i);
+    for (size_t i = 0; i < targets.size(); ++i) run_one(i);
   }
 
   // Schedule the simulated costs onto `search_threads` workers
@@ -172,17 +172,17 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
 net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
   auto req = Decode<TickRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
-  std::shared_lock<std::shared_mutex> lock(groups_mu_);
+  ReaderMutexLock lock(groups_mu_);
   sim::Cost cost;
-  for (auto& [gid, state] : groups_) {
-    double oldest = state.oldest_pending_s.load();
+  for (auto& [gid, group] : groups_) {
+    double oldest = group->OldestPendingStagedAt();
     if (oldest >= 0 && req->now_s - oldest >= config_.commit_timeout_s) {
       commit_timeouts_->Add(1);
       obs::SpanGuard span("group.commit_timeout", gid, id_);
       span.Tag("group", gid);
-      sim::Cost group_cost = state.group->Commit();
-      group_cost += state.group->MaintainIndexes();
-      state.oldest_pending_s.store(-1.0);
+      // Commit clears the oldest-pending stamp under the group mutex.
+      sim::Cost group_cost = group->Commit();
+      group_cost += group->MaintainIndexes();
       // The nested group.commit span advanced part of this; top up the rest.
       double inside = span.active()
                           ? obs::CurrentTrace().now_s - span.start_s()
@@ -200,17 +200,16 @@ net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
 net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload) {
   auto req = Decode<MigrateOutRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
-  std::unique_lock<std::shared_mutex> lock(groups_mu_);
-  GroupState* state = Find(req->group);
-  if (state == nullptr) return Response{Status::NotFound("no such group"), {}, {}};
+  WriterMutexLock lock(groups_mu_);
+  index::IndexGroup* group = Find(req->group);
+  if (group == nullptr) return Response{Status::NotFound("no such group"), {}, {}};
 
-  sim::Cost cost = state->group->Commit();  // migrate committed state only
-  state->oldest_pending_s.store(-1.0);
+  sim::Cost cost = group->Commit();  // migrate committed state only
 
   MigrateOutResponse resp;
   std::unordered_set<FileId> wanted(req->files.begin(), req->files.end());
   const bool take_all = req->files.empty();
-  cost += state->group->ForEachRecord(
+  cost += group->ForEachRecord(
       [&](FileId f, const index::AttrSet& attrs) {
         if (take_all || wanted.count(f) != 0u) {
           FileUpdate u;
@@ -232,11 +231,11 @@ net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload
     if (config_.recovery_journal != nullptr) {
       cost += config_.recovery_journal->Append(req->group, del);
     }
-    cost += state->group->StageUpdate(std::move(del));
+    cost += group->StageUpdate(std::move(del));
   }
-  cost += state->group->Commit();
+  cost += group->Commit();
 
-  if (req->drop_group && state->group->NumFiles() == 0) {
+  if (req->drop_group && group->NumFiles() == 0) {
     groups_.erase(req->group);
   }
   return Response{Status::Ok(), Encode(resp), cost};
@@ -245,18 +244,18 @@ net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload
 net::RpcHandler::Response IndexNode::HandleInstallGroup(const std::string& payload) {
   auto req = Decode<InstallGroupRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
-  std::unique_lock<std::shared_mutex> lock(groups_mu_);
+  WriterMutexLock lock(groups_mu_);
   Status st = EnsureGroup(req->group, req->specs);
   if (!st.ok()) return Response{st, {}, {}};
-  GroupState* state = Find(req->group);
+  index::IndexGroup* group = Find(req->group);
   sim::Cost cost;
   if (config_.recovery_journal != nullptr) {
     cost += config_.recovery_journal->AppendBatch(req->group, req->records);
   }
   for (FileUpdate& u : req->records) {
-    cost += state->group->StageUpdate(std::move(u));
+    cost += group->StageUpdate(std::move(u));
   }
-  cost += state->group->Commit();
+  cost += group->Commit();
   return Response{Status::Ok(), {}, cost};
 }
 
@@ -269,10 +268,10 @@ net::RpcHandler::Response IndexNode::HandleRecoverGroup(const std::string& paylo
         {},
         {}};
   }
-  std::unique_lock<std::shared_mutex> lock(groups_mu_);
+  WriterMutexLock lock(groups_mu_);
   Status st = EnsureGroup(req->group, req->specs);
   if (!st.ok()) return Response{st, {}, {}};
-  GroupState* state = Find(req->group);
+  index::IndexGroup* group = Find(req->group);
 
   // Replay the group's full journal history.  Note: the replay stages
   // copies straight into the group — not back into the journal — so
@@ -282,13 +281,13 @@ net::RpcHandler::Response IndexNode::HandleRecoverGroup(const std::string& paylo
   st = config_.recovery_journal->Replay(
       req->group,
       [&](const FileUpdate& u) {
-        cost += state->group->StageUpdate(FileUpdate(u));
+        cost += group->StageUpdate(FileUpdate(u));
         ++resp.records_replayed;
         return Status::Ok();
       },
       &cost);
   if (!st.ok()) return Response{st, {}, cost};
-  cost += state->group->Commit();
+  cost += group->Commit();
   return Response{Status::Ok(), Encode(resp), cost};
 }
 
@@ -300,24 +299,24 @@ net::RpcHandler::Response IndexNode::HandleReset(const std::string& payload) {
 }
 
 size_t IndexNode::NumGroups() const {
-  std::shared_lock<std::shared_mutex> lock(groups_mu_);
+  ReaderMutexLock lock(groups_mu_);
   return groups_.size();
 }
 
 std::vector<HeartbeatRequest::GroupStat> IndexNode::GroupStats() const {
-  std::shared_lock<std::shared_mutex> lock(groups_mu_);
+  ReaderMutexLock lock(groups_mu_);
   std::vector<HeartbeatRequest::GroupStat> stats;
   stats.reserve(groups_.size());
-  for (const auto& [gid, state] : groups_) {
-    stats.push_back({gid, state.group->NumFiles(), state.group->ApproxPages()});
+  for (const auto& [gid, group] : groups_) {
+    stats.push_back({gid, group->NumFiles(), group->ApproxPages()});
   }
   return stats;
 }
 
 uint64_t IndexNode::TotalPages() const {
-  std::shared_lock<std::shared_mutex> lock(groups_mu_);
+  ReaderMutexLock lock(groups_mu_);
   uint64_t total = 0;
-  for (const auto& [gid, state] : groups_) total += state.group->ApproxPages();
+  for (const auto& [gid, group] : groups_) total += group->ApproxPages();
   return total;
 }
 
@@ -328,28 +327,30 @@ obs::MetricsSnapshot IndexNode::MetricsSnapshot() const {
   snap.counters["io.cache.misses"] += cache.misses;
   snap.counters["io.cache.evictions"] += cache.evictions;
   {
-    std::shared_lock<std::shared_mutex> lock(groups_mu_);
+    ReaderMutexLock lock(groups_mu_);
     snap.gauges["in.groups"] = static_cast<double>(groups_.size());
     uint64_t pages = 0;
-    for (const auto& [gid, state] : groups_) pages += state.group->ApproxPages();
+    for (const auto& [gid, group] : groups_) pages += group->ApproxPages();
     snap.gauges["in.pages"] = static_cast<double>(pages);
   }
   return snap;
 }
 
 Status IndexNode::CrashAndRecover() {
-  std::unique_lock<std::shared_mutex> lock(groups_mu_);
-  for (auto& [gid, state] : groups_) {
-    state.group->SimulateCrashLosingMemoryState();
-    PROPELLER_RETURN_IF_ERROR(state.group->RecoverPendingFromWal());
-    // Recovered updates will commit on the next tick or search.
+  WriterMutexLock lock(groups_mu_);
+  for (auto& [gid, group] : groups_) {
+    group->SimulateCrashLosingMemoryState();
+    PROPELLER_RETURN_IF_ERROR(group->RecoverPendingFromWal());
+    // Recovered updates will commit on the next tick or search (the
+    // pre-crash oldest-pending stamp survives recovery when the WAL held
+    // records, so the commit timeout still fires for them).
   }
   io_.DropCaches();  // restart loses the page cache
   return Status::Ok();
 }
 
 Status IndexNode::Reset() {
-  std::unique_lock<std::shared_mutex> lock(groups_mu_);
+  WriterMutexLock lock(groups_mu_);
   groups_.clear();
   io_.DropCaches();
   return Status::Ok();

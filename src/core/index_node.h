@@ -16,14 +16,15 @@
 // IndexGroup's own mutex.  Lock order:
 //
 //     IndexNode::groups_mu_ -> IndexGroup::mu_ -> sim::IoContext::mu_
+//
+// (enforced by the LockRank detector in common/mutex.h in debug builds).
 #pragma once
 
-#include <atomic>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "core/proto.h"
 #include "index/index_group.h"
@@ -85,13 +86,6 @@ class IndexNode : public net::RpcHandler {
   obs::MetricsSnapshot MetricsSnapshot() const;
 
  private:
-  struct GroupState {
-    std::unique_ptr<index::IndexGroup> group;
-    // Stage time of the oldest uncommitted update, < 0 when none.  Atomic:
-    // stage/search/tick touch it without holding the group mutex.
-    std::atomic<double> oldest_pending_s{-1.0};
-  };
-
   Response HandleCreateGroup(const std::string& payload);
   Response HandleStageUpdates(const std::string& payload);
   Response HandleSearch(const std::string& payload);
@@ -101,17 +95,23 @@ class IndexNode : public net::RpcHandler {
   Response HandleRecoverGroup(const std::string& payload);
   Response HandleReset(const std::string& payload);
 
-  // Requires groups_mu_ held (shared suffices).
-  GroupState* Find(GroupId id);
-  // Requires groups_mu_ held exclusively (may create the group).
-  Status EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs);
+  // Map lookup; shared hold suffices.
+  index::IndexGroup* Find(GroupId id) REQUIRES_SHARED(groups_mu_);
+  // May create the group, so the map lock must be held exclusively.
+  Status EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs)
+      REQUIRES(groups_mu_);
 
   NodeId id_;
   IndexNodeConfig config_;
   sim::IoContext io_;
-  // Guards the map structure only; group payloads have their own locks.
-  mutable std::shared_mutex groups_mu_;
-  std::map<GroupId, GroupState> groups_;
+  // Guards the map structure only; group payloads have their own locks
+  // (including the oldest-pending commit-timeout stamp, which lives inside
+  // IndexGroup under its mutex so stagers and committers can never race
+  // it out of sync with the pending queue).
+  mutable SharedMutex groups_mu_{LockRank::kIndexNodeGroups,
+                                 "IndexNode::groups_mu_"};
+  std::map<GroupId, std::unique_ptr<index::IndexGroup>> groups_
+      GUARDED_BY(groups_mu_);
   // Per-node search worker pool; null when parallel_search is off.
   std::unique_ptr<ThreadPool> search_pool_;
   obs::MetricsRegistry metrics_;

@@ -20,6 +20,7 @@ MasterNode::MasterNode(NodeId id, net::Transport* transport, MasterConfig config
       handle_latency_(&metrics_.GetHistogram("mn.handle.latency_s")) {}
 
 void MasterNode::AddIndexNode(NodeId node) {
+  MutexLock lock(mu_);
   index_nodes_.push_back(node);
   node_load_.emplace(node, 0);
 }
@@ -41,7 +42,7 @@ NodeId MasterNode::LeastLoadedNode() const {
 
 net::RpcHandler::Response MasterNode::Handle(const std::string& method,
                                              const std::string& payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   handle_calls_->Add(1);
   metrics_.GetCounter("mn.calls." + method).Add(1);
   Response resp = [&]() -> Response {
@@ -208,7 +209,7 @@ net::RpcHandler::Response MasterNode::HandleCreateIndex(
   }
   // Catalog changes are rare and losing one across a master failover makes
   // every index unusable — flush synchronously rather than on the counter.
-  cost += ForceMetadataFlush();
+  cost += ForceMetadataFlushLocked();
   return Response{Status::Ok(), {}, cost};
 }
 
@@ -220,12 +221,17 @@ net::RpcHandler::Response MasterNode::HandleFlushAcg(const std::string& payload)
                  static_cast<double>(req->delta.NumEdges() + 1));
   auto result = acg_.ApplyDelta(req->delta);
   cost += ApplyAcgResult(result);
-  cost += RunSplitMaintenance();
+  cost += RunSplitMaintenanceLocked();
   MaybeFlushMetadata(cost);
   return Response{Status::Ok(), {}, cost};
 }
 
 sim::Cost MasterNode::RunSplitMaintenance() {
+  MutexLock lock(mu_);
+  return RunSplitMaintenanceLocked();
+}
+
+sim::Cost MasterNode::RunSplitMaintenanceLocked() {
   sim::Cost cost;
   auto plans = acg_.SplitOversizedGroups();
   for (const auto& plan : plans) {
@@ -261,6 +267,7 @@ sim::Cost MasterNode::RunSplitMaintenance() {
 }
 
 size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
+  MutexLock lock(mu_);
   size_t moved = 0;
   if (index_nodes_.size() < 2) return moved;
   for (;;) {
@@ -456,6 +463,7 @@ void MasterNode::RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost) {
 }
 
 std::vector<NodeId> MasterNode::DeadNodes() const {
+  MutexLock lock(mu_);
   std::vector<NodeId> nodes;
   nodes.reserve(dead_.size());
   for (const auto& [n, rehomed] : dead_) nodes.push_back(n);
@@ -464,12 +472,18 @@ std::vector<NodeId> MasterNode::DeadNodes() const {
 }
 
 std::optional<NodeId> MasterNode::NodeOfGroup(GroupId group) const {
+  MutexLock lock(mu_);
   auto it = group_node_.find(group);
   if (it == group_node_.end()) return std::nullopt;
   return it->second;
 }
 
 std::string MasterNode::SnapshotMetadata() const {
+  MutexLock lock(mu_);
+  return SnapshotMetadataLocked();
+}
+
+std::string MasterNode::SnapshotMetadataLocked() const {
   BinaryWriter w;
   // Catalog.
   w.PutU32(static_cast<uint32_t>(catalog_.size()));
@@ -494,6 +508,7 @@ std::string MasterNode::SnapshotMetadata() const {
 }
 
 Status MasterNode::RestoreMetadata(const std::string& image) {
+  MutexLock lock(mu_);
   BinaryReader r(image);
   uint32_t nc = 0;
   PROPELLER_RETURN_IF_ERROR(r.GetU32(nc));
@@ -536,13 +551,18 @@ Status MasterNode::RestoreMetadata(const std::string& image) {
 
 void MasterNode::MaybeFlushMetadata(sim::Cost& cost) {
   if (mutations_since_flush_ < config_.metadata_flush_interval) return;
-  cost += ForceMetadataFlush();
+  cost += ForceMetadataFlushLocked();
 }
 
 sim::Cost MasterNode::ForceMetadataFlush() {
+  MutexLock lock(mu_);
+  return ForceMetadataFlushLocked();
+}
+
+sim::Cost MasterNode::ForceMetadataFlushLocked() {
   obs::SpanGuard span("mn.metadata_flush", flush_count_, id_);
   metadata_flushes_->Add(1);
-  std::string image = SnapshotMetadata();
+  std::string image = SnapshotMetadataLocked();
   sim::Cost cost = metadata_store_.Append(image.size());
   span.Tag("bytes", static_cast<uint64_t>(image.size()));
   span.Advance(cost);

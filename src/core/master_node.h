@@ -23,13 +23,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "acg/acg_manager.h"
+#include "common/mutex.h"
 #include "core/proto.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -67,25 +67,41 @@ class MasterNode : public net::RpcHandler {
 
   // Thread-safe: concurrent client RPCs are serialized on mu_, modelling
   // the paper's single-threaded master event loop (the master only routes,
-  // so it is never the bottleneck).  The direct accessors below are NOT
-  // synchronized; call them only when no RPCs are in flight.
+  // so it is never the bottleneck).  The direct accessors below take the
+  // same mutex, so they may run concurrently with RPCs.
   Response Handle(const std::string& method, const std::string& payload) override;
 
   // --- direct accessors ---
-  const acg::AcgManager& acg_manager() const { return acg_; }
+  // Quiescent-only test hook: hands out a reference to mu_-guarded state,
+  // so callers must ensure no RPCs are in flight.
+  const acg::AcgManager& acg_manager() const NO_THREAD_SAFETY_ANALYSIS {
+    return acg_;
+  }
   std::optional<NodeId> NodeOfGroup(GroupId group) const;
-  std::vector<IndexSpec> Catalog() const { return catalog_; }
-  uint64_t NumGroups() const { return group_node_.size(); }
+  std::vector<IndexSpec> Catalog() const {
+    MutexLock lock(mu_);
+    return catalog_;
+  }
+  uint64_t NumGroups() const {
+    MutexLock lock(mu_);
+    return group_node_.size();
+  }
 
   // Serialized metadata image (what the periodic flush writes); paired
   // with RestoreMetadata for master-recovery tests.
   std::string SnapshotMetadata() const;
   Status RestoreMetadata(const std::string& image);
-  uint64_t FlushCount() const { return flush_count_; }
+  uint64_t FlushCount() const {
+    MutexLock lock(mu_);
+    return flush_count_;
+  }
 
   // Invoked with every flushed metadata image (standby replication).
   using MetadataSink = std::function<void(const std::string&)>;
-  void SetMetadataSink(MetadataSink sink) { metadata_sink_ = std::move(sink); }
+  void SetMetadataSink(MetadataSink sink) {
+    MutexLock lock(mu_);
+    metadata_sink_ = std::move(sink);
+  }
   // Flushes immediately regardless of the mutation counter; returns the
   // simulated cost of the shared-storage write.
   sim::Cost ForceMetadataFlush();
@@ -109,9 +125,15 @@ class MasterNode : public net::RpcHandler {
     uint64_t records_restored = 0; // journal records replayed on survivors
     sim::Cost cost;                // simulated recovery work
   };
-  std::vector<RecoveryEvent> RecoveryEvents() const { return events_; }
+  std::vector<RecoveryEvent> RecoveryEvents() const {
+    MutexLock lock(mu_);
+    return events_;
+  }
   std::vector<NodeId> DeadNodes() const;
-  bool IsNodeDead(NodeId node) const { return dead_.count(node) != 0u; }
+  bool IsNodeDead(NodeId node) const {
+    MutexLock lock(mu_);
+    return dead_.count(node) != 0u;
+  }
 
   // Master-side metrics (per-method call counts, handle latency,
   // metadata flushes, recovery totals).
@@ -119,54 +141,63 @@ class MasterNode : public net::RpcHandler {
   obs::MetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
 
  private:
-  Response HandleResolveUpdate(const std::string& payload);
-  Response HandleResolveSearch(const std::string& payload);
-  Response HandleCreateIndex(const std::string& payload);
-  Response HandleFlushAcg(const std::string& payload);
-  Response HandleHeartbeat(const std::string& payload);
-  Response HandleTick(const std::string& payload);
+  Response HandleResolveUpdate(const std::string& payload) REQUIRES(mu_);
+  Response HandleResolveSearch(const std::string& payload) REQUIRES(mu_);
+  Response HandleCreateIndex(const std::string& payload) REQUIRES(mu_);
+  Response HandleFlushAcg(const std::string& payload) REQUIRES(mu_);
+  Response HandleHeartbeat(const std::string& payload) REQUIRES(mu_);
+  Response HandleTick(const std::string& payload) REQUIRES(mu_);
 
   // Declares `node` dead and (if configured) re-homes its groups onto the
   // least-loaded live survivors.  Appends a RecoveryEvent either way.
-  void RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost);
+  void RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost)
+      REQUIRES(mu_);
 
   // Ensures `group` exists on some Index Node; creates it (with the
   // catalog's indices) on the least-loaded node if new.
-  Result<NodeId> EnsureGroupPlaced(GroupId group, sim::Cost& cost);
-  NodeId LeastLoadedNode() const;
+  Result<NodeId> EnsureGroupPlaced(GroupId group, sim::Cost& cost)
+      REQUIRES(mu_);
+  NodeId LeastLoadedNode() const REQUIRES(mu_);
   // Applies AcgManager placement/merge decisions: creates groups, moves
   // merged files' index data between nodes.
-  sim::Cost ApplyAcgResult(const acg::AcgManager::ApplyResult& result);
-  void MaybeFlushMetadata(sim::Cost& cost);
+  sim::Cost ApplyAcgResult(const acg::AcgManager::ApplyResult& result)
+      REQUIRES(mu_);
+  void MaybeFlushMetadata(sim::Cost& cost) REQUIRES(mu_);
+  // Locked bodies of the dual-use public entry points (the public wrappers
+  // take mu_; internal callers already hold it).
+  std::string SnapshotMetadataLocked() const REQUIRES(mu_);
+  sim::Cost ForceMetadataFlushLocked() REQUIRES(mu_);
+  sim::Cost RunSplitMaintenanceLocked() REQUIRES(mu_);
 
   NodeId id_;
   net::Transport* transport_;
   // Serializes Handle() dispatch.  Held across nested transport calls to
   // Index Nodes (group creation, migration); Index Nodes never call back
-  // into the master from a handler, so no cycle exists.
-  std::mutex mu_;
+  // into the master from a handler, so no cycle exists — and LockRank
+  // kMaster (the lowest rank) rejects any future cycle at runtime.
+  mutable Mutex mu_{LockRank::kMaster, "MasterNode::mu_"};
   MasterConfig config_;
-  acg::AcgManager acg_;
-  std::vector<NodeId> index_nodes_;
-  std::unordered_map<GroupId, NodeId> group_node_;
+  acg::AcgManager acg_ GUARDED_BY(mu_);
+  std::vector<NodeId> index_nodes_ GUARDED_BY(mu_);
+  std::unordered_map<GroupId, NodeId> group_node_ GUARDED_BY(mu_);
   // Load view (updated by heartbeats + own placements): groups per node.
-  std::unordered_map<NodeId, uint64_t> node_load_;
-  std::vector<IndexSpec> catalog_;
+  std::unordered_map<NodeId, uint64_t> node_load_ GUARDED_BY(mu_);
+  std::vector<IndexSpec> catalog_ GUARDED_BY(mu_);
   // Failure detector state.  A node enters last_heartbeat_s_ on its first
   // heartbeat; nodes the master never heard from are never declared dead
   // (so a standby master taking over with a cold map does not mass-kill
   // the cluster before the first heartbeat round).
-  std::unordered_map<NodeId, double> last_heartbeat_s_;
+  std::unordered_map<NodeId, double> last_heartbeat_s_ GUARDED_BY(mu_);
   // Declared-dead nodes; value = whether their groups were re-homed (a
   // revived node whose data moved elsewhere must be wiped via in.reset
   // before it can rejoin the placement pool).
-  std::unordered_map<NodeId, bool> dead_;
-  std::vector<RecoveryEvent> events_;
-  MetadataSink metadata_sink_;
+  std::unordered_map<NodeId, bool> dead_ GUARDED_BY(mu_);
+  std::vector<RecoveryEvent> events_ GUARDED_BY(mu_);
+  MetadataSink metadata_sink_ GUARDED_BY(mu_);
   sim::IoContext shared_storage_;
-  sim::PageStore metadata_store_;
-  uint64_t mutations_since_flush_ = 0;
-  uint64_t flush_count_ = 0;
+  sim::PageStore metadata_store_ GUARDED_BY(mu_);
+  uint64_t mutations_since_flush_ GUARDED_BY(mu_) = 0;
+  uint64_t flush_count_ GUARDED_BY(mu_) = 0;
   obs::MetricsRegistry metrics_;
   obs::Counter* handle_calls_;
   obs::Counter* metadata_flushes_;

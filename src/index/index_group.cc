@@ -94,7 +94,7 @@ IndexGroup::IndexGroup(GroupId id, sim::IoContext* io,
 }
 
 Status IndexGroup::CreateIndex(const IndexSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spec.name.empty()) return Status::InvalidArgument("index name empty");
   bool exists = std::any_of(
       indexes_.begin(), indexes_.end(),
@@ -132,21 +132,21 @@ Status IndexGroup::CreateIndex(const IndexSpec& spec) {
 }
 
 bool IndexGroup::HasIndex(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::any_of(indexes_.begin(), indexes_.end(),
                      [&](const NamedIndex& i) { return i.spec.name == name; });
 }
 
 std::vector<IndexSpec> IndexGroup::Specs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<IndexSpec> out;
   out.reserve(indexes_.size());
   for (const NamedIndex& i : indexes_) out.push_back(i.spec);
   return out;
 }
 
-sim::Cost IndexGroup::StageUpdate(FileUpdate update) {
-  std::lock_guard<std::mutex> lock(mu_);
+sim::Cost IndexGroup::StageUpdate(FileUpdate update, double staged_at_s) {
+  MutexLock lock(mu_);
   BinaryWriter w;
   update.Serialize(w);
   std::string record = std::move(w).Take();
@@ -157,15 +157,24 @@ sim::Cost IndexGroup::StageUpdate(FileUpdate update) {
   }
   sim::Cost cost = wal_.Append(std::move(record));
   pending_.push_back(std::move(update));
+  // Stamp only when no older pending update already owns the clock; the
+  // commit that drains the queue resets it under this same lock.
+  if (staged_at_s >= 0.0 && oldest_pending_staged_s_ < 0.0) {
+    oldest_pending_staged_s_ = staged_at_s;
+  }
   return cost;
 }
 
 sim::Cost IndexGroup::Commit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return CommitLocked();
 }
 
 sim::Cost IndexGroup::CommitLocked() {
+  // Reset the oldest-pending clock unconditionally — even when pending_ is
+  // already empty (a stale stamp left by SimulateCrashLosingMemoryState
+  // would otherwise re-trigger the commit timeout forever).
+  oldest_pending_staged_s_ = -1.0;
   sim::Cost cost;
   if (pending_.empty()) return cost;
   obs::SpanGuard span("group.commit", id_);
@@ -328,7 +337,7 @@ const IndexGroup::NamedIndex* IndexGroup::ChooseAccessPath(
 }
 
 IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SearchResult out;
   // The commit span inside advances the ambient clock by its own cost; the
   // remainder of this search's cost is topped up before the span closes.
@@ -438,7 +447,7 @@ IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
 }
 
 sim::Cost IndexGroup::MaintainIndexes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sim::Cost cost;
   for (NamedIndex& idx : indexes_) {
     if (IsKdType(idx.spec.type) && idx.kd->NeedsRebuild()) {
@@ -449,19 +458,23 @@ sim::Cost IndexGroup::MaintainIndexes() {
 }
 
 Status IndexGroup::RecoverPendingFromWal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pending_.clear();
-  return wal_.Replay([&](const std::string& rec) {
+  Status s = wal_.Replay([&](const std::string& rec) {
     BinaryReader r(rec);
     FileUpdate u;
     PROPELLER_RETURN_IF_ERROR(FileUpdate::Deserialize(r, u));
     pending_.push_back(std::move(u));
     return Status::Ok();
   });
+  // An empty WAL means nothing is pending: drop any pre-crash stamp so the
+  // commit timeout does not fire for updates that no longer exist.
+  if (pending_.empty()) oldest_pending_staged_s_ = -1.0;
+  return s;
 }
 
 uint64_t IndexGroup::ApproxPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t pages = records_.NumPages();
   for (const NamedIndex& idx : indexes_) {
     switch (idx.spec.type) {

@@ -22,15 +22,17 @@
 //
 // Never acquire a second group's mutex while holding one, and never call
 // back into IndexGroup from inside a ForEachRecord callback (the callback
-// runs under mu_).
+// runs under mu_).  This order is one slice of the cluster-wide rank table
+// (common/mutex.h LockRank, DESIGN.md "Lock ranks & static enforcement");
+// debug builds abort on violation.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "index/attr.h"
 #include "obs/metrics.h"
@@ -101,12 +103,24 @@ class IndexGroup {
 
   // --- Real-time indexing path ---
   // WAL append + in-memory staging; cheap and on the I/O critical path.
-  sim::Cost StageUpdate(FileUpdate update);
+  // `staged_at_s` (simulated seconds, optional) stamps the group's
+  // oldest-pending clock for commit-timeout scheduling: the stamp is set
+  // only when no older staged update is already waiting, and every commit
+  // clears it — all under mu_, so a stage racing a commit can never leave
+  // the stamp pointing at updates that no longer exist (or, worse, drop
+  // the stamp for updates that do).
+  sim::Cost StageUpdate(FileUpdate update, double staged_at_s = -1.0);
   // Applies all staged updates to the index structures; truncates the WAL.
   sim::Cost Commit();
   size_t PendingUpdates() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pending_.size();
+  }
+  // Simulated time the oldest currently-pending update was staged, or a
+  // negative value when nothing is pending (or nothing was stamped).
+  double OldestPendingStagedAt() const {
+    MutexLock lock(mu_);
+    return oldest_pending_staged_s_;
   }
 
   // --- Search path ---
@@ -127,15 +141,17 @@ class IndexGroup {
   // restart that lost its memory state but kept its log).
   Status RecoverPendingFromWal();
   // Drops in-memory staged state *without* touching the WAL (test hook
-  // that simulates the crash itself).
+  // that simulates the crash itself).  The oldest-pending stamp survives,
+  // like any other pre-crash memory of the scheduler; the next commit
+  // clears it.
   void SimulateCrashLosingMemoryState() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_.clear();
   }
 
   // --- Split / migration support ---
   uint64_t NumFiles() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return records_.NumRecords();
   }
   // All (file, attrs) currently committed; used to move files to a new
@@ -143,7 +159,7 @@ class IndexGroup {
   // not call back into this IndexGroup.
   template <typename Fn>
   sim::Cost ForEachRecord(Fn&& fn) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return records_.ForEach(fn);
   }
   // Size estimate for migration cost accounting.
@@ -157,13 +173,16 @@ class IndexGroup {
     std::unique_ptr<KdTree> kd;
   };
 
-  // The *Locked helpers assume mu_ is held by the caller.
-  sim::Cost CommitLocked();
-  sim::Cost Apply(const FileUpdate& update);
-  sim::Cost RemovePostings(const NamedIndex& idx, FileId file, const AttrSet& attrs);
-  sim::Cost InsertPostings(const NamedIndex& idx, FileId file, const AttrSet& attrs);
+  // The *Locked helpers require mu_ held by the caller.
+  sim::Cost CommitLocked() REQUIRES(mu_);
+  sim::Cost Apply(const FileUpdate& update) REQUIRES(mu_);
+  sim::Cost RemovePostings(const NamedIndex& idx, FileId file,
+                           const AttrSet& attrs) REQUIRES(mu_);
+  sim::Cost InsertPostings(const NamedIndex& idx, FileId file,
+                           const AttrSet& attrs) REQUIRES(mu_);
   // Picks the best index for `pred`; returns nullptr for full scan.
-  const NamedIndex* ChooseAccessPath(const Predicate& pred) const;
+  const NamedIndex* ChooseAccessPath(const Predicate& pred) const
+      REQUIRES(mu_);
 
   GroupId id_;
   sim::IoContext* io_;
@@ -174,11 +193,13 @@ class IndexGroup {
   obs::Counter* committed_ = nullptr;
   // Guards all mutable group state (records, WAL, indexes, pending cache).
   // See the locking-order comment at the top of this header.
-  mutable std::mutex mu_;
-  RecordStore records_;
-  WriteAheadLog wal_;
-  std::vector<NamedIndex> indexes_;
-  std::vector<FileUpdate> pending_;
+  mutable Mutex mu_{LockRank::kIndexGroup, "IndexGroup::mu_"};
+  RecordStore records_ GUARDED_BY(mu_);
+  WriteAheadLog wal_ GUARDED_BY(mu_);
+  std::vector<NamedIndex> indexes_ GUARDED_BY(mu_);
+  std::vector<FileUpdate> pending_ GUARDED_BY(mu_);
+  // Simulated stage time of the oldest pending update; < 0 when unset.
+  double oldest_pending_staged_s_ GUARDED_BY(mu_) = -1.0;
 };
 
 // Splits a path into keyword tokens ('/', '.', '-', '_' delimited).

@@ -3,18 +3,18 @@
 namespace propeller::net {
 
 void FaultPlan::AddRule(FaultRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_.push_back(RuleState{std::move(rule), 0});
 }
 
 void FaultPlan::ClearRules() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_.clear();
 }
 
 FaultPlan::Decision FaultPlan::Decide(NodeId src, NodeId dst,
                                       const std::string& method) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (RuleState& state : rules_) {
     const FaultRule& rule = state.rule;
     if (state.triggers >= rule.max_triggers) continue;
@@ -43,7 +43,7 @@ FaultPlan::Decision FaultPlan::Decide(NodeId src, NodeId dst,
 }
 
 FaultPlan::Counters FaultPlan::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 

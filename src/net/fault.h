@@ -26,10 +26,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "sim/cost.h"
 
@@ -91,10 +91,10 @@ class FaultPlan {
     uint64_t triggers = 0;
   };
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::vector<RuleState> rules_;
-  Counters counters_;
+  mutable Mutex mu_{LockRank::kFaultPlan, "FaultPlan::mu_"};
+  Rng rng_ GUARDED_BY(mu_);
+  std::vector<RuleState> rules_ GUARDED_BY(mu_);
+  Counters counters_ GUARDED_BY(mu_);
 };
 
 }  // namespace propeller::net

@@ -8,13 +8,17 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
                                       const std::string& method,
                                       std::string request) {
   CallResult out;
-  if (IsDown(to)) {
+  // One snapshot answers both "is the node down?" and "who handles it?" —
+  // loading them separately would let a concurrent SetNodeDown/Register
+  // pair produce an inconsistent view (down in one epoch, routable in the
+  // other).
+  std::shared_ptr<const Routing> routing = routing_.load();
+  if (routing->down.count(to) != 0u) {
     out.status = Status::Unavailable("node down");
     return out;
   }
-  std::shared_ptr<const HandlerMap> handlers = handlers_.load();
-  auto it = handlers->find(to);
-  if (it == handlers->end()) {
+  auto it = routing->handlers.find(to);
+  if (it == routing->handlers.end()) {
     out.status = Status::NotFound("no such node");
     return out;
   }

@@ -7,14 +7,15 @@
 // calls (from == to) skip the network.
 //
 // Thread safety: Call() may be invoked from any number of threads
-// concurrently (the client fan-out pools do exactly that).  The handler
-// table is an immutable snapshot swapped atomically on Register/Unregister,
-// so the per-call lookup is lock-free; traffic counters are atomics and the
-// down-set takes a small mutex.  Register/Unregister are cheap but not
-// lock-free and are expected at setup / failover time, not on hot paths.
-// Handlers themselves must be safe for concurrent Handle() calls when the
-// caller side is concurrent (MasterNode serializes internally; IndexNode
-// uses per-group locking).
+// concurrently (the client fan-out pools do exactly that).  Routing state
+// — the handler table and the down-set — lives in one immutable snapshot
+// swapped atomically on Register/Unregister/SetNodeDown, so each call
+// resolves both against a single consistent view with a lock-free load
+// (a node marked down can never be reached through a stale handler map,
+// and vice versa).  Mutations are cheap but not lock-free and are expected
+// at setup / failover time, not on hot paths.  Handlers themselves must be
+// safe for concurrent Handle() calls when the caller side is concurrent
+// (MasterNode serializes internally; IndexNode uses per-group locking).
 //
 // Failure injection: a node can be marked down, after which calls to it
 // fail with kUnavailable — used by the recovery tests.  Finer-grained,
@@ -25,11 +26,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "net/fault.h"
 #include "obs/metrics.h"
@@ -63,27 +64,27 @@ class Transport {
         faults_dropped_(&metrics_.GetCounter("net.faults.dropped")),
         faults_failed_(&metrics_.GetCounter("net.faults.failed")),
         faults_delayed_(&metrics_.GetCounter("net.faults.delayed")) {
-    handlers_.store(std::make_shared<const HandlerMap>());
+    routing_.store(std::make_shared<const Routing>());
   }
 
   void Register(NodeId node, RpcHandler* handler) {
-    MutateHandlers([&](HandlerMap& m) { m[node] = handler; });
+    MutateRouting([&](Routing& r) { r.handlers[node] = handler; });
   }
   void Unregister(NodeId node) {
-    MutateHandlers([&](HandlerMap& m) { m.erase(node); });
+    MutateRouting([&](Routing& r) { r.handlers.erase(node); });
   }
 
   void SetNodeDown(NodeId node, bool down) {
-    std::lock_guard<std::mutex> lock(down_mu_);
-    if (down) {
-      down_.insert(node);
-    } else {
-      down_.erase(node);
-    }
+    MutateRouting([&](Routing& r) {
+      if (down) {
+        r.down.insert(node);
+      } else {
+        r.down.erase(node);
+      }
+    });
   }
   bool IsDown(NodeId node) const {
-    std::lock_guard<std::mutex> lock(down_mu_);
-    return down_.count(node) != 0u;
+    return routing_.load()->down.count(node) != 0u;
   }
 
   // Installs (nullptr clears) the fault plan consulted on every remote
@@ -118,19 +119,28 @@ class Transport {
  private:
   using HandlerMap = std::unordered_map<NodeId, RpcHandler*>;
 
+  // All routing state a call consults, published as one immutable
+  // snapshot.  Keeping the down-set and the handler map in the same
+  // object means a call can never observe "node registered" from one
+  // epoch and "node up" from another.
+  struct Routing {
+    HandlerMap handlers;
+    std::unordered_set<NodeId> down;
+  };
+
   template <typename Fn>
-  void MutateHandlers(Fn&& fn) {
-    std::lock_guard<std::mutex> lock(register_mu_);
-    auto next = std::make_shared<HandlerMap>(*handlers_.load());
+  void MutateRouting(Fn&& fn) {
+    MutexLock lock(mu_);
+    auto next = std::make_shared<Routing>(*routing_.load());
     fn(*next);
-    handlers_.store(std::shared_ptr<const HandlerMap>(std::move(next)));
+    routing_.store(std::shared_ptr<const Routing>(std::move(next)));
   }
 
   sim::NetModel net_;
-  std::mutex register_mu_;  // serializes handler-map copy-on-write updates
-  std::atomic<std::shared_ptr<const HandlerMap>> handlers_;
-  mutable std::mutex down_mu_;
-  std::unordered_set<NodeId> down_;
+  // Serializes routing copy-on-write updates (readers go through the
+  // atomic snapshot and never take this).
+  Mutex mu_{LockRank::kTransportRouting, "Transport::mu_"};
+  std::atomic<std::shared_ptr<const Routing>> routing_;
   std::atomic<std::shared_ptr<FaultPlan>> fault_;
   obs::MetricsRegistry metrics_;
   // Hot-path counters, resolved once at construction (registry lookups take

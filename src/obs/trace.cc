@@ -14,14 +14,14 @@ TraceCursor& CurrentTrace() {
 
 void Tracer::Record(Span span) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back(std::move(span));
 }
 
 std::vector<Span> Tracer::Spans() const {
   std::vector<Span> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out = spans_;
   }
   std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
@@ -35,12 +35,12 @@ std::vector<Span> Tracer::Spans() const {
 }
 
 size_t Tracer::SpanCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 

@@ -35,12 +35,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "sim/cost.h"
 
 namespace propeller::obs {
@@ -111,8 +111,8 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
+  mutable Mutex mu_{LockRank::kTracer, "Tracer::mu_"};
+  std::vector<Span> spans_ GUARDED_BY(mu_);
 };
 
 // Deterministic id derivation (SplitMix64-style mixing).  Span ids hash the

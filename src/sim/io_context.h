@@ -9,8 +9,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "sim/cost.h"
 #include "sim/disk_model.h"
 #include "sim/page_cache.h"
@@ -65,13 +65,13 @@ class IoContext {
   const IoParams& params() const { return params_; }
 
   Cost TouchPage(PageId id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (cache_.Touch(id)) return Cost(params_.cache_hit_us / 1e6);
     return disk_.RandomPageAccess();
   }
 
   Cost SequentialLoad(uint64_t store, uint64_t pages) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Count cold pages first so a fully warm scan is RAM-speed.
     uint64_t cold = 0;
     for (uint64_t p = 0; p < pages; ++p) {
@@ -85,30 +85,30 @@ class IoContext {
   Cost Append(uint64_t bytes) { return disk_.AppendBytes(bytes); }
 
   void InvalidateStore(uint64_t store) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cache_.InvalidateStore(store);
   }
 
   // Drops the whole cache: models rebooting / drop_caches before cold runs.
   void DropCaches() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cache_.Clear();
   }
 
   PageCacheStats CacheStats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cache_.stats();
   }
   uint64_t CachedPages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cache_.size();
   }
 
  private:
   IoParams params_;
   DiskModel disk_;
-  mutable std::mutex mu_;
-  PageCache cache_;
+  mutable Mutex mu_{LockRank::kIoContext, "IoContext::mu_"};
+  PageCache cache_ GUARDED_BY(mu_);
   std::atomic<uint64_t> next_store_id_{1};
 };
 

@@ -171,6 +171,69 @@ TEST_F(IndexGroupTest, CommittedUpdatesNotReplayedAfterRecovery) {
   EXPECT_EQ(group_.NumFiles(), 2u);
 }
 
+// The oldest-pending stamp drives the commit-timeout tick on IndexNode.
+// It used to live outside the group as a bare atomic (racy blind stores);
+// these tests pin down its semantics now that it is guarded by the group
+// mutex and maintained by StageUpdate/Commit themselves.
+TEST_F(IndexGroupTest, OldestPendingStampSetByFirstStagedUpdate) {
+  EXPECT_LT(group_.OldestPendingStagedAt(), 0.0) << "no pending -> no stamp";
+  group_.StageUpdate(Upsert(1, 100, 10, "/a"), /*staged_at_s=*/5.0);
+  EXPECT_DOUBLE_EQ(group_.OldestPendingStagedAt(), 5.0);
+  // Later updates do not advance the stamp: the timeout is measured from
+  // the OLDEST uncommitted update.
+  group_.StageUpdate(Upsert(2, 200, 20, "/b"), /*staged_at_s=*/9.0);
+  EXPECT_DOUBLE_EQ(group_.OldestPendingStagedAt(), 5.0);
+}
+
+TEST_F(IndexGroupTest, OldestPendingStampClearedByCommitAndSearch) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/a"), /*staged_at_s=*/5.0);
+  group_.Commit();
+  EXPECT_LT(group_.OldestPendingStagedAt(), 0.0);
+  // Search commits pending updates (search-sees-latest), so it clears the
+  // stamp too.
+  group_.StageUpdate(Upsert(2, 200, 20, "/b"), /*staged_at_s=*/7.0);
+  Predicate pred;
+  pred.And("size", CmpOp::kGt, AttrValue(int64_t{0}));
+  group_.Search(pred);
+  EXPECT_LT(group_.OldestPendingStagedAt(), 0.0);
+  // And the next staged update re-stamps from scratch.
+  group_.StageUpdate(Upsert(3, 300, 30, "/c"), /*staged_at_s=*/11.0);
+  EXPECT_DOUBLE_EQ(group_.OldestPendingStagedAt(), 11.0);
+}
+
+TEST_F(IndexGroupTest, UnstampedStagingLeavesStampAlone) {
+  // WAL replay and migration install stage without a timestamp; they must
+  // not fabricate a commit-timeout epoch.
+  group_.StageUpdate(Upsert(1, 100, 10, "/a"));
+  EXPECT_LT(group_.OldestPendingStagedAt(), 0.0);
+  group_.StageUpdate(Upsert(2, 200, 20, "/b"), /*staged_at_s=*/4.0);
+  EXPECT_DOUBLE_EQ(group_.OldestPendingStagedAt(), 4.0);
+}
+
+TEST_F(IndexGroupTest, OldestPendingStampSurvivesCrashRecovery) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/a"), /*staged_at_s=*/5.0);
+  group_.SimulateCrashLosingMemoryState();
+  // The stamp survives the simulated crash: recovered pending updates are
+  // at least as old as the pre-crash epoch, so keeping it makes the
+  // commit timeout fire no later than it should.
+  ASSERT_TRUE(group_.RecoverPendingFromWal().ok());
+  EXPECT_DOUBLE_EQ(group_.OldestPendingStagedAt(), 5.0);
+  group_.Commit();
+  EXPECT_LT(group_.OldestPendingStagedAt(), 0.0);
+}
+
+TEST_F(IndexGroupTest, RecoveryWithEmptyWalClearsStaleStamp) {
+  group_.StageUpdate(Upsert(1, 100, 10, "/a"), /*staged_at_s=*/5.0);
+  group_.Commit();  // WAL now contains only committed (skippable) records
+  group_.StageUpdate(Upsert(2, 200, 20, "/b"), /*staged_at_s=*/8.0);
+  group_.Commit();
+  group_.SimulateCrashLosingMemoryState();
+  ASSERT_TRUE(group_.RecoverPendingFromWal().ok());
+  // Nothing pending after replay -> no stamp, so the tick path never sees
+  // a phantom timeout for an empty pending queue.
+  EXPECT_LT(group_.OldestPendingStagedAt(), 0.0);
+}
+
 TEST_F(IndexGroupTest, StagingIsCheaperThanCommitting) {
   // The entire point of the index cache: the critical-path cost (WAL
   // append) is orders of magnitude below the structure-update cost.

@@ -103,6 +103,49 @@ TEST_F(IndexNodeTest, TickCommitsOnlyAfterTimeout) {
   EXPECT_EQ(node_.FindGroup(1)->NumFiles(), 1u);
 }
 
+// Regression: the oldest-pending stamp used to be a bare atomic on the
+// node's group table, cleared with a blind store after search/tick.  A
+// stage landing between a search's commit and that store lost its timeout
+// epoch, so its updates could sit past the commit timeout.  The stamp now
+// lives under the group mutex and Commit clears it, so a stage that lands
+// after the search re-stamps correctly.
+TEST_F(IndexNodeTest, StageAfterSearchKeepsItsOwnTimeoutEpoch) {
+  CreateGroup(1);
+  Stage(1, {Upsert(1, 100)}, /*now=*/10.0);
+  EXPECT_EQ(Search({1}, 50), (std::vector<FileId>{1}));  // commits, clears stamp
+
+  Stage(1, {Upsert(2, 200)}, /*now=*/20.0);
+  EXPECT_DOUBLE_EQ(node_.FindGroup(1)->OldestPendingStagedAt(), 20.0);
+
+  // A tick measured from the new epoch (not the cleared one) commits only
+  // once 20.0 + timeout has passed.
+  TickRequest early;
+  early.now_s = 24.0;
+  ASSERT_TRUE(Call("in.tick", Encode(early)).status.ok());
+  EXPECT_EQ(node_.FindGroup(1)->PendingUpdates(), 1u);
+  TickRequest late;
+  late.now_s = 25.5;
+  ASSERT_TRUE(Call("in.tick", Encode(late)).status.ok());
+  EXPECT_EQ(node_.FindGroup(1)->PendingUpdates(), 0u);
+  EXPECT_EQ(node_.FindGroup(1)->NumFiles(), 2u);
+}
+
+TEST_F(IndexNodeTest, TickAfterCrashRecoveryStillCommitsPending) {
+  CreateGroup(1);
+  Stage(1, {Upsert(1, 100)}, /*now=*/10.0);
+  auto* group = node_.FindGroup(1);
+  group->SimulateCrashLosingMemoryState();
+  ASSERT_TRUE(group->RecoverPendingFromWal().ok());
+  // The pre-crash epoch survives recovery, so the timeout fires on
+  // schedule instead of never (or immediately).
+  EXPECT_DOUBLE_EQ(group->OldestPendingStagedAt(), 10.0);
+  TickRequest late;
+  late.now_s = 15.5;
+  ASSERT_TRUE(Call("in.tick", Encode(late)).status.ok());
+  EXPECT_EQ(node_.FindGroup(1)->PendingUpdates(), 0u);
+  EXPECT_EQ(node_.FindGroup(1)->NumFiles(), 1u);
+}
+
 TEST_F(IndexNodeTest, MigrateOutMovesSelectedFiles) {
   CreateGroup(1);
   Stage(1, {Upsert(1, 10), Upsert(2, 20), Upsert(3, 30)});

@@ -152,6 +152,67 @@ TEST(TransportTest, UnregisterStopsRouting) {
   EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(), StatusCode::kNotFound);
 }
 
+// Regression: the down set and the handler map live in one atomically
+// swapped Routing snapshot.  Before that, Call() read them under separate
+// lock acquisitions, so a concurrent Register/Unregister of an unrelated
+// node could interleave between the down check and the handler lookup.
+TEST(TransportTest, DownMarkSurvivesUnrelatedRoutingChanges) {
+  Transport t;
+  EchoHandler h7, h8, h9;
+  t.Register(7, &h7);
+  t.SetNodeDown(7, true);
+  // Routing churn on other nodes must not resurrect node 7.
+  t.Register(8, &h8);
+  t.Register(9, &h9);
+  t.Unregister(8);
+  EXPECT_TRUE(t.IsDown(7));
+  EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(t.Call(1, 9, "ping", "x").status.ok());
+}
+
+TEST(TransportTest, DownBeforeRegisterStillUnavailable) {
+  Transport t;
+  // Marking a node down before its handler exists is legal (the master
+  // does this when it declares a node dead during bring-up) and the down
+  // state must win over NotFound once the handler appears.
+  t.SetNodeDown(7, true);
+  EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(), StatusCode::kUnavailable);
+  EchoHandler h;
+  t.Register(7, &h);
+  EXPECT_EQ(t.Call(1, 7, "ping", "x").status.code(), StatusCode::kUnavailable);
+  t.SetNodeDown(7, false);
+  EXPECT_TRUE(t.Call(1, 7, "ping", "x").status.ok());
+}
+
+TEST(TransportTest, RoutingSnapshotConsistentUnderConcurrentMutation) {
+  // Hammer Register/Unregister/SetNodeDown on one node while callers spin
+  // on another.  Every call must land in exactly one of the three states a
+  // consistent snapshot allows (ok / unavailable / not-found) — never a
+  // crash or a torn read.
+  Transport t;
+  EchoHandler stable, churn;
+  t.Register(1, &stable);
+  t.Register(2, &stable);
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    while (!stop.load()) {
+      t.Register(3, &churn);
+      t.SetNodeDown(3, true);
+      t.SetNodeDown(3, false);
+      t.Unregister(3);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    auto r = t.Call(1, 2, "ping", "x");
+    ASSERT_TRUE(r.status.ok()) << "stable route affected by churn";
+    auto c = t.Call(1, 3, "ping", "x");
+    ASSERT_TRUE(c.status.ok() || c.status.code() == StatusCode::kUnavailable ||
+                c.status.code() == StatusCode::kNotFound);
+  }
+  stop.store(true);
+  mutator.join();
+}
+
 // ---- fault injection ----
 
 TEST(FaultPlanTest, SameSeedSameSchedule) {
