@@ -79,6 +79,24 @@ inline void WriteMetricsSidecar(
   }
 }
 
+// Machine-readable bench results: BENCH_<name>.json in ObsDir(), a flat
+// object of numeric results keyed by metric name (plus the scale factor),
+// so CI can diff runs without scraping the human tables.
+inline void WriteBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& values) {
+  std::string body = "{\n  \"bench\": \"" + name + "\",\n  \"scale\": " +
+                     Sprintf("%.6g", ScaleFactor());
+  for (const auto& [key, value] : values) {
+    body += ",\n  \"" + key + "\": " + Sprintf("%.9g", value);
+  }
+  body += "\n}\n";
+  const std::string path = ObsDir() + "/BENCH_" + name + ".json";
+  if (WriteSidecarFile(path, body)) {
+    std::printf("bench json: %s\n", path.c_str());
+  }
+}
+
 inline void WriteTraceSidecar(const std::string& experiment,
                               const obs::Tracer& tracer) {
   const std::string path = ObsDir() + "/" + experiment + ".trace.json";

@@ -9,6 +9,8 @@ const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kUnranked:
       return "kUnranked";
+    case LockRank::kClientCache:
+      return "kClientCache";
     case LockRank::kMaster:
       return "kMaster";
     case LockRank::kTransportRouting:
@@ -21,6 +23,8 @@ const char* LockRankName(LockRank rank) {
       return "kGroupJournal";
     case LockRank::kIndexGroup:
       return "kIndexGroup";
+    case LockRank::kIndexGroupCache:
+      return "kIndexGroupCache";
     case LockRank::kIoContext:
       return "kIoContext";
     case LockRank::kThreadPool:

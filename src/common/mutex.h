@@ -50,12 +50,14 @@ namespace propeller {
 // subsystems without renumbering.
 enum class LockRank : int {
   kUnranked = 0,          // exempt from rank checking
+  kClientCache = 5,       // core::PropellerClient::cache_mu_ (placement cache)
   kMaster = 10,           // core::MasterNode::mu_ (held across nested RPCs)
   kTransportRouting = 20, // net::Transport::mu_ (handler/down-set snapshot)
   kFaultPlan = 25,        // net::FaultPlan::mu_
   kIndexNodeGroups = 30,  // core::IndexNode::groups_mu_ (shared_mutex)
   kGroupJournal = 35,     // core::GroupJournal::mu_
-  kIndexGroup = 40,       // index::IndexGroup::mu_
+  kIndexGroup = 40,       // index::IndexGroup::mu_ (shared_mutex)
+  kIndexGroupCache = 45,  // index::IndexGroup::cache_mu_ (result cache)
   kIoContext = 50,        // sim::IoContext::mu_
   kThreadPool = 60,       // ThreadPool::mu_
   kMetricsRegistry = 70,  // obs::MetricsRegistry::mu_

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kStaleLocation:
+      return "STALE_LOCATION";
   }
   return "UNKNOWN";
 }

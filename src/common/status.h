@@ -25,6 +25,10 @@ enum class StatusCode {
   kUnavailable,
   kInternal,
   kDeadlineExceeded,
+  // The request named a group the serving node no longer owns (placement
+  // moved after the client cached its routing).  Clients holding a
+  // placement cache re-resolve through the master exactly once and retry.
+  kStaleLocation,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -63,6 +67,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m = "") {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status StaleLocation(std::string m = "") {
+    return Status(StatusCode::kStaleLocation, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

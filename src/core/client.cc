@@ -1,7 +1,7 @@
 #include "core/client.h"
 
 #include <algorithm>
-#include <map>
+#include <tuple>
 #include <utility>
 
 namespace propeller::core {
@@ -100,8 +100,72 @@ PropellerClient::PropellerClient(NodeId id, net::Transport* transport,
       rpc_attempts_(&metrics_.GetCounter("client.rpc.attempts")),
       rpc_retries_(&metrics_.GetCounter("client.rpc.retries")),
       partial_searches_(&metrics_.GetCounter("client.search.partial")),
+      cache_hits_(&metrics_.GetCounter("client.placement_cache.hits")),
+      cache_misses_(&metrics_.GetCounter("client.placement_cache.misses")),
+      stale_retries_(&metrics_.GetCounter("client.placement_cache.stale_retries")),
       search_latency_(&metrics_.GetHistogram("client.search.latency_s")),
       update_latency_(&metrics_.GetHistogram("client.batch_update.latency_s")) {
+}
+
+bool PropellerClient::LookupSearchTargets(const std::string& index_name,
+                                          ResolveSearchResponse* targets,
+                                          uint64_t* epoch) {
+  MutexLock lock(cache_mu_);
+  auto it = search_cache_.find(index_name);
+  if (it == search_cache_.end()) return false;
+  *targets = it->second;
+  *epoch = search_cache_epoch_;
+  return true;
+}
+
+void PropellerClient::StoreSearchTargets(const std::string& index_name,
+                                         const ResolveSearchResponse& resp) {
+  if (resp.metadata_epoch == 0) return;  // master is not publishing epochs
+  MutexLock lock(cache_mu_);
+  if (resp.metadata_epoch < search_cache_epoch_) return;  // raced, older view
+  if (resp.metadata_epoch > search_cache_epoch_) {
+    // Placement changed since the cached entries were resolved; they may
+    // name groups that merged or moved.  Replace wholesale.
+    search_cache_.clear();
+    search_cache_epoch_ = resp.metadata_epoch;
+  }
+  search_cache_[index_name] = resp;
+}
+
+void PropellerClient::LookupFilePlacements(
+    const std::vector<FileUpdate>& updates,
+    std::unordered_map<FileId, FilePlacement>* where, uint64_t* epoch,
+    std::vector<FileId>* missing) {
+  MutexLock lock(cache_mu_);
+  *epoch = file_cache_epoch_;
+  for (const FileUpdate& u : updates) {
+    if (where->count(u.file) != 0u) continue;
+    auto it = file_cache_.find(u.file);
+    if (it != file_cache_.end()) {
+      (*where)[u.file] = it->second;
+    } else {
+      missing->push_back(u.file);
+    }
+  }
+}
+
+void PropellerClient::StoreFilePlacements(const ResolveUpdateResponse& resp) {
+  if (resp.metadata_epoch == 0) return;  // master is not publishing epochs
+  MutexLock lock(cache_mu_);
+  if (resp.metadata_epoch < file_cache_epoch_) return;
+  if (resp.metadata_epoch > file_cache_epoch_) {
+    file_cache_.clear();
+    file_cache_epoch_ = resp.metadata_epoch;
+  }
+  for (const auto& p : resp.placements) {
+    file_cache_[p.file] = FilePlacement{p.group, p.node};
+  }
+}
+
+void PropellerClient::InvalidateRoutingCache() {
+  MutexLock lock(cache_mu_);
+  search_cache_.clear();
+  file_cache_.clear();
 }
 
 void PropellerClient::AttachVfs(fs::Vfs* vfs) { vfs->AddListener(&builder_); }
@@ -137,37 +201,76 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
                       clock_s_ != nullptr ? *clock_s_ : 0.0, id_);
   root.Tag("updates", static_cast<uint64_t>(updates.size()));
   sim::Cost cost;
+  const bool caching = config_.read_path_caching;
 
-  // Ask the master where every file lives (one batched request).
-  ResolveUpdateRequest rreq;
-  rreq.files.reserve(updates.size());
-  for (const FileUpdate& u : updates) rreq.files.push_back(u.file);
-  auto rcall = CallWithRetry(master_, "mn.resolve_update", Encode(rreq));
-  if (!rcall.status.ok()) return rcall.status;
-  cost += rcall.cost;
-  auto resolved = Decode<ResolveUpdateResponse>(rcall.payload);
-  if (!resolved.ok()) return resolved.status();
+  // Routing: consult the placement cache first (read_path_caching), then
+  // ask the master only for the files it cannot answer.  With caching off
+  // this degenerates to the original single batched resolve.
+  std::unordered_map<FileId, FilePlacement> where;
+  where.reserve(updates.size());
+  uint64_t epoch = 0;
+  std::vector<FileId> need;
+  if (caching) {
+    LookupFilePlacements(updates, &where, &epoch, &need);
+    cache_hits_->Add(where.size());
+    cache_misses_->Add(need.size());
+  } else {
+    need.reserve(updates.size());
+    for (const FileUpdate& u : updates) need.push_back(u.file);
+  }
 
-  std::map<FileId, ResolveUpdateResponse::Placement> where;
-  for (const auto& p : resolved->placements) where[p.file] = p;
+  // Resolves placements for `files` through the master and merges them
+  // into `where` (refreshing the cache and the request epoch).
+  auto resolve = [&](std::vector<FileId> files) -> Status {
+    ResolveUpdateRequest rreq;
+    rreq.files = std::move(files);
+    auto rcall = CallWithRetry(master_, "mn.resolve_update", Encode(rreq));
+    if (!rcall.status.ok()) return rcall.status;
+    cost += rcall.cost;
+    auto resolved = Decode<ResolveUpdateResponse>(rcall.payload);
+    if (!resolved.ok()) return resolved.status();
+    for (const auto& p : resolved->placements) {
+      where[p.file] = FilePlacement{p.group, p.node};
+    }
+    if (caching) {
+      StoreFilePlacements(*resolved);
+      if (resolved->metadata_epoch > 0) epoch = resolved->metadata_epoch;
+    }
+    return Status::Ok();
+  };
+  if (!need.empty()) {
+    PROPELLER_RETURN_IF_ERROR(resolve(std::move(need)));
+  }
 
-  // Bucket updates per (node, group).
+  // Bucket updates per group (a group lives on exactly one node): a flat
+  // vector filled through a reserved hash index, then whole buckets sorted
+  // by (node, group) — the same deterministic shipment order the previous
+  // ordered-map implementation produced, without its per-insert rebalance.
   struct Bucket {
-    NodeId node;
-    GroupId group;
+    NodeId node = 0;
+    GroupId group = 0;
     std::vector<FileUpdate> updates;
   };
-  std::map<std::pair<NodeId, GroupId>, Bucket> buckets;
-  for (FileUpdate& u : updates) {
-    auto it = where.find(u.file);
-    if (it == where.end()) {
-      return Status::Internal("master did not place file");
+  auto make_buckets = [&](std::vector<FileUpdate> batch,
+                          std::vector<Bucket>* out) -> Status {
+    std::unordered_map<GroupId, size_t> bucket_of;
+    bucket_of.reserve(batch.size());
+    for (FileUpdate& u : batch) {
+      auto it = where.find(u.file);
+      if (it == where.end()) {
+        return Status::Internal("master did not place file");
+      }
+      auto [slot, fresh] = bucket_of.try_emplace(it->second.group, out->size());
+      if (fresh) {
+        out->push_back(Bucket{it->second.node, it->second.group, {}});
+      }
+      (*out)[slot->second].updates.push_back(std::move(u));
     }
-    Bucket& b = buckets[{it->second.node, it->second.group}];
-    b.node = it->second.node;
-    b.group = it->second.group;
-    b.updates.push_back(std::move(u));
-  }
+    std::sort(out->begin(), out->end(), [](const Bucket& a, const Bucket& b) {
+      return std::tie(a.node, a.group) < std::tie(b.node, b.group);
+    });
+    return Status::Ok();
+  };
 
   // Encode every stage-request payload up front (deterministic order), one
   // shipment per (node, group) bucket.  A bucket's batches must stay in
@@ -180,79 +283,158 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
     sim::Cost cost;
     Status status;
   };
-  std::vector<Shipment> shipments;
-  shipments.reserve(buckets.size());
-  for (auto& [key, bucket] : buckets) {
-    Shipment s;
-    s.node = bucket.node;
-    s.group = bucket.group;
-    for (size_t off = 0; off < bucket.updates.size(); off += config_.update_batch) {
-      StageUpdatesRequest sreq;
-      sreq.group = bucket.group;
-      sreq.now_s = now_s;
-      size_t end = std::min(off + config_.update_batch, bucket.updates.size());
-      sreq.updates.assign(
-          std::make_move_iterator(bucket.updates.begin() + static_cast<long>(off)),
-          std::make_move_iterator(bucket.updates.begin() + static_cast<long>(end)));
-      s.payloads.push_back(Encode(sreq));
+  auto make_shipments = [&](std::vector<Bucket> buckets,
+                            std::vector<Shipment>* out) {
+    out->reserve(buckets.size());
+    for (Bucket& bucket : buckets) {
+      Shipment s;
+      s.node = bucket.node;
+      s.group = bucket.group;
+      for (size_t off = 0; off < bucket.updates.size();
+           off += config_.update_batch) {
+        StageUpdatesRequest sreq;
+        sreq.group = bucket.group;
+        sreq.now_s = now_s;
+        sreq.epoch = caching ? epoch : 0;
+        size_t end = std::min(off + config_.update_batch, bucket.updates.size());
+        sreq.updates.assign(
+            std::make_move_iterator(bucket.updates.begin() +
+                                    static_cast<long>(off)),
+            std::make_move_iterator(bucket.updates.begin() +
+                                    static_cast<long>(end)));
+        s.payloads.push_back(Encode(sreq));
+      }
+      out->push_back(std::move(s));
     }
-    shipments.push_back(std::move(s));
-  }
+  };
+  std::vector<Bucket> buckets;
+  PROPELLER_RETURN_IF_ERROR(make_buckets(std::move(updates), &buckets));
+  std::vector<Shipment> shipments;
+  make_shipments(std::move(buckets), &shipments);
 
   // Stage on the Index Nodes.  Requests to *different* nodes proceed in
   // parallel (simulated cost = slowest node); a node handles its batches
   // serially.  With an RPC pool the shipments also execute concurrently in
   // wall-clock time; per-shipment costs are state-independent WAL appends,
   // so the aggregate below matches the serial run exactly.
-  // Every fan-out branch starts from the cursor captured here — in serial
-  // mode too — so span timestamps mirror the cost model (branches run
-  // concurrently from the fan-out instant) regardless of execution order.
-  const obs::TraceCursor fanout_base = obs::CurrentTrace();
-  auto ship_one = [&](size_t i) {
-    obs::ScopedTraceCursor branch(fanout_base);
-    Shipment& s = shipments[i];
-    for (std::string& payload : s.payloads) {
-      auto call = CallWithRetry(s.node, "in.stage_updates", std::move(payload));
-      s.cost += call.cost;
-      if (!call.status.ok()) {
-        s.status = call.status;
-        return;
-      }
-    }
-  };
+  // Every fan-out branch starts from the cursor captured at its fan-out
+  // instant — in serial mode too — so span timestamps mirror the cost model
+  // (branches run concurrently) regardless of execution order.
   // Every shipment is attempted even when one fails — partial-failure
   // semantics: independent buckets still land, and the error below names
   // exactly the (node, group) buckets that did not.
-  if (rpc_pool_ != nullptr && shipments.size() > 1) {
-    auto futures = rpc_pool_->SubmitBatch(shipments.size(), ship_one);
-    ThreadPool::WaitAll(futures);
-  } else {
-    for (size_t i = 0; i < shipments.size(); ++i) ship_one(i);
-  }
+  auto ship_all = [&](std::vector<Shipment>& ships,
+                      const obs::TraceCursor& base) {
+    auto ship_one = [&](size_t i) {
+      obs::ScopedTraceCursor branch(base);
+      Shipment& s = ships[i];
+      for (std::string& payload : s.payloads) {
+        auto call = CallWithRetry(s.node, "in.stage_updates", std::move(payload));
+        s.cost += call.cost;
+        if (!call.status.ok()) {
+          s.status = call.status;
+          return;
+        }
+      }
+    };
+    if (rpc_pool_ != nullptr && ships.size() > 1) {
+      auto futures = rpc_pool_->SubmitBatch(ships.size(), ship_one);
+      ThreadPool::WaitAll(futures);
+    } else {
+      for (size_t i = 0; i < ships.size(); ++i) ship_one(i);
+    }
+  };
+  // Joins a completed fan-out: per-node branch costs (shipments are sorted
+  // by node, so equal nodes are contiguous) composed as a parallel max.
+  auto join = [&](const std::vector<Shipment>& ships,
+                  const obs::TraceCursor& base) {
+    std::vector<sim::Cost> branches;
+    for (const Shipment& s : ships) {
+      if (branches.empty() || s.node != ships[&s - ships.data() - 1].node) {
+        branches.push_back(s.cost);
+      } else {
+        branches.back() += s.cost;
+      }
+    }
+    cost += sim::Cost::ParallelMax(branches);
+    if (obs::CurrentTrace().active()) {
+      // Join: the client resumes when the slowest branch finishes.
+      obs::CurrentTrace().now_s =
+          base.now_s + sim::Cost::ParallelMax(branches).seconds();
+    }
+  };
 
-  std::map<NodeId, sim::Cost> per_node;
-  std::string failed;
-  StatusCode failed_code = StatusCode::kOk;
-  for (const Shipment& s : shipments) {
-    per_node[s.node] += s.cost;
-    if (!s.status.ok()) {
-      if (failed_code == StatusCode::kOk) failed_code = s.status.code();
+  const obs::TraceCursor fanout_base = obs::CurrentTrace();
+  ship_all(shipments, fanout_base);
+
+  // Sort failures: cache-repairable (stale routing, or a cached route to an
+  // unreachable node — the master may have re-homed its groups) vs fatal.
+  auto is_repairable = [&](const Status& st) {
+    if (!caching) return false;
+    return st.code() == StatusCode::kStaleLocation ||
+           st.code() == StatusCode::kUnavailable;
+  };
+  auto format_failures = [](const std::vector<Shipment>& ships)
+      -> std::pair<StatusCode, std::string> {
+    StatusCode code = StatusCode::kOk;
+    std::string failed;
+    for (const Shipment& s : ships) {
+      if (s.status.ok()) continue;
+      if (code == StatusCode::kOk) code = s.status.code();
       if (!failed.empty()) failed += "; ";
       failed += "node " + std::to_string(s.node) + " group " +
                 std::to_string(s.group) + ": " + s.status.ToString();
     }
+    return {code, failed};
+  };
+
+  bool retry = false;
+  for (const Shipment& s : shipments) {
+    if (!s.status.ok() && is_repairable(s.status)) retry = true;
+    if (!s.status.ok() && !is_repairable(s.status)) {
+      auto [code, failed] = format_failures(shipments);
+      return Status(code, "batch update partially failed (" + failed + ")");
+    }
   }
-  if (failed_code != StatusCode::kOk) {
-    return Status(failed_code, "batch update partially failed (" + failed + ")");
-  }
-  std::vector<sim::Cost> branches;
-  branches.reserve(per_node.size());
-  for (const auto& [node, c] : per_node) branches.push_back(c);
-  cost += sim::Cost::ParallelMax(branches);
-  if (obs::CurrentTrace().active()) {
-    // Join: the client resumes when the slowest branch finishes.
-    obs::CurrentTrace().now_s =
-        fanout_base.now_s + sim::Cost::ParallelMax(branches).seconds();
+
+  if (retry) {
+    // Exactly one repair pass: drop the cache, re-resolve the failed
+    // shipments' files, and re-ship just those updates.  The client waited
+    // on the whole first fan-out, so its slowest branch lands in the cost
+    // before the repair begins.
+    join(shipments, fanout_base);
+    stale_retries_->Add(1);
+    InvalidateRoutingCache();
+    // Recover the failed updates from their encoded payloads (the happy
+    // path never keeps a second copy).
+    std::vector<FileUpdate> failed_updates;
+    std::vector<FileId> files;
+    for (Shipment& s : shipments) {
+      if (s.status.ok()) continue;
+      for (const std::string& payload : s.payloads) {
+        auto sreq = Decode<StageUpdatesRequest>(payload);
+        if (!sreq.ok()) return sreq.status();
+        for (FileUpdate& u : sreq->updates) {
+          files.push_back(u.file);
+          failed_updates.push_back(std::move(u));
+        }
+      }
+    }
+    PROPELLER_RETURN_IF_ERROR(resolve(std::move(files)));
+    std::vector<Bucket> retry_buckets;
+    PROPELLER_RETURN_IF_ERROR(
+        make_buckets(std::move(failed_updates), &retry_buckets));
+    std::vector<Shipment> retry_shipments;
+    make_shipments(std::move(retry_buckets), &retry_shipments);
+    const obs::TraceCursor retry_base = obs::CurrentTrace();
+    ship_all(retry_shipments, retry_base);
+    auto [code, failed] = format_failures(retry_shipments);
+    if (code != StatusCode::kOk) {
+      return Status(code, "batch update partially failed (" + failed + ")");
+    }
+    join(retry_shipments, retry_base);
+  } else {
+    join(shipments, fanout_base);
   }
   update_latency_->Observe(cost.seconds());
   return cost;
@@ -265,75 +447,133 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
                       trace_seq_.fetch_add(1, std::memory_order_relaxed),
                       clock_s_ != nullptr ? *clock_s_ : 0.0, id_);
   if (!index_name.empty()) root.Tag("index", index_name);
+  const bool caching = config_.read_path_caching;
 
-  ResolveSearchRequest rreq;
-  rreq.index_name = index_name;
-  auto rcall = CallWithRetry(master_, "mn.resolve_search", Encode(rreq));
-  if (!rcall.status.ok()) return rcall.status;
-  out.cost += rcall.cost;
-  auto targets = Decode<ResolveSearchResponse>(rcall.payload);
-  if (!targets.ok()) return targets.status();
-
-  // Fan out to every Index Node — concurrently when an RPC pool is
-  // attached, serially otherwise.  Payloads are encoded up front and
-  // responses aggregated in target order, so both modes produce identical
-  // results and simulated costs.
-  const size_t n = targets->targets.size();
-  std::vector<net::Transport::CallResult> calls(n);
-  std::vector<std::string> payloads(n);
-  for (size_t i = 0; i < n; ++i) {
-    SearchRequest sreq;
-    sreq.groups = targets->targets[i].groups;
-    sreq.predicate = predicate;
-    payloads[i] = Encode(sreq);
-  }
-  // Branches fork from the cursor captured here (also in serial mode), so
-  // fan-out span timestamps match the cost model's parallel composition.
-  const obs::TraceCursor fanout_base = obs::CurrentTrace();
-  auto call_one = [&](size_t i) {
-    obs::ScopedTraceCursor branch(fanout_base);
-    calls[i] = CallWithRetry(targets->targets[i].node, "in.search",
-                             std::move(payloads[i]));
+  // Routing: the placement cache answers repeat searches without touching
+  // the master (read_path_caching); otherwise one resolve RPC, memoized.
+  ResolveSearchResponse targets;
+  uint64_t epoch = 0;
+  bool from_cache = false;
+  auto resolve = [&]() -> Status {
+    ResolveSearchRequest rreq;
+    rreq.index_name = index_name;
+    auto rcall = CallWithRetry(master_, "mn.resolve_search", Encode(rreq));
+    if (!rcall.status.ok()) return rcall.status;
+    out.cost += rcall.cost;
+    auto decoded = Decode<ResolveSearchResponse>(rcall.payload);
+    if (!decoded.ok()) return decoded.status();
+    targets = std::move(*decoded);
+    epoch = targets.metadata_epoch;
+    if (caching) StoreSearchTargets(index_name, targets);
+    return Status::Ok();
   };
-  if (rpc_pool_ != nullptr && n > 1) {
-    auto futures = rpc_pool_->SubmitBatch(n, call_one);
-    ThreadPool::WaitAll(futures);
+  if (caching && LookupSearchTargets(index_name, &targets, &epoch)) {
+    from_cache = true;
+    cache_hits_->Add(1);
   } else {
-    for (size_t i = 0; i < n; ++i) call_one(i);
+    if (caching) cache_misses_->Add(1);
+    PROPELLER_RETURN_IF_ERROR(resolve());
   }
 
-  // Aggregate file ids; the simulated fan-out latency is the slowest branch
-  // (failed branches included — the client waited on them too).  A failed
-  // branch either degrades the outcome (allow_partial_search) or fails the
-  // whole search with an error naming the node, never silently.
-  std::vector<sim::Cost> branches;
-  branches.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    const NodeId node = targets->targets[i].node;
-    branches.push_back(calls[i].cost);
-    if (!calls[i].status.ok()) {
-      if (!config_.allow_partial_search) {
-        return Status(calls[i].status.code(),
-                      "search fan-out to node " + std::to_string(node) +
-                          " failed: " + calls[i].status.ToString());
+  for (int attempt = 0;; ++attempt) {
+    // Fan out to every Index Node — concurrently when an RPC pool is
+    // attached, serially otherwise.  Payloads are encoded up front and
+    // responses aggregated in target order, so both modes produce identical
+    // results and simulated costs.
+    const size_t n = targets.targets.size();
+    std::vector<net::Transport::CallResult> calls(n);
+    std::vector<std::string> payloads(n);
+    for (size_t i = 0; i < n; ++i) {
+      SearchRequest sreq;
+      sreq.groups = targets.targets[i].groups;
+      sreq.predicate = predicate;
+      sreq.epoch = caching ? epoch : 0;
+      payloads[i] = Encode(sreq);
+    }
+    // Branches fork from the cursor captured here (also in serial mode), so
+    // fan-out span timestamps match the cost model's parallel composition.
+    const obs::TraceCursor fanout_base = obs::CurrentTrace();
+    auto call_one = [&](size_t i) {
+      obs::ScopedTraceCursor branch(fanout_base);
+      calls[i] = CallWithRetry(targets.targets[i].node, "in.search",
+                               std::move(payloads[i]));
+    };
+    if (rpc_pool_ != nullptr && n > 1) {
+      auto futures = rpc_pool_->SubmitBatch(n, call_one);
+      ThreadPool::WaitAll(futures);
+    } else {
+      for (size_t i = 0; i < n; ++i) call_one(i);
+    }
+
+    // Stale cached routing?  kStaleLocation (a node disowned a group we
+    // named) always means yes; kUnavailable on a cached route may mean the
+    // node died and the master re-homed its groups.  Either way: one
+    // re-resolve, one full retry — never a loop.
+    if (caching && attempt == 0) {
+      bool stale = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (calls[i].status.code() == StatusCode::kStaleLocation ||
+            (from_cache &&
+             calls[i].status.code() == StatusCode::kUnavailable)) {
+          stale = true;
+          break;
+        }
       }
-      out.partial = true;
-      out.node_errors.push_back({node, calls[i].status});
-      continue;
+      if (stale) {
+        // The client waited on the whole stale fan-out; account its
+        // slowest branch before the repair.
+        std::vector<sim::Cost> waited;
+        waited.reserve(n);
+        for (const auto& c : calls) waited.push_back(c.cost);
+        out.cost += sim::Cost::ParallelMax(waited);
+        if (obs::CurrentTrace().active()) {
+          obs::CurrentTrace().now_s =
+              fanout_base.now_s + sim::Cost::ParallelMax(waited).seconds();
+        }
+        stale_retries_->Add(1);
+        root.Tag("stale_retry", "true");
+        InvalidateRoutingCache();
+        PROPELLER_RETURN_IF_ERROR(resolve());
+        from_cache = false;
+        continue;
+      }
     }
-    auto resp = Decode<SearchResponse>(calls[i].payload);
-    if (!resp.ok()) {
-      return Status(resp.status().code(),
-                    "search response from node " + std::to_string(node) +
-                        " undecodable: " + resp.status().ToString());
+
+    // Aggregate file ids; the simulated fan-out latency is the slowest
+    // branch (failed branches included — the client waited on them too).  A
+    // failed branch either degrades the outcome (allow_partial_search) or
+    // fails the whole search with an error naming the node, never silently.
+    std::vector<sim::Cost> branches;
+    branches.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const NodeId node = targets.targets[i].node;
+      branches.push_back(calls[i].cost);
+      if (!calls[i].status.ok()) {
+        if (!config_.allow_partial_search) {
+          return Status(calls[i].status.code(),
+                        "search fan-out to node " + std::to_string(node) +
+                            " failed: " + calls[i].status.ToString());
+        }
+        out.partial = true;
+        out.node_errors.push_back({node, calls[i].status});
+        continue;
+      }
+      auto resp = Decode<SearchResponse>(calls[i].payload);
+      if (!resp.ok()) {
+        return Status(resp.status().code(),
+                      "search response from node " + std::to_string(node) +
+                          " undecodable: " + resp.status().ToString());
+      }
+      out.files.insert(out.files.end(), resp->files.begin(),
+                       resp->files.end());
+      ++out.nodes_queried;
     }
-    out.files.insert(out.files.end(), resp->files.begin(), resp->files.end());
-    ++out.nodes_queried;
-  }
-  out.cost += sim::Cost::ParallelMax(branches);
-  if (obs::CurrentTrace().active()) {
-    obs::CurrentTrace().now_s =
-        fanout_base.now_s + sim::Cost::ParallelMax(branches).seconds();
+    out.cost += sim::Cost::ParallelMax(branches);
+    if (obs::CurrentTrace().active()) {
+      obs::CurrentTrace().now_s =
+          fanout_base.now_s + sim::Cost::ParallelMax(branches).seconds();
+    }
+    break;
   }
   std::sort(out.files.begin(), out.files.end());
   out.files.erase(std::unique(out.files.begin(), out.files.end()),

@@ -9,9 +9,11 @@
 
 #include <atomic>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "acg/acg_builder.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "core/proto.h"
 #include "core/query_parser.h"
@@ -51,6 +53,14 @@ struct ClientConfig {
   // reachable nodes' results with SearchOutcome::partial = true and the
   // failures listed per node, instead of failing the whole search.
   bool allow_partial_search = false;
+  // Client-side placement caching (read_path_caching layer 1): memoize
+  // master resolve responses keyed by the metadata epoch they carry, skip
+  // the resolve RPC on repeat requests, stamp the epoch onto in.search /
+  // in.stage_updates, and recover from kStaleLocation — or a cached route
+  // to an unreachable node — with exactly one re-resolve + retry.
+  // Requires MasterConfig::publish_metadata_epoch on the master to have
+  // any effect; PropellerCluster wires both from its own flag.
+  bool read_path_caching = false;
 };
 
 class PropellerClient {
@@ -118,6 +128,30 @@ class PropellerClient {
   net::Transport::CallResult CallWithRetry(NodeId to, const std::string& method,
                                            std::string payload);
 
+  // --- placement cache (read_path_caching) ---
+  struct FilePlacement {
+    GroupId group = 0;
+    NodeId node = 0;
+  };
+  // Copies the cached fan-out targets for `index_name` (true on hit) along
+  // with the epoch they were resolved at.
+  bool LookupSearchTargets(const std::string& index_name,
+                           ResolveSearchResponse* targets, uint64_t* epoch);
+  // Memoizes a fresh resolve response; a newer epoch wholesale-replaces
+  // older entries (placements can merge or move between epochs).
+  void StoreSearchTargets(const std::string& index_name,
+                          const ResolveSearchResponse& resp);
+  // Fills `where` from cached placements, appends each unknown file to
+  // `missing` (preserving update order, duplicates included, exactly as an
+  // uncached resolve request would list them) and reports the cache epoch.
+  void LookupFilePlacements(const std::vector<FileUpdate>& updates,
+                            std::unordered_map<FileId, FilePlacement>* where,
+                            uint64_t* epoch, std::vector<FileId>* missing);
+  void StoreFilePlacements(const ResolveUpdateResponse& resp);
+  // Drops both caches — routing proved stale (kStaleLocation) or a cached
+  // route hit a dead node; the follow-up resolve refills them.
+  void InvalidateRoutingCache();
+
   NodeId id_;
   net::Transport* transport_;
   NodeId master_;
@@ -132,8 +166,21 @@ class PropellerClient {
   obs::Counter* rpc_attempts_;
   obs::Counter* rpc_retries_;
   obs::Counter* partial_searches_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* stale_retries_;
   obs::Histogram* search_latency_;
   obs::Histogram* update_latency_;
+
+  // Placement-cache state.  cache_mu_ (LockRank::kClientCache) is never
+  // held across a transport call; each cache is valid only at the epoch
+  // stored beside it.
+  mutable Mutex cache_mu_{LockRank::kClientCache, "PropellerClient::cache_mu_"};
+  std::unordered_map<std::string, ResolveSearchResponse> search_cache_
+      GUARDED_BY(cache_mu_);
+  uint64_t search_cache_epoch_ GUARDED_BY(cache_mu_) = 0;
+  std::unordered_map<FileId, FilePlacement> file_cache_ GUARDED_BY(cache_mu_);
+  uint64_t file_cache_epoch_ GUARDED_BY(cache_mu_) = 0;
 };
 
 }  // namespace propeller::core

@@ -18,6 +18,11 @@ PropellerCluster::PropellerCluster(ClusterConfig config)
     journal_ = std::make_unique<GroupJournal>(config_.index_node.io);
     config_.index_node.recovery_journal = journal_.get();
   }
+  if (config_.read_path_caching) {
+    config_.master.publish_metadata_epoch = true;
+    config_.index_node.result_cache = true;
+    config_.client.read_path_caching = true;
+  }
   // The cluster clock drives both heartbeats and the master's failure
   // detector; keep the detector's notion of the cadence in sync.
   config_.master.heartbeat_interval_s = config_.heartbeat_interval_s;

@@ -43,6 +43,13 @@ struct ClusterConfig {
   // default — when off, every instrumentation point is a thread-local read
   // plus one branch.  Metrics counters are always on.
   bool tracing = false;
+  // Read-path caching (three layers, see DESIGN.md "Read path & caching"):
+  // the master stamps resolve responses with its metadata epoch, clients
+  // cache placements and skip repeat resolve RPCs (recovering from stale
+  // routes with one re-resolve + retry), and every group memoizes search
+  // results until its next commit.  Off by default — when off, simulated
+  // costs, results, and traces are bit-identical to previous behavior.
+  bool read_path_caching = false;
 };
 
 // Aggregate cluster health / recovery view (see PropellerCluster::Stats).

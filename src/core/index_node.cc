@@ -38,7 +38,8 @@ Status IndexNode::EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs) {
   auto it = groups_.find(id);
   if (it == groups_.end()) {
     it = groups_.try_emplace(id).first;
-    it->second = std::make_unique<index::IndexGroup>(id, &io_, &metrics_);
+    it->second = std::make_unique<index::IndexGroup>(id, &io_, &metrics_,
+                                                    config_.result_cache);
   }
   for (const IndexSpec& spec : specs) {
     if (it->second->HasIndex(spec.name)) continue;
@@ -74,6 +75,13 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
   ReaderMutexLock lock(groups_mu_);
   index::IndexGroup* group = Find(req->group);
   if (group == nullptr) {
+    // A request stamped with a placement epoch came from a client-side
+    // cache: tell it the routing went stale so it re-resolves once and
+    // retries.  Unstamped (legacy) requests keep the NotFound contract.
+    if (req->epoch > 0) {
+      return Response{Status::StaleLocation("group moved"), {},
+                      sim::Cost(10e-6)};  // metadata-only work
+    }
     return Response{Status::NotFound("no such group"), {}, {}};
   }
   stage_batches_->Add(1);
@@ -107,7 +115,16 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
   targets.reserve(req->groups.size());
   for (GroupId gid : req->groups) {
     index::IndexGroup* group = Find(gid);
-    if (group == nullptr) continue;  // stale routing: group migrated away
+    if (group == nullptr) {
+      // Epoch-stamped searches come from a client placement cache: a
+      // missing group means that cache is stale, and silently skipping it
+      // would drop results.  Fail fast so the client re-resolves + retries.
+      if (req->epoch > 0) {
+        return Response{Status::StaleLocation("group moved"), {},
+                        sim::Cost(10e-6)};  // metadata-only work
+      }
+      continue;  // legacy: stale routing, group migrated away
+    }
     targets.push_back(group);
   }
 

@@ -51,6 +51,9 @@ struct IndexNodeConfig {
   // lost.  Null disables replication — and its extra simulated I/O — on
   // the staging path.
   GroupJournal* recovery_journal = nullptr;
+  // Enable each group's search-result memo (read_path_caching layer 3).
+  // Off, groups never touch the cache and search costs are unchanged.
+  bool result_cache = false;
 };
 
 class IndexNode : public net::RpcHandler {

@@ -73,6 +73,7 @@ Result<NodeId> MasterNode::EnsureGroupPlaced(GroupId group, sim::Cost& cost) {
   group_node_[group] = node;
   ++node_load_[node];
   ++mutations_since_flush_;
+  ++metadata_epoch_;  // new group visible to searches
   return node;
 }
 
@@ -123,6 +124,7 @@ sim::Cost MasterNode::ApplyAcgResult(const acg::AcgManager::ApplyResult& result)
     if (node_load_[from_node] > 0) --node_load_[from_node];
     group_node_.erase(merge.from);
     ++mutations_since_flush_;
+    ++metadata_epoch_;  // group dissolved; cached placements into it are stale
   }
   return cost;
 }
@@ -151,6 +153,9 @@ net::RpcHandler::Response MasterNode::HandleResolveUpdate(
     if (!node.ok()) return Response{node.status(), {}, cost};
     resp.placements.push_back({f, *group, *node});
   }
+  // Stamped *after* any placements above so the client caches the epoch
+  // that already covers them.
+  if (config_.publish_metadata_epoch) resp.metadata_epoch = metadata_epoch_;
   MaybeFlushMetadata(cost);
   return Response{Status::Ok(), Encode(resp), cost};
 }
@@ -180,6 +185,7 @@ net::RpcHandler::Response MasterNode::HandleResolveSearch(
   }
   std::sort(resp.targets.begin(), resp.targets.end(),
             [](const auto& a, const auto& b) { return a.node < b.node; });
+  if (config_.publish_metadata_epoch) resp.metadata_epoch = metadata_epoch_;
   sim::Cost cost(config_.lookup_us / 1e6 *
                  static_cast<double>(group_node_.size() + 1));
   return Response{Status::Ok(), Encode(resp), cost};
@@ -196,6 +202,7 @@ net::RpcHandler::Response MasterNode::HandleCreateIndex(
   }
   catalog_.push_back(req->spec);
   ++mutations_since_flush_;
+  ++metadata_epoch_;  // catalog change: cached resolve_search sets are stale
 
   // Push the new index to every existing group.
   sim::Cost cost;
@@ -262,6 +269,7 @@ sim::Cost MasterNode::RunSplitMaintenanceLocked() {
         transport_->Call(id_, *dst, "in.install_group", Encode(in_req));
     cost += in_call.cost;
     ++mutations_since_flush_;
+    ++metadata_epoch_;  // files moved to the split-off group
   }
   return cost;
 }
@@ -329,6 +337,7 @@ size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
     if (node_load_[busiest] > 0) --node_load_[busiest];
     ++node_load_[idlest];
     ++mutations_since_flush_;
+    ++metadata_epoch_;  // group changed nodes: cached routing is stale
     ++moved;
   }
   sim::Cost flush_cost;
@@ -453,6 +462,7 @@ void MasterNode::RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost) {
     ++node_load_[target];
     if (node_load_[node] > 0) --node_load_[node];
     ++mutations_since_flush_;
+    ++metadata_epoch_;  // group re-homed onto a survivor
     ++event.groups_moved;
   }
   MaybeFlushMetadata(cost);
@@ -504,6 +514,9 @@ std::string MasterNode::SnapshotMetadataLocked() const {
     if (a != nullptr) a->Serialize(inner);
     w.PutString(inner.data());
   }
+  // Trailing-optional epoch: written only when published, so the image —
+  // and the simulated flush cost — is unchanged with the feature off.
+  if (config_.publish_metadata_epoch) w.PutU64(metadata_epoch_);
   return std::move(w).Take();
 }
 
@@ -545,6 +558,14 @@ Status MasterNode::RestoreMetadata(const std::string& image) {
     acg::Acg a;
     PROPELLER_RETURN_IF_ERROR(acg::Acg::Deserialize(ar, a));
     acg_.RestoreGroup(g, a);
+  }
+  // Trailing-optional epoch.  Restore one *past* the flushed value: the
+  // image may predate un-flushed mutations, so a failed-over master must
+  // not re-issue an epoch clients may already hold for newer state.
+  if (!r.AtEnd()) {
+    uint64_t epoch = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(epoch));
+    metadata_epoch_ = epoch + 1;
   }
   return Status::Ok();
 }

@@ -53,6 +53,11 @@ struct MasterConfig {
   // empty in.create_group when no recovery journal is attached).  Off:
   // the node is only excluded from placement.
   bool auto_recover_dead_nodes = true;
+  // Stamp resolve responses (and the flushed metadata image) with the
+  // master's metadata epoch so clients can cache placements
+  // (read_path_caching layer 1).  Off, responses carry epoch 0 — encoded
+  // as absent — and the wire bytes are unchanged.
+  bool publish_metadata_epoch = false;
 };
 
 class MasterNode : public net::RpcHandler {
@@ -85,6 +90,13 @@ class MasterNode : public net::RpcHandler {
   uint64_t NumGroups() const {
     MutexLock lock(mu_);
     return group_node_.size();
+  }
+  // Current metadata epoch (monotonically increasing; bumped by every
+  // placement / catalog mutation).  Meaningful to clients only when
+  // publish_metadata_epoch is set.
+  uint64_t MetadataEpoch() const {
+    MutexLock lock(mu_);
+    return metadata_epoch_;
   }
 
   // Serialized metadata image (what the periodic flush writes); paired
@@ -198,6 +210,10 @@ class MasterNode : public net::RpcHandler {
   sim::PageStore metadata_store_ GUARDED_BY(mu_);
   uint64_t mutations_since_flush_ GUARDED_BY(mu_) = 0;
   uint64_t flush_count_ GUARDED_BY(mu_) = 0;
+  // Monotone routing-metadata version.  Starts at 1 (0 is the wire's
+  // "no epoch" sentinel); every mutation that can invalidate a client's
+  // cached placement bumps it, alongside ++mutations_since_flush_.
+  uint64_t metadata_epoch_ GUARDED_BY(mu_) = 1;
   obs::MetricsRegistry metrics_;
   obs::Counter* handle_calls_;
   obs::Counter* metadata_flushes_;

@@ -2,6 +2,24 @@
 
 namespace propeller::core {
 
+namespace {
+
+// Trailing-optional epoch encoding: written only when non-zero so that
+// messages from epoch-less senders (read_path_caching off) are byte-for-
+// byte identical to the pre-epoch wire format — the transport charges
+// message sizes, so this is what keeps the feature cost-free when off.
+void PutTrailingEpoch(BinaryWriter& w, uint64_t epoch) {
+  if (epoch != 0) w.PutU64(epoch);
+}
+
+Status GetTrailingEpoch(BinaryReader& r, uint64_t& epoch) {
+  epoch = 0;
+  if (r.AtEnd()) return Status::Ok();
+  return r.GetU64(epoch);
+}
+
+}  // namespace
+
 void ResolveUpdateRequest::Serialize(BinaryWriter& w) const {
   w.PutU32(static_cast<uint32_t>(files.size()));
   for (FileId f : files) w.PutU64(f);
@@ -26,6 +44,7 @@ void ResolveUpdateResponse::Serialize(BinaryWriter& w) const {
     w.PutU64(p.group);
     w.PutU32(p.node);
   }
+  PutTrailingEpoch(w, metadata_epoch);
 }
 Status ResolveUpdateResponse::Deserialize(BinaryReader& r,
                                           ResolveUpdateResponse& out) {
@@ -39,7 +58,7 @@ Status ResolveUpdateResponse::Deserialize(BinaryReader& r,
     PROPELLER_RETURN_IF_ERROR(r.GetU32(p.node));
     out.placements.push_back(p);
   }
-  return Status::Ok();
+  return GetTrailingEpoch(r, out.metadata_epoch);
 }
 
 void ResolveSearchRequest::Serialize(BinaryWriter& w) const {
@@ -57,6 +76,7 @@ void ResolveSearchResponse::Serialize(BinaryWriter& w) const {
     w.PutU32(static_cast<uint32_t>(t.groups.size()));
     for (GroupId g : t.groups) w.PutU64(g);
   }
+  PutTrailingEpoch(w, metadata_epoch);
 }
 Status ResolveSearchResponse::Deserialize(BinaryReader& r,
                                           ResolveSearchResponse& out) {
@@ -75,7 +95,7 @@ Status ResolveSearchResponse::Deserialize(BinaryReader& r,
     }
     out.targets.push_back(std::move(t));
   }
-  return Status::Ok();
+  return GetTrailingEpoch(r, out.metadata_epoch);
 }
 
 void CreateIndexRequest::Serialize(BinaryWriter& w) const { spec.Serialize(w); }
@@ -141,6 +161,7 @@ void StageUpdatesRequest::Serialize(BinaryWriter& w) const {
   w.PutDouble(now_s);
   w.PutU32(static_cast<uint32_t>(updates.size()));
   for (const FileUpdate& u : updates) u.Serialize(w);
+  PutTrailingEpoch(w, epoch);
 }
 Status StageUpdatesRequest::Deserialize(BinaryReader& r, StageUpdatesRequest& out) {
   PROPELLER_RETURN_IF_ERROR(r.GetU64(out.group));
@@ -153,7 +174,7 @@ Status StageUpdatesRequest::Deserialize(BinaryReader& r, StageUpdatesRequest& ou
     PROPELLER_RETURN_IF_ERROR(FileUpdate::Deserialize(r, u));
     out.updates.push_back(std::move(u));
   }
-  return Status::Ok();
+  return GetTrailingEpoch(r, out.epoch);
 }
 
 void SearchRequest::Serialize(BinaryWriter& w) const {
@@ -162,6 +183,7 @@ void SearchRequest::Serialize(BinaryWriter& w) const {
   w.PutU32(static_cast<uint32_t>(groups.size()));
   for (GroupId g : groups) w.PutU64(g);
   predicate.Serialize(w);
+  PutTrailingEpoch(w, epoch);
 }
 Status SearchRequest::Deserialize(BinaryReader& r, SearchRequest& out) {
   uint32_t n = 0;
@@ -172,7 +194,8 @@ Status SearchRequest::Deserialize(BinaryReader& r, SearchRequest& out) {
     PROPELLER_RETURN_IF_ERROR(r.GetU64(g));
     out.groups.push_back(g);
   }
-  return Predicate::Deserialize(r, out.predicate);
+  PROPELLER_RETURN_IF_ERROR(Predicate::Deserialize(r, out.predicate));
+  return GetTrailingEpoch(r, out.epoch);
 }
 
 void SearchResponse::Serialize(BinaryWriter& w) const {

@@ -30,6 +30,17 @@ using index::IndexSpec;
 using index::Predicate;
 using net::NodeId;
 
+// ---- epoch convention (read-path caching) ----
+// The master stamps its routing metadata with a monotonically increasing
+// `metadata_epoch` (bumped whenever placement or the catalog changes).
+// Resolve responses carry it so clients can cache placements keyed by
+// epoch, and the cached epoch rides on in.search / in.stage_updates so an
+// Index Node can reject requests for groups it no longer owns with
+// kStaleLocation.  Epoch 0 means "not in use": it is encoded as *absent*
+// (a trailing field written only when non-zero), keeping the wire bytes —
+// and therefore the simulated transfer costs — bit-identical to the
+// pre-caching protocol whenever the feature is off.
+
 // ---- mn.resolve_update ----
 // Client: "I am about to index these files; where do they live?"
 // The master places unknown files and answers (file, group, node) triples.
@@ -45,6 +56,7 @@ struct ResolveUpdateResponse {
     NodeId node = 0;
   };
   std::vector<Placement> placements;
+  uint64_t metadata_epoch = 0;  // 0 = master not publishing epochs
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, ResolveUpdateResponse& out);
 };
@@ -63,6 +75,7 @@ struct ResolveSearchResponse {
     std::vector<GroupId> groups;
   };
   std::vector<NodeGroups> targets;
+  uint64_t metadata_epoch = 0;  // 0 = master not publishing epochs
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, ResolveSearchResponse& out);
 };
@@ -110,6 +123,10 @@ struct StageUpdatesRequest {
   GroupId group = 0;
   double now_s = 0;  // cluster virtual time, drives the commit timeout
   std::vector<FileUpdate> updates;
+  // Epoch the client's placement for `group` was resolved at; > 0 asks the
+  // node to answer kStaleLocation (instead of kNotFound) when the group
+  // has moved away, triggering the client's re-resolve + retry.
+  uint64_t epoch = 0;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, StageUpdatesRequest& out);
 };
@@ -118,6 +135,9 @@ struct StageUpdatesRequest {
 struct SearchRequest {
   std::vector<GroupId> groups;
   Predicate predicate;
+  // Epoch the client's routing was resolved at; > 0 makes a group that is
+  // no longer on this node a kStaleLocation error instead of a silent skip.
+  uint64_t epoch = 0;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, SearchRequest& out);
 };

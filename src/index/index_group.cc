@@ -66,35 +66,38 @@ Status FileUpdate::Deserialize(BinaryReader& r, FileUpdate& out) {
 
 std::vector<std::string> ExtractKeywords(const std::string& path) {
   std::vector<std::string> words;
-  std::string cur;
+  // Exact upper bound on the token count — one pass to size, one to fill;
+  // no per-token re-growth and no scratch string.
+  size_t cap = 1;
   for (char c : path) {
-    if (c == '/' || c == '.' || c == '-' || c == '_') {
-      if (!cur.empty()) words.push_back(std::move(cur));
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
+    if (c == '/' || c == '.' || c == '-' || c == '_') ++cap;
   }
-  if (!cur.empty()) words.push_back(std::move(cur));
+  words.reserve(cap);
+  ForEachKeyword(path, [&](std::string_view w) { words.emplace_back(w); });
   return words;
 }
 
 IndexGroup::IndexGroup(GroupId id, sim::IoContext* io,
-                       obs::MetricsRegistry* metrics)
+                       obs::MetricsRegistry* metrics, bool enable_result_cache)
     : id_(id),
       io_(io),
       records_(io->CreateStore()),
-      wal_(io->CreateStore()) {
+      wal_(io->CreateStore()),
+      result_cache_enabled_(enable_result_cache) {
   if (metrics != nullptr) {
     wal_appends_ = &metrics->GetCounter("in.wal.appends");
     wal_bytes_ = &metrics->GetCounter("in.wal.bytes");
     staged_ = &metrics->GetCounter("in.updates.staged");
     committed_ = &metrics->GetCounter("in.updates.committed");
+    if (enable_result_cache) {
+      result_cache_hits_ = &metrics->GetCounter("in.result_cache.hits");
+      result_cache_misses_ = &metrics->GetCounter("in.result_cache.misses");
+    }
   }
 }
 
 Status IndexGroup::CreateIndex(const IndexSpec& spec) {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (spec.name.empty()) return Status::InvalidArgument("index name empty");
   bool exists = std::any_of(
       indexes_.begin(), indexes_.end(),
@@ -132,13 +135,13 @@ Status IndexGroup::CreateIndex(const IndexSpec& spec) {
 }
 
 bool IndexGroup::HasIndex(const std::string& name) const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return std::any_of(indexes_.begin(), indexes_.end(),
                      [&](const NamedIndex& i) { return i.spec.name == name; });
 }
 
 std::vector<IndexSpec> IndexGroup::Specs() const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<IndexSpec> out;
   out.reserve(indexes_.size());
   for (const NamedIndex& i : indexes_) out.push_back(i.spec);
@@ -146,7 +149,7 @@ std::vector<IndexSpec> IndexGroup::Specs() const {
 }
 
 sim::Cost IndexGroup::StageUpdate(FileUpdate update, double staged_at_s) {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   BinaryWriter w;
   update.Serialize(w);
   std::string record = std::move(w).Take();
@@ -157,6 +160,7 @@ sim::Cost IndexGroup::StageUpdate(FileUpdate update, double staged_at_s) {
   }
   sim::Cost cost = wal_.Append(std::move(record));
   pending_.push_back(std::move(update));
+  has_pending_.store(true, std::memory_order_release);
   // Stamp only when no older pending update already owns the clock; the
   // commit that drains the queue resets it under this same lock.
   if (staged_at_s >= 0.0 && oldest_pending_staged_s_ < 0.0) {
@@ -166,7 +170,7 @@ sim::Cost IndexGroup::StageUpdate(FileUpdate update, double staged_at_s) {
 }
 
 sim::Cost IndexGroup::Commit() {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   return CommitLocked();
 }
 
@@ -183,7 +187,16 @@ sim::Cost IndexGroup::CommitLocked() {
   if (committed_ != nullptr) committed_->Add(pending_.size());
   for (const FileUpdate& u : pending_) cost += Apply(u);
   pending_.clear();
+  has_pending_.store(false, std::memory_order_release);
   cost += wal_.Truncate();
+  // This commit changed committed state: memoized results are now stale.
+  // Safe against concurrent fills — they hold shared mu_, we hold it
+  // exclusively, so none can be in flight.
+  {
+    MutexLock cache_lock(cache_mu_);
+    ++commit_epoch_;
+    if (result_cache_enabled_) result_cache_.clear();
+  }
   span.Advance(cost);
   return cost;
 }
@@ -226,9 +239,9 @@ sim::Cost IndexGroup::RemovePostings(const NamedIndex& idx, FileId file,
     case IndexType::kKeyword: {
       const AttrValue* v = attrs.Find(idx.spec.attrs[0]);
       if (v != nullptr && v->is_string()) {
-        for (const std::string& word : ExtractKeywords(v->as_string())) {
-          cost += idx.hash->Remove(AttrValue(word), file);
-        }
+        ForEachKeyword(v->as_string(), [&](std::string_view word) {
+          cost += idx.hash->Remove(AttrValue(std::string(word)), file);
+        });
       }
       break;
     }
@@ -265,9 +278,9 @@ sim::Cost IndexGroup::InsertPostings(const NamedIndex& idx, FileId file,
     case IndexType::kKeyword: {
       const AttrValue* v = attrs.Find(idx.spec.attrs[0]);
       if (v != nullptr && v->is_string()) {
-        for (const std::string& word : ExtractKeywords(v->as_string())) {
-          cost += idx.hash->Insert(AttrValue(word), file);
-        }
+        ForEachKeyword(v->as_string(), [&](std::string_view word) {
+          cost += idx.hash->Insert(AttrValue(std::string(word)), file);
+        });
       }
       break;
     }
@@ -336,8 +349,52 @@ const IndexGroup::NamedIndex* IndexGroup::ChooseAccessPath(
   return best;
 }
 
+namespace {
+
+// Tops up the group.search span to the search's full simulated cost (the
+// nested commit span, when present, already advanced the ambient clock by
+// its own share) and stamps the result tags.
+void FinishSearchSpan(obs::SpanGuard& span,
+                      const IndexGroup::SearchResult& out) {
+  if (!span.active()) return;
+  double inside = obs::CurrentTrace().now_s - span.start_s();
+  double topup = out.cost.seconds() - inside;
+  if (topup > 0) span.Advance(sim::Cost(topup));
+  span.Tag("access_path", out.access_path);
+  span.Tag("hits", static_cast<uint64_t>(out.files.size()));
+}
+
+// Simulated price of one result-cache probe (hash + compare of the
+// predicate fingerprint).  Charged on hits *and* misses, so turning the
+// cache on never under-counts work.
+constexpr double kResultCacheProbeSeconds = 0.2e-6;
+
+}  // namespace
+
 IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
-  MutexLock lock(mu_);
+  // Fast path: nothing staged — run under a shared lock so concurrent
+  // searches of this group proceed in parallel.  The lock-free probe
+  // avoids even the reader acquisition when an update was just staged; the
+  // rechecks under the lock make the decision authoritative (a stage
+  // racing past the atomic still holds exclusive mu_ until its update is
+  // in pending_, so a reader that sees pending_ empty is consistent).
+  if (!has_pending_.load(std::memory_order_acquire)) {
+    ReaderMutexLock lock(mu_);
+    if (pending_.empty() && oldest_pending_staged_s_ < 0.0) {
+      SearchResult out;
+      obs::SpanGuard span("group.search", id_);
+      span.Tag("group", id_);
+      SearchBodyLocked(pred, out);
+      FinishSearchSpan(span, out);
+      return out;
+    }
+  }
+
+  // Slow path: drain staged updates first (strong consistency), which
+  // needs the exclusive lock.  The shared lock was dropped above; the
+  // commit re-checks pending_ under the exclusive lock, so a commit that
+  // raced in between simply leaves nothing to do.
+  WriterMutexLock lock(mu_);
   SearchResult out;
   // The commit span inside advances the ambient clock by its own cost; the
   // remainder of this search's cost is topped up before the span closes.
@@ -345,13 +402,41 @@ IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
   span.Tag("group", id_);
   // Strong consistency: staged updates must be visible to this search.
   out.cost += CommitLocked();
-  auto finish = [&]() {
-    if (!span.active()) return;
-    double inside = obs::CurrentTrace().now_s - span.start_s();
-    double topup = out.cost.seconds() - inside;
-    if (topup > 0) span.Advance(sim::Cost(topup));
-    span.Tag("access_path", out.access_path);
-    span.Tag("hits", static_cast<uint64_t>(out.files.size()));
+  SearchBodyLocked(pred, out);
+  FinishSearchSpan(span, out);
+  return out;
+}
+
+void IndexGroup::SearchBodyLocked(const Predicate& pred,
+                                  SearchResult& out) const {
+  // Result-cache probe: memoized answers stay valid until the next commit
+  // that applies updates (CommitLocked clears the memo under exclusive
+  // mu_, which excludes this shared-locked probe).
+  std::string fingerprint;
+  if (result_cache_enabled_) {
+    BinaryWriter w;
+    pred.Serialize(w);
+    fingerprint = std::move(w).Take();
+    out.cost += sim::Cost(kResultCacheProbeSeconds);
+    MutexLock cache_lock(cache_mu_);
+    auto it = result_cache_.find(fingerprint);
+    if (it != result_cache_.end()) {
+      if (result_cache_hits_ != nullptr) result_cache_hits_->Add(1);
+      out.files = it->second.files;
+      out.access_path = "result-cache(" + it->second.access_path + ")";
+      return;
+    }
+    if (result_cache_misses_ != nullptr) result_cache_misses_->Add(1);
+  }
+  // Fills the memo on the way out (a no-op when the cache is off).
+  auto fill_cache = [&]() {
+    if (!result_cache_enabled_) return;
+    MutexLock cache_lock(cache_mu_);
+    // Keep the memo bounded: a workload cycling through unbounded distinct
+    // predicates resets it wholesale instead of growing without limit.
+    if (result_cache_.size() >= 1024) result_cache_.clear();
+    result_cache_[std::move(fingerprint)] =
+        CachedResult{out.files, out.access_path};
   };
 
   const NamedIndex* idx = ChooseAccessPath(pred);
@@ -361,8 +446,8 @@ IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
     out.cost += records_.ForEach([&](FileId file, const AttrSet& attrs) {
       if (pred.Matches(attrs)) out.files.push_back(file);
     });
-    finish();
-    return out;
+    fill_cache();
+    return;
   }
 
   std::vector<FileId> candidates;
@@ -434,20 +519,19 @@ IndexGroup::SearchResult IndexGroup::Search(const Predicate& pred) {
     // Single-term queries served exactly by a btree/hash index need no
     // verification pass.
     out.files = std::move(candidates);
-    finish();
-    return out;
+    fill_cache();
+    return;
   }
   for (FileId f : candidates) {
     auto got = records_.Get(f);
     out.cost += got.cost;
     if (got.attrs && pred.Matches(*got.attrs)) out.files.push_back(f);
   }
-  finish();
-  return out;
+  fill_cache();
 }
 
 sim::Cost IndexGroup::MaintainIndexes() {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   sim::Cost cost;
   for (NamedIndex& idx : indexes_) {
     if (IsKdType(idx.spec.type) && idx.kd->NeedsRebuild()) {
@@ -458,7 +542,7 @@ sim::Cost IndexGroup::MaintainIndexes() {
 }
 
 Status IndexGroup::RecoverPendingFromWal() {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   pending_.clear();
   Status s = wal_.Replay([&](const std::string& rec) {
     BinaryReader r(rec);
@@ -470,11 +554,12 @@ Status IndexGroup::RecoverPendingFromWal() {
   // An empty WAL means nothing is pending: drop any pre-crash stamp so the
   // commit timeout does not fire for updates that no longer exist.
   if (pending_.empty()) oldest_pending_staged_s_ = -1.0;
+  has_pending_.store(!pending_.empty(), std::memory_order_release);
   return s;
 }
 
 uint64_t IndexGroup::ApproxPages() const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   uint64_t pages = records_.NumPages();
   for (const NamedIndex& idx : indexes_) {
     switch (idx.spec.type) {

@@ -14,12 +14,22 @@
 // Thread safety / locking order: every public method takes the group's own
 // mutex, so one IndexGroup may be staged into, committed, and searched from
 // concurrent threads (the Index Node's per-group search pool does this).
+// The group mutex is a SharedMutex: mutating paths (stage, commit, create
+// index, maintenance) take it exclusively, while pure read paths (Search
+// with nothing staged, HasIndex, Specs, ApproxPages, ...) take it shared —
+// so concurrent searches against the *same* group proceed in parallel.
+// Search stays a commit barrier (strong consistency): a lock-free
+// `has_pending_` probe plus an under-the-reader-lock recheck decides
+// whether the search can run shared or must upgrade (drop + reacquire
+// exclusive) to drain staged updates first.
 // Distinct groups never share index structures, so cross-group parallelism
 // needs no coordination beyond the (internally locked) shared IoContext.
 // Lock order is strictly:
 //
-//     IndexNode::groups_mu_  ->  IndexGroup::mu_  ->  IoContext::mu_
+//     IndexNode::groups_mu_ -> IndexGroup::mu_ -> cache_mu_ -> IoContext::mu_
 //
+// (`cache_mu_` guards the per-group search-result memo; it nests inside
+// mu_ because probes/fills run while holding at least a shared mu_.)
 // Never acquire a second group's mutex while holding one, and never call
 // back into IndexGroup from inside a ForEachRecord callback (the callback
 // runs under mu_).  This order is one slice of the cluster-wide rank table
@@ -27,9 +37,12 @@
 // debug builds abort on violation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
@@ -86,9 +99,12 @@ class IndexGroup {
  public:
   // `metrics` (optional, not owned) receives WAL / staging / commit
   // counters; the hosting Index Node passes its own registry so per-node
-  // snapshots aggregate all of that node's groups.
+  // snapshots aggregate all of that node's groups.  `enable_result_cache`
+  // turns on the per-group search-result memo (read_path_caching); off, the
+  // search path never touches the cache and costs are unchanged.
   IndexGroup(GroupId id, sim::IoContext* io,
-             obs::MetricsRegistry* metrics = nullptr);
+             obs::MetricsRegistry* metrics = nullptr,
+             bool enable_result_cache = false);
 
   // Not movable: the group owns a mutex (groups live behind unique_ptr on
   // their Index Node, so moves are never needed).
@@ -113,13 +129,13 @@ class IndexGroup {
   // Applies all staged updates to the index structures; truncates the WAL.
   sim::Cost Commit();
   size_t PendingUpdates() const {
-    MutexLock lock(mu_);
+    ReaderMutexLock lock(mu_);
     return pending_.size();
   }
   // Simulated time the oldest currently-pending update was staged, or a
   // negative value when nothing is pending (or nothing was stamped).
   double OldestPendingStagedAt() const {
-    MutexLock lock(mu_);
+    ReaderMutexLock lock(mu_);
     return oldest_pending_staged_s_;
   }
 
@@ -130,7 +146,16 @@ class IndexGroup {
     std::string access_path;  // which index served the query (diagnostics)
   };
   // Commits pending updates first (strong consistency), then answers.
+  // With nothing staged the search runs under a *shared* lock, so any
+  // number of threads can search one group concurrently.
   SearchResult Search(const Predicate& pred);
+
+  // Number of commits that actually applied updates (bumped whenever the
+  // result cache is invalidated; test / introspection hook).
+  uint64_t CommitEpoch() const {
+    MutexLock lock(cache_mu_);
+    return commit_epoch_;
+  }
 
   // --- Maintenance (Propeller runs this off the critical path) ---
   // Rebuilds K-D trees that insert-order growth left unbalanced.
@@ -145,13 +170,14 @@ class IndexGroup {
   // like any other pre-crash memory of the scheduler; the next commit
   // clears it.
   void SimulateCrashLosingMemoryState() {
-    MutexLock lock(mu_);
+    WriterMutexLock lock(mu_);
     pending_.clear();
+    has_pending_.store(false, std::memory_order_release);
   }
 
   // --- Split / migration support ---
   uint64_t NumFiles() const {
-    MutexLock lock(mu_);
+    ReaderMutexLock lock(mu_);
     return records_.NumRecords();
   }
   // All (file, attrs) currently committed; used to move files to a new
@@ -159,7 +185,7 @@ class IndexGroup {
   // not call back into this IndexGroup.
   template <typename Fn>
   sim::Cost ForEachRecord(Fn&& fn) const {
-    MutexLock lock(mu_);
+    ReaderMutexLock lock(mu_);
     return records_.ForEach(fn);
   }
   // Size estimate for migration cost accounting.
@@ -173,7 +199,15 @@ class IndexGroup {
     std::unique_ptr<KdTree> kd;
   };
 
-  // The *Locked helpers require mu_ held by the caller.
+  // Memoized answer for one predicate against the current committed state.
+  struct CachedResult {
+    std::vector<FileId> files;
+    std::string access_path;  // path that produced it (re-reported on hits)
+  };
+
+  // The *Locked helpers require mu_ held by the caller; exclusive unless
+  // marked REQUIRES_SHARED (shared suffices for pure reads, and exclusive
+  // holders satisfy a shared requirement).
   sim::Cost CommitLocked() REQUIRES(mu_);
   sim::Cost Apply(const FileUpdate& update) REQUIRES(mu_);
   sim::Cost RemovePostings(const NamedIndex& idx, FileId file,
@@ -182,7 +216,11 @@ class IndexGroup {
                            const AttrSet& attrs) REQUIRES(mu_);
   // Picks the best index for `pred`; returns nullptr for full scan.
   const NamedIndex* ChooseAccessPath(const Predicate& pred) const
-      REQUIRES(mu_);
+      REQUIRES_SHARED(mu_);
+  // The post-commit search body (access-path choice, lookups, residual
+  // verification, result-cache probe/fill); accumulates into `out`.
+  void SearchBodyLocked(const Predicate& pred, SearchResult& out) const
+      REQUIRES_SHARED(mu_);
 
   GroupId id_;
   sim::IoContext* io_;
@@ -191,18 +229,52 @@ class IndexGroup {
   obs::Counter* wal_bytes_ = nullptr;
   obs::Counter* staged_ = nullptr;
   obs::Counter* committed_ = nullptr;
+  obs::Counter* result_cache_hits_ = nullptr;
+  obs::Counter* result_cache_misses_ = nullptr;
   // Guards all mutable group state (records, WAL, indexes, pending cache).
   // See the locking-order comment at the top of this header.
-  mutable Mutex mu_{LockRank::kIndexGroup, "IndexGroup::mu_"};
+  mutable SharedMutex mu_{LockRank::kIndexGroup, "IndexGroup::mu_"};
   RecordStore records_ GUARDED_BY(mu_);
   WriteAheadLog wal_ GUARDED_BY(mu_);
   std::vector<NamedIndex> indexes_ GUARDED_BY(mu_);
   std::vector<FileUpdate> pending_ GUARDED_BY(mu_);
   // Simulated stage time of the oldest pending update; < 0 when unset.
   double oldest_pending_staged_s_ GUARDED_BY(mu_) = -1.0;
+  // Lock-free mirror of !pending_.empty(): lets Search skip the exclusive
+  // lock without first taking any lock.  Written under exclusive mu_;
+  // readers confirm under (at least) shared mu_ before trusting it.
+  std::atomic<bool> has_pending_{false};
+
+  // --- Per-group search-result cache (read_path_caching) ---
+  // Probes and fills run while holding at least shared mu_; invalidation
+  // (CommitLocked) runs under exclusive mu_, so a fill can never race a
+  // clear — cache_mu_ only serialises concurrent same-group readers.
+  const bool result_cache_enabled_;
+  mutable Mutex cache_mu_{LockRank::kIndexGroupCache, "IndexGroup::cache_mu_"};
+  // Keyed by the predicate's serialized fingerprint.
+  mutable std::unordered_map<std::string, CachedResult> result_cache_
+      GUARDED_BY(cache_mu_);
+  uint64_t commit_epoch_ GUARDED_BY(cache_mu_) = 0;
 };
 
+// Calls `fn(std::string_view token)` for each '/', '.', '-', '_'-delimited
+// token of `path`.  The zero-allocation core of the keyword tokenizer: the
+// posting hot path iterates tokens in place instead of materialising a
+// vector<string> per file update.
+template <typename Fn>
+void ForEachKeyword(std::string_view path, Fn&& fn) {
+  size_t start = 0;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    const char c = i < path.size() ? path[i] : '/';
+    if (c == '/' || c == '.' || c == '-' || c == '_') {
+      if (i > start) fn(path.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+}
+
 // Splits a path into keyword tokens ('/', '.', '-', '_' delimited).
+// Convenience wrapper over ForEachKeyword for callers that want a vector.
 std::vector<std::string> ExtractKeywords(const std::string& path);
 
 }  // namespace propeller::index

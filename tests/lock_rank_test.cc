@@ -21,12 +21,14 @@ bool ChecksEnabled() { return PROPELLER_LOCK_RANK_CHECKS != 0; }
 // drifted — fix whichever is wrong, in both places.
 TEST(LockRankTableTest, MatchesDesignDocOrder) {
   const LockRank design_order[] = {
+      LockRank::kClientCache,     // core::PropellerClient::cache_mu_
       LockRank::kMaster,          // core::MasterNode::mu_
       LockRank::kTransportRouting,// net::Transport::mu_
       LockRank::kFaultPlan,       // net::FaultPlan::mu_
       LockRank::kIndexNodeGroups, // core::IndexNode::groups_mu_
       LockRank::kGroupJournal,    // core::GroupJournal::mu_
       LockRank::kIndexGroup,      // index::IndexGroup::mu_
+      LockRank::kIndexGroupCache, // index::IndexGroup::cache_mu_
       LockRank::kIoContext,       // sim::IoContext::mu_
       LockRank::kThreadPool,      // ThreadPool::mu_
       LockRank::kMetricsRegistry, // obs::MetricsRegistry::mu_
@@ -44,6 +46,8 @@ TEST(LockRankTableTest, MatchesDesignDocOrder) {
 TEST(LockRankTableTest, NamesAreStable) {
   EXPECT_STREQ(LockRankName(LockRank::kMaster), "kMaster");
   EXPECT_STREQ(LockRankName(LockRank::kIndexGroup), "kIndexGroup");
+  EXPECT_STREQ(LockRankName(LockRank::kClientCache), "kClientCache");
+  EXPECT_STREQ(LockRankName(LockRank::kIndexGroupCache), "kIndexGroupCache");
   EXPECT_STREQ(LockRankName(LockRank::kUnranked), "kUnranked");
 }
 
