@@ -4,6 +4,7 @@
 // 500 updates.  Reports the per-request latency series and the average
 // re-indexing latency for Propeller vs the SQL baseline (paper: 15.6us vs
 // 3,980.9us — 250x).
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -39,6 +40,12 @@ struct Series {
     return search_latency_s.empty() ? 0 : sum / search_latency_s.size();
   }
 };
+
+double P50(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
 
 }  // namespace
 
@@ -102,6 +109,79 @@ int main() {
   Series prop = run_propeller(false);
   Series prop_cached = run_propeller(true);
 
+  // ---------- Write-read decoupling sweep (segmented on/off) ------------
+  // Search latency as a function of the update rate on the hot group:
+  // `rate` updates land between consecutive searches, and the background
+  // commit tick fires only after the search.  The commit-barrier read path
+  // drains the staged batch before answering, so its latency grows with
+  // the rate; the segmented read path snapshots immutable segments plus a
+  // cheap memtable overlay and stays flat.
+  const uint64_t kSweepBaseRate = 20;
+  const uint64_t kSweepRates[] = {1, 2, 5, 10};  // x kSweepBaseRate
+  const uint64_t kSweepSearches = 30;
+  auto run_sweep = [&](bool segmented, uint64_t rate) {
+    core::ClusterConfig cfg;
+    cfg.index_nodes = 1;
+    cfg.net.latency_us = 3;
+    cfg.net.bandwidth_mb_per_s = 4000;
+    cfg.master.acg_policy.cluster_target = kGroupSize;
+    cfg.master.acg_policy.merge_limit = kGroupSize;
+    cfg.segmented_index = segmented;
+    core::PropellerCluster cluster(cfg);
+    auto& client = cluster.client();
+    (void)client.CreateIndex({"by_size", index::IndexType::kBTree, {"size"}});
+    (void)client.BatchUpdate(
+        workload::SyntheticRows(1, 4 * kGroupSize, spec), cluster.now());
+    cluster.AdvanceTime(6.0);
+
+    Rng rng(7);
+    std::vector<double> search_s;
+    for (uint64_t s = 0; s < kSweepSearches; ++s) {
+      for (uint64_t u = 0; u < rate; ++u) {
+        uint64_t id = rng.Uniform(kGroupSize) + 1;
+        (void)client.BatchUpdate(workload::SyntheticRows(id, 1, spec),
+                                 cluster.now());
+      }
+      auto r = client.Search(query->predicate);
+      if (r.ok()) search_s.push_back(r->cost.seconds());
+      cluster.AdvanceTime(6.0);  // background seal/commit, off the read path
+    }
+    return P50(search_s);
+  };
+  std::vector<std::pair<std::string, double>> sweep_json;
+  std::printf("\nSearch p50 vs update rate (updates between searches):\n");
+  TablePrinter sweep({"rate", "commit-barrier p50", "segmented p50"});
+  double barrier_base = 0, segmented_base = 0, barrier_10x = 0,
+         segmented_10x = 0;
+  for (uint64_t mult : kSweepRates) {
+    uint64_t rate = mult * kSweepBaseRate;
+    double barrier = run_sweep(false, rate);
+    double seg = run_sweep(true, rate);
+    if (mult == 1) {
+      barrier_base = barrier;
+      segmented_base = seg;
+    }
+    if (mult == 10) {
+      barrier_10x = barrier;
+      segmented_10x = seg;
+    }
+    sweep.AddRow({Sprintf("%llux (%llu)", (unsigned long long)mult,
+                          (unsigned long long)rate),
+                  bench::Secs(barrier), bench::Secs(seg)});
+    sweep_json.emplace_back(
+        Sprintf("sweep_rate%llu_barrier_p50_s", (unsigned long long)mult),
+        barrier);
+    sweep_json.emplace_back(
+        Sprintf("sweep_rate%llu_segmented_p50_s", (unsigned long long)mult),
+        seg);
+  }
+  sweep.Print();
+  std::printf(
+      "Degradation 1x -> 10x: commit-barrier %.2fx, segmented %.2fx "
+      "(target: segmented <= 1.5x).\n",
+      barrier_base > 0 ? barrier_10x / barrier_base : 0,
+      segmented_base > 0 ? segmented_10x / segmented_base : 0);
+
   // ---------- MiniSql ----------
   Series sql;
   {
@@ -162,13 +242,19 @@ int main() {
       "(%.1fus -> %.1fus).\n",
       sql.AvgUpdate() / prop.AvgUpdate(), prop.AvgUpdate() * 1e6,
       prop_cached.AvgUpdate() * 1e6);
-  bench::WriteBenchJson(
-      "fig10", {{"propeller_update_s", prop.AvgUpdate()},
-                {"propeller_search_s", prop.AvgSearch()},
-                {"propeller_cached_update_s", prop_cached.AvgUpdate()},
-                {"propeller_cached_search_s", prop_cached.AvgSearch()},
-                {"minisql_update_s", sql.AvgUpdate()},
-                {"minisql_search_s", sql.AvgSearch()},
-                {"reindex_ratio", sql.AvgUpdate() / prop.AvgUpdate()}});
+  std::vector<std::pair<std::string, double>> json = {
+      {"propeller_update_s", prop.AvgUpdate()},
+      {"propeller_search_s", prop.AvgSearch()},
+      {"propeller_cached_update_s", prop_cached.AvgUpdate()},
+      {"propeller_cached_search_s", prop_cached.AvgSearch()},
+      {"minisql_update_s", sql.AvgUpdate()},
+      {"minisql_search_s", sql.AvgSearch()},
+      {"reindex_ratio", sql.AvgUpdate() / prop.AvgUpdate()},
+      {"sweep_barrier_degradation_10x",
+       barrier_base > 0 ? barrier_10x / barrier_base : 0},
+      {"sweep_segmented_degradation_10x",
+       segmented_base > 0 ? segmented_10x / segmented_base : 0}};
+  json.insert(json.end(), sweep_json.begin(), sweep_json.end());
+  bench::WriteBenchJson("fig10", json);
   return 0;
 }

@@ -21,6 +21,8 @@ const char* LockRankName(LockRank rank) {
       return "kIndexNodeGroups";
     case LockRank::kGroupJournal:
       return "kGroupJournal";
+    case LockRank::kIndexGroupSeal:
+      return "kIndexGroupSeal";
     case LockRank::kIndexGroup:
       return "kIndexGroup";
     case LockRank::kIndexGroupCache:

@@ -56,6 +56,7 @@ enum class LockRank : int {
   kFaultPlan = 25,        // net::FaultPlan::mu_
   kIndexNodeGroups = 30,  // core::IndexNode::groups_mu_ (shared_mutex)
   kGroupJournal = 35,     // core::GroupJournal::mu_
+  kIndexGroupSeal = 38,   // index::IndexGroup::seal_mu_ (seal/merge pipeline)
   kIndexGroup = 40,       // index::IndexGroup::mu_ (shared_mutex)
   kIndexGroupCache = 45,  // index::IndexGroup::cache_mu_ (result cache)
   kIoContext = 50,        // sim::IoContext::mu_

@@ -23,6 +23,12 @@ PropellerCluster::PropellerCluster(ClusterConfig config)
     config_.index_node.result_cache = true;
     config_.client.read_path_caching = true;
   }
+  if (config_.segmented_index) {
+    config_.index_node.segmented_index = true;
+    // Journal compaction needs sealed-segment durability AND a journal to
+    // compact; it rides on the commit-timeout tick.
+    config_.index_node.journal_compaction = config_.recovery_journal;
+  }
   // The cluster clock drives both heartbeats and the master's failure
   // detector; keep the detector's notion of the cadence in sync.
   config_.master.heartbeat_interval_s = config_.heartbeat_interval_s;

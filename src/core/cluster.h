@@ -50,6 +50,15 @@ struct ClusterConfig {
   // results until its next commit.  Off by default — when off, simulated
   // costs, results, and traces are bit-identical to previous behavior.
   bool read_path_caching = false;
+  // Write-read decoupling (see DESIGN.md "Segments & group commit"): every
+  // group runs in segmented mode — immutable committed segments plus a
+  // mutable memtable, snapshot searches that never block on a commit, and
+  // a tiered merge policy bounding per-search read amplification.  With
+  // the recovery journal on, commit-timeout ticks also checkpoint each
+  // sealed group's journal to a base image.  Off by default — when off,
+  // wire bytes, simulated costs, and traces are bit-identical to previous
+  // behavior.
+  bool segmented_index = false;
 };
 
 // Aggregate cluster health / recovery view (see PropellerCluster::Stats).

@@ -11,7 +11,32 @@ sim::Cost GroupJournal::AppendLocked(index::GroupId group,
   std::string rec = std::move(w).Take();
   sim::Cost cost = store_.Append(rec.size() + 8);  // length-prefixed on "disk"
   bytes_ += rec.size() + 8;
-  records_[group].push_back(std::move(rec));
+  records_[group].tail.push_back(std::move(rec));
+  return cost;
+}
+
+sim::Cost GroupJournal::Checkpoint(
+    index::GroupId group, const std::vector<index::FileUpdate>& state) {
+  MutexLock lock(mu_);
+  GroupLog& log = records_[group];
+  // Retire the old image + tail from the retained-bytes accounting.
+  for (const std::string& rec : log.checkpoint) bytes_ -= rec.size() + 8;
+  for (const std::string& rec : log.tail) bytes_ -= rec.size() + 8;
+  log.checkpoint.clear();
+  log.tail.clear();
+  sim::Cost cost;
+  uint64_t image_bytes = 0;
+  for (const index::FileUpdate& u : state) {
+    BinaryWriter w;
+    u.Serialize(w);
+    std::string rec = std::move(w).Take();
+    image_bytes += rec.size() + 8;
+    log.checkpoint.push_back(std::move(rec));
+  }
+  bytes_ += image_bytes;
+  // One sequential write of the whole image (plus a truncation marker).
+  cost += store_.SequentialLoad(image_bytes / 4096 + 1);
+  cost += store_.Append(8);
   return cost;
 }
 
@@ -39,7 +64,11 @@ Status GroupJournal::Replay(
     MutexLock lock(mu_);
     auto it = records_.find(group);
     if (it != records_.end()) {
-      records = it->second;
+      records.reserve(it->second.checkpoint.size() + it->second.tail.size());
+      records.insert(records.end(), it->second.checkpoint.begin(),
+                     it->second.checkpoint.end());
+      records.insert(records.end(), it->second.tail.begin(),
+                     it->second.tail.end());
       for (const std::string& rec : records) record_bytes += rec.size() + 8;
     }
   }
@@ -59,7 +88,14 @@ Status GroupJournal::Replay(
 uint64_t GroupJournal::NumRecords(index::GroupId group) const {
   MutexLock lock(mu_);
   auto it = records_.find(group);
-  return it == records_.end() ? 0 : it->second.size();
+  if (it == records_.end()) return 0;
+  return it->second.checkpoint.size() + it->second.tail.size();
+}
+
+uint64_t GroupJournal::NumTailRecords(index::GroupId group) const {
+  MutexLock lock(mu_);
+  auto it = records_.find(group);
+  return it == records_.end() ? 0 : it->second.tail.size();
 }
 
 uint64_t GroupJournal::TotalBytes() const {

@@ -46,23 +46,44 @@ class GroupJournal {
   sim::Cost AppendBatch(index::GroupId group,
                         const std::vector<index::FileUpdate>& updates);
 
-  // Replays every update recorded for `group`, oldest first.  Adds the
-  // simulated read cost to *cost when non-null.
+  // Replays every update recorded for `group`, oldest first — the latest
+  // checkpoint image (if any) followed by the tail appended since.  Adds
+  // the simulated read cost to *cost when non-null.
   Status Replay(index::GroupId group,
                 const std::function<Status(const index::FileUpdate&)>& fn,
                 sim::Cost* cost = nullptr) const;
 
+  // Journal compaction (segmented mode): replaces `group`'s entire log —
+  // checkpoint and tail — with a base image of its effective committed
+  // state (`state`, one upsert per live file).  Sealed segments are
+  // durable, so replay afterwards is image + unsealed tail, not the full
+  // update history.  The caller must guarantee no append for this group
+  // can interleave (the Index Node checkpoints under an exclusive
+  // groups_mu_, which serialises it against staging).
+  sim::Cost Checkpoint(index::GroupId group,
+                       const std::vector<index::FileUpdate>& state);
+
   uint64_t NumRecords(index::GroupId group) const;
+  // Records appended since the last checkpoint (tests: proves compaction
+  // actually truncated the replayable history).
+  uint64_t NumTailRecords(index::GroupId group) const;
   uint64_t TotalBytes() const;
 
  private:
+  // Per-group log: an optional checkpoint base image plus the tail of
+  // updates appended after it.
+  struct GroupLog {
+    std::vector<std::string> checkpoint;
+    std::vector<std::string> tail;
+  };
+
   sim::Cost AppendLocked(index::GroupId group, const index::FileUpdate& update)
       REQUIRES(mu_);
 
   sim::IoContext io_;
   sim::PageStore store_;
   mutable Mutex mu_{LockRank::kGroupJournal, "GroupJournal::mu_"};
-  std::map<index::GroupId, std::vector<std::string>> records_ GUARDED_BY(mu_);
+  std::map<index::GroupId, GroupLog> records_ GUARDED_BY(mu_);
   uint64_t bytes_ GUARDED_BY(mu_) = 0;
 };
 

@@ -34,12 +34,22 @@ index::IndexGroup* IndexNode::Find(GroupId id) {
   return it == groups_.end() ? nullptr : it->second.get();
 }
 
+index::IndexGroupOptions IndexNode::GroupOptions() {
+  index::IndexGroupOptions options;
+  options.metrics = &metrics_;
+  options.result_cache = config_.result_cache;
+  options.segmented = config_.segmented_index;
+  options.max_segments = config_.max_segments;
+  options.merge_size_ratio = config_.merge_size_ratio;
+  options.merge_tier_run = config_.merge_tier_run;
+  return options;
+}
+
 Status IndexNode::EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs) {
   auto it = groups_.find(id);
   if (it == groups_.end()) {
     it = groups_.try_emplace(id).first;
-    it->second = std::make_unique<index::IndexGroup>(id, &io_, &metrics_,
-                                                    config_.result_cache);
+    it->second = std::make_unique<index::IndexGroup>(id, &io_, GroupOptions());
   }
   for (const IndexSpec& spec : specs) {
     if (it->second->HasIndex(spec.name)) continue;
@@ -189,17 +199,52 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
 net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
   auto req = Decode<TickRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
-  ReaderMutexLock lock(groups_mu_);
+  // Journal compaction must not interleave with the staging path's
+  // journal-append + stage pair (the checkpoint would drop an appended
+  // record whose update is not yet in the group, or keep one whose update
+  // already is).  Stagers hold groups_mu_ shared across both steps, so
+  // taking it exclusively here makes the checkpoint exact.
+  const bool compacting = config_.segmented_index &&
+                          config_.journal_compaction &&
+                          config_.recovery_journal != nullptr;
+  sim::Cost cost;
+  if (compacting) {
+    WriterMutexLock lock(groups_mu_);
+    cost = TickLocked(req->now_s, /*checkpoint=*/true);
+  } else {
+    ReaderMutexLock lock(groups_mu_);
+    cost = TickLocked(req->now_s, /*checkpoint=*/false);
+  }
+  // Background commits overlap foreground work; report the cost so callers
+  // can account it, but it is not on any request's critical path.
+  return Response{Status::Ok(), {}, cost};
+}
+
+sim::Cost IndexNode::TickLocked(double now_s, bool checkpoint) {
   sim::Cost cost;
   for (auto& [gid, group] : groups_) {
     double oldest = group->OldestPendingStagedAt();
-    if (oldest >= 0 && req->now_s - oldest >= config_.commit_timeout_s) {
+    if (oldest >= 0 && now_s - oldest >= config_.commit_timeout_s) {
       commit_timeouts_->Add(1);
       obs::SpanGuard span("group.commit_timeout", gid, id_);
       span.Tag("group", gid);
       // Commit clears the oldest-pending stamp under the group mutex.
       sim::Cost group_cost = group->Commit();
       group_cost += group->MaintainIndexes();
+      if (checkpoint) {
+        // The commit just sealed everything staged, so the group's
+        // committed view *is* its full effective state: snapshot it as
+        // the journal's new base image and drop the replayed history.
+        std::vector<FileUpdate> state;
+        group_cost +=
+            group->ForEachRecord([&](FileId f, const index::AttrSet& attrs) {
+              FileUpdate u;
+              u.file = f;
+              u.attrs = attrs;
+              state.push_back(std::move(u));
+            });
+        group_cost += config_.recovery_journal->Checkpoint(gid, state);
+      }
       // The nested group.commit span advanced part of this; top up the rest.
       double inside = span.active()
                           ? obs::CurrentTrace().now_s - span.start_s()
@@ -209,9 +254,7 @@ net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
       cost += group_cost;
     }
   }
-  // Background commits overlap foreground work; report the cost so callers
-  // can account it, but it is not on any request's critical path.
-  return Response{Status::Ok(), {}, cost};
+  return cost;
 }
 
 net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload) {
@@ -349,6 +392,11 @@ obs::MetricsSnapshot IndexNode::MetricsSnapshot() const {
     uint64_t pages = 0;
     for (const auto& [gid, group] : groups_) pages += group->ApproxPages();
     snap.gauges["in.pages"] = static_cast<double>(pages);
+    if (config_.segmented_index) {
+      uint64_t segments = 0;
+      for (const auto& [gid, group] : groups_) segments += group->NumSegments();
+      snap.gauges["in.segments"] = static_cast<double>(segments);
+    }
   }
   return snap;
 }

@@ -54,6 +54,19 @@ struct IndexNodeConfig {
   // Enable each group's search-result memo (read_path_caching layer 3).
   // Off, groups never touch the cache and search costs are unchanged.
   bool result_cache = false;
+  // Write-read decoupling: run every group in segmented mode (immutable
+  // committed segments + mutable memtable; see index/index_group.h).  Off,
+  // groups keep the commit-barrier behaviour bit-identically.
+  bool segmented_index = false;
+  // Segmented only: per-group merge policy knobs (read-amplification
+  // bound K and the tier trigger).
+  size_t max_segments = 4;
+  double merge_size_ratio = 4.0;
+  size_t merge_tier_run = 3;
+  // Segmented + recovery journal: checkpoint each group's journal to a
+  // base image when a commit timeout seals it, so recovery replays only
+  // the image plus the unsealed tail instead of the full update history.
+  bool journal_compaction = false;
 };
 
 class IndexNode : public net::RpcHandler {
@@ -103,6 +116,14 @@ class IndexNode : public net::RpcHandler {
   // May create the group, so the map lock must be held exclusively.
   Status EnsureGroup(GroupId id, const std::vector<IndexSpec>& specs)
       REQUIRES(groups_mu_);
+  // Group construction knobs derived from this node's config.
+  index::IndexGroupOptions GroupOptions();
+  // The tick body: commits timed-out groups; with `checkpoint` set, also
+  // compacts each committed group's recovery journal (the caller must then
+  // hold groups_mu_ exclusively so checkpoints cannot interleave with the
+  // staging path's journal-append + stage pair).
+  sim::Cost TickLocked(double now_s, bool checkpoint)
+      REQUIRES_SHARED(groups_mu_);
 
   NodeId id_;
   IndexNodeConfig config_;

@@ -132,6 +132,72 @@ sim::Cost BPlusTree::Insert(const AttrValue& key, FileId file) {
   return cost;
 }
 
+sim::Cost BPlusTree::BulkLoad(std::vector<std::pair<AttrValue, FileId>> entries) {
+  assert(num_postings_ == 0);
+  if (entries.empty()) return {};
+  std::sort(entries.begin(), entries.end(),
+            [](const std::pair<AttrValue, FileId>& a,
+               const std::pair<AttrValue, FileId>& b) {
+              int c = a.first.Compare(b.first);
+              if (c != 0) return c < 0;
+              return a.second < b.second;
+            });
+
+  // Replace the empty bootstrap root; pages are renumbered from zero.
+  root_.reset();
+  num_nodes_ = 0;
+  next_page_ = 0;
+
+  // Leaf level: one key per distinct value, duplicates merged into the
+  // posting list, chunked to the leaf fanout.
+  std::vector<std::unique_ptr<Node>> level;
+  Node* prev = nullptr;
+  size_t i = 0;
+  while (i < entries.size()) {
+    auto leaf = std::make_unique<Node>(/*is_leaf=*/true, next_page_++);
+    ++num_nodes_;
+    while (i < entries.size() && leaf->keys.size() < order_) {
+      leaf->keys.push_back(entries[i].first);
+      auto& plist = leaf->postings.emplace_back();
+      while (i < entries.size() && entries[i].first == leaf->keys.back()) {
+        plist.push_back(entries[i].second);
+        ++num_postings_;
+        ++i;
+      }
+    }
+    leaf->prev_leaf = prev;
+    if (prev != nullptr) prev->next_leaf = leaf.get();
+    prev = leaf.get();
+    level.push_back(std::move(leaf));
+  }
+
+  // Internal levels: separator i is the smallest key in child i+1's
+  // subtree, so duplicates-go-right descent finds every key.
+  auto min_key = [](const Node* n) -> const AttrValue& {
+    while (!n->leaf) n = n->children[0].get();
+    return n->keys[0];
+  };
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> up;
+    size_t j = 0;
+    while (j < level.size()) {
+      auto node = std::make_unique<Node>(/*is_leaf=*/false, next_page_++);
+      ++num_nodes_;
+      size_t take = std::min<size_t>(order_, level.size() - j);
+      for (size_t k = 0; k < take; ++k) {
+        if (k > 0) node->keys.push_back(min_key(level[j + k].get()));
+        node->children.push_back(std::move(level[j + k]));
+      }
+      j += take;
+      up.push_back(std::move(node));
+    }
+    level = std::move(up);
+  }
+  root_ = std::move(level[0]);
+  // One sequential pass writes every node page.
+  return store_.SequentialLoad(num_nodes_);
+}
+
 sim::Cost BPlusTree::Remove(const AttrValue& key, FileId file) {
   sim::Cost cost;
   std::vector<Node*> path;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "index/attr.h"
@@ -37,6 +38,11 @@ class BPlusTree {
 
   // Adds one posting.  Duplicate (key, file) postings accumulate.
   sim::Cost Insert(const AttrValue& key, FileId file);
+
+  // Builds a balanced tree bottom-up from a batch in one sequential write.
+  // Only valid on an empty tree (segment builds); the result satisfies
+  // CheckInvariants.
+  sim::Cost BulkLoad(std::vector<std::pair<AttrValue, FileId>> entries);
 
   // Removes one posting for (key, file); OK (cost only) if absent.
   sim::Cost Remove(const AttrValue& key, FileId file);

@@ -86,6 +86,28 @@ sim::Cost HashIndex::Insert(const AttrValue& key, FileId file) {
   return cost;
 }
 
+sim::Cost HashIndex::BulkLoad(
+    std::vector<std::pair<AttrValue, FileId>> entries) {
+  // Pre-size the directory to the final occupancy so MaybeGrow's threshold
+  // is never crossed mid-load (no incremental rehash charges).
+  uint64_t bytes = 0;
+  for (const auto& [key, file] : entries) bytes += 16 + key.ByteSize();
+  while (bytes >= buckets_.size() * uint64_t{page_bytes_} * 3 / 2) {
+    buckets_.resize(buckets_.size() * 2);
+  }
+  for (auto& [key, file] : entries) {
+    size_t bi = BucketOf(key);
+    auto posting_bytes = static_cast<uint32_t>(16 + key.ByteSize());
+    Bucket& b = buckets_[bi];
+    b.postings.push_back(Posting{std::move(key), file, posting_bytes});
+    b.bytes += posting_bytes;
+    total_bytes_ += posting_bytes;
+    ++num_postings_;
+  }
+  // One sequential pass writes the whole table.
+  return store_.SequentialLoad(NumPages());
+}
+
 sim::Cost HashIndex::Remove(const AttrValue& key, FileId file) {
   size_t bi = BucketOf(key);
   sim::Cost cost = TouchBucket(bi);

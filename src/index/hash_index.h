@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "index/attr.h"
@@ -22,6 +23,11 @@ class HashIndex {
   sim::Cost Insert(const AttrValue& key, FileId file);
   // Removes one matching posting; cost-only no-op when absent.
   sim::Cost Remove(const AttrValue& key, FileId file);
+
+  // Builds the table from a batch in one sequential write, sizing the
+  // directory up front so no incremental rehash fires.  Only valid on an
+  // empty index (segment builds).
+  sim::Cost BulkLoad(std::vector<std::pair<AttrValue, FileId>> entries);
 
   struct LookupResult {
     std::vector<FileId> files;

@@ -11,6 +11,26 @@
 // into the index structures on a timeout or — to keep results strongly
 // consistent — by the next search request touching the group.
 //
+// The group runs in one of two modes:
+//
+//  * Commit-barrier (default, bit-compatible with earlier revisions):
+//    Search drains staged updates under an exclusive lock before
+//    answering, so one hot group's ingest stalls every read on it.
+//
+//  * Segmented (IndexGroupOptions::segmented — write-read decoupling):
+//    committed state lives in a list of *immutable segments* (each a
+//    record store + fully-built index structures + delete tombstones) and
+//    writes accumulate in a mutable memtable (`pending_`).  Search takes a
+//    cheap snapshot — the refcounted segment list plus a frozen memtable
+//    view — under a brief shared lock and then runs entirely against
+//    immutable state: it never blocks on, or waits for, a commit.  Commit
+//    seals the memtable into a new segment in three phases (swap under
+//    exclusive mu_, build with no lock held, publish under exclusive mu_)
+//    and a tiered size-ratio merge policy bounds the number of live
+//    segments — and therefore per-search read amplification — to ≤ K.
+//    Newest state wins: the memtable overlay shadows every segment and a
+//    younger segment shadows older ones (tombstones shadow deletes).
+//
 // Thread safety / locking order: every public method takes the group's own
 // mutex, so one IndexGroup may be staged into, committed, and searched from
 // concurrent threads (the Index Node's per-group search pool does this).
@@ -18,15 +38,20 @@
 // index, maintenance) take it exclusively, while pure read paths (Search
 // with nothing staged, HasIndex, Specs, ApproxPages, ...) take it shared —
 // so concurrent searches against the *same* group proceed in parallel.
-// Search stays a commit barrier (strong consistency): a lock-free
-// `has_pending_` probe plus an under-the-reader-lock recheck decides
-// whether the search can run shared or must upgrade (drop + reacquire
-// exclusive) to drain staged updates first.
+// In commit-barrier mode Search stays a commit barrier (strong
+// consistency): a lock-free `has_pending_` probe plus an
+// under-the-reader-lock recheck decides whether the search can run shared
+// or must upgrade (drop + reacquire exclusive) to drain staged updates
+// first.  In segmented mode searches only ever take the shared lock (for
+// the snapshot); `seal_mu_` serialises the seal/merge pipeline so at most
+// one build is in flight, and the in-flight batch stays visible to
+// searches through `sealing_` (strong consistency without the barrier).
 // Distinct groups never share index structures, so cross-group parallelism
 // needs no coordination beyond the (internally locked) shared IoContext.
 // Lock order is strictly:
 //
-//     IndexNode::groups_mu_ -> IndexGroup::mu_ -> cache_mu_ -> IoContext::mu_
+//     IndexNode::groups_mu_ -> IndexGroup::seal_mu_ -> IndexGroup::mu_
+//         -> cache_mu_ -> IoContext::mu_
 //
 // (`cache_mu_` guards the per-group search-result memo; it nests inside
 // mu_ because probes/fills run while holding at least a shared mu_.)
@@ -43,6 +68,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -95,13 +122,31 @@ struct FileUpdate {
   static Status Deserialize(BinaryReader& r, FileUpdate& out);
 };
 
+// Construction-time knobs for one IndexGroup.
+struct IndexGroupOptions {
+  // Optional, not owned: receives WAL / staging / commit counters; the
+  // hosting Index Node passes its own registry so per-node snapshots
+  // aggregate all of that node's groups.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Per-group search-result memo (read_path_caching); off, the search
+  // path never touches the cache and costs are unchanged.
+  bool result_cache = false;
+
+  // --- Write-read decoupling (see the file comment) ---
+  bool segmented = false;
+  // Merge when the committed segment count exceeds this (K: the
+  // per-search read-amplification bound).
+  size_t max_segments = 4;
+  // Adjacent segments whose sizes stay within this ratio form one tier...
+  double merge_size_ratio = 4.0;
+  // ...and a tier of at least this many adjacent segments merges eagerly.
+  size_t merge_tier_run = 3;
+};
+
 class IndexGroup {
  public:
-  // `metrics` (optional, not owned) receives WAL / staging / commit
-  // counters; the hosting Index Node passes its own registry so per-node
-  // snapshots aggregate all of that node's groups.  `enable_result_cache`
-  // turns on the per-group search-result memo (read_path_caching); off, the
-  // search path never touches the cache and costs are unchanged.
+  IndexGroup(GroupId id, sim::IoContext* io, const IndexGroupOptions& options);
+  // Legacy convenience form (commit-barrier mode).
   IndexGroup(GroupId id, sim::IoContext* io,
              obs::MetricsRegistry* metrics = nullptr,
              bool enable_result_cache = false);
@@ -126,7 +171,11 @@ class IndexGroup {
   // the stamp pointing at updates that no longer exist (or, worse, drop
   // the stamp for updates that do).
   sim::Cost StageUpdate(FileUpdate update, double staged_at_s = -1.0);
-  // Applies all staged updates to the index structures; truncates the WAL.
+  // Commit-barrier mode: applies all staged updates to the index
+  // structures and truncates the WAL.  Segmented mode: seals the memtable
+  // into a new immutable segment (truncating the sealed WAL prefix) and
+  // runs the merge policy.  A no-op when nothing is staged — and, in both
+  // modes, epoch-neutral: the result cache survives an empty commit.
   sim::Cost Commit();
   size_t PendingUpdates() const {
     ReaderMutexLock lock(mu_);
@@ -151,10 +200,26 @@ class IndexGroup {
   SearchResult Search(const Predicate& pred);
 
   // Number of commits that actually applied updates (bumped whenever the
-  // result cache is invalidated; test / introspection hook).
+  // result cache is invalidated; test / introspection hook).  Segmented
+  // mode also bumps it on every seal and merge publish.
   uint64_t CommitEpoch() const {
     MutexLock lock(cache_mu_);
     return commit_epoch_;
+  }
+
+  // --- Segmented-mode introspection ---
+  bool segmented() const { return segmented_; }
+  size_t NumSegments() const {
+    ReaderMutexLock lock(mu_);
+    return segments_.size();
+  }
+  // Staged updates folded into each live segment, oldest first (tests).
+  std::vector<uint64_t> SegmentUpdateCounts() const {
+    ReaderMutexLock lock(mu_);
+    std::vector<uint64_t> out;
+    out.reserve(segments_.size());
+    for (const auto& seg : segments_) out.push_back(seg->update_count);
+    return out;
   }
 
   // --- Maintenance (Propeller runs this off the critical path) ---
@@ -176,17 +241,27 @@ class IndexGroup {
   }
 
   // --- Split / migration support ---
-  uint64_t NumFiles() const {
-    ReaderMutexLock lock(mu_);
-    return records_.NumRecords();
-  }
+  // Committed live files (excludes staged updates; segmented: newest
+  // segment wins, tombstoned files excluded).  Cost-free statistic.
+  uint64_t NumFiles() const;
   // All (file, attrs) currently committed; used to move files to a new
   // group during an ACG split.  `fn` runs under the group mutex — it must
-  // not call back into this IndexGroup.
+  // not call back into this IndexGroup.  Segmented mode visits the live
+  // (unshadowed, untombstoned) view, newest segment first.
   template <typename Fn>
   sim::Cost ForEachRecord(Fn&& fn) const {
     ReaderMutexLock lock(mu_);
-    return records_.ForEach(fn);
+    if (!segmented_) return records_.ForEach(fn);
+    sim::Cost cost;
+    std::unordered_set<FileId> seen;
+    for (size_t si = segments_.size(); si-- > 0;) {
+      const Segment& seg = *segments_[si];
+      cost += seg.records.ForEach([&](FileId file, const AttrSet& attrs) {
+        if (seen.insert(file).second) fn(file, attrs);
+      });
+      for (FileId f : seg.tombstones) seen.insert(f);
+    }
+    return cost;
   }
   // Size estimate for migration cost accounting.
   uint64_t ApproxPages() const;
@@ -197,6 +272,30 @@ class IndexGroup {
     std::unique_ptr<BPlusTree> btree;
     std::unique_ptr<HashIndex> hash;
     std::unique_ptr<KdTree> kd;
+  };
+
+  // One immutable committed unit of the segmented mode: a record store,
+  // fully-built index structures for every spec the group had at seal
+  // time, and the set of files the sealed batch deleted (tombstones
+  // shadow older segments).  Never mutated after publication — searches
+  // hold shared_ptrs, so a merge retiring a segment cannot pull it out
+  // from under a running snapshot.
+  struct Segment {
+    explicit Segment(RecordStore store) : records(std::move(store)) {}
+    uint64_t seq = 0;           // publication order (diagnostics)
+    uint64_t update_count = 0;  // staged updates folded in (incl. merges)
+    RecordStore records;
+    std::unordered_set<FileId> tombstones;
+    std::vector<NamedIndex> indexes;
+
+    // Does this segment have the newest word on `file` among itself and
+    // everything older?  (Callers charge their own probe cost.)
+    bool Contains(FileId file) const {
+      return records.Contains(file) || tombstones.count(file) != 0u;
+    }
+    uint64_t ByteSize() const {
+      return records.Bytes() + 8 * tombstones.size();
+    }
   };
 
   // Memoized answer for one predicate against the current committed state.
@@ -214,16 +313,48 @@ class IndexGroup {
                            const AttrSet& attrs) REQUIRES(mu_);
   sim::Cost InsertPostings(const NamedIndex& idx, FileId file,
                            const AttrSet& attrs) REQUIRES(mu_);
-  // Picks the best index for `pred`; returns nullptr for full scan.
+  // Picks the best index among `indexes` for `pred`; nullptr = full scan.
+  static const NamedIndex* ChooseAccessPathFor(
+      const Predicate& pred, const std::vector<NamedIndex>& indexes);
   const NamedIndex* ChooseAccessPath(const Predicate& pred) const
-      REQUIRES_SHARED(mu_);
+      REQUIRES_SHARED(mu_) {
+    return ChooseAccessPathFor(pred, indexes_);
+  }
+  // Runs the chosen index's lookup: accumulates cost and the access-path
+  // label into `out`, returns the raw candidate list (not yet verified).
+  static std::vector<FileId> IndexCandidates(const NamedIndex& idx,
+                                             const Predicate& pred,
+                                             SearchResult& out);
   // The post-commit search body (access-path choice, lookups, residual
   // verification, result-cache probe/fill); accumulates into `out`.
   void SearchBodyLocked(const Predicate& pred, SearchResult& out) const
       REQUIRES_SHARED(mu_);
 
+  // --- Segmented mode internals ---
+  // Snapshot search (see the file comment); never blocks on a commit.
+  SearchResult SearchSegmented(const Predicate& pred) const;
+  uint64_t NumFilesSegmentedLocked() const REQUIRES_SHARED(mu_);
+  // Builds one immutable segment from a folded batch: bulk-loads the
+  // record store and one index per spec.  Runs with no lock held.
+  std::shared_ptr<Segment> BuildSegment(
+      std::vector<std::pair<FileId, AttrSet>> rows,
+      std::unordered_set<FileId> tombstones,
+      const std::vector<IndexSpec>& specs, sim::Cost* cost) const;
+  // Seal phase: swap the memtable out (exclusive mu_), build the segment
+  // (no lock), publish it + truncate the sealed WAL prefix (exclusive
+  // mu_).  Epoch-neutral no-op when nothing is staged.
+  sim::Cost SealMemtable() REQUIRES(seal_mu_);
+  // Tiered size-ratio merge policy; loops until no trigger fires.  Each
+  // round reads a run of adjacent segments (no lock), builds their
+  // replacement, and splices it in (exclusive mu_).
+  sim::Cost RunMergePolicy() REQUIRES(seal_mu_);
+
   GroupId id_;
   sim::IoContext* io_;
+  const bool segmented_;
+  const size_t max_segments_;
+  const double merge_size_ratio_;
+  const size_t merge_tier_run_;
   // Null when the group is unobserved (standalone tests / micro-benches).
   obs::Counter* wal_appends_ = nullptr;
   obs::Counter* wal_bytes_ = nullptr;
@@ -231,6 +362,17 @@ class IndexGroup {
   obs::Counter* committed_ = nullptr;
   obs::Counter* result_cache_hits_ = nullptr;
   obs::Counter* result_cache_misses_ = nullptr;
+  obs::Counter* seals_ = nullptr;
+  obs::Counter* merges_ = nullptr;
+  obs::Counter* segments_read_ = nullptr;
+  obs::Histogram* merge_latency_ = nullptr;
+
+  // Serialises the seal/merge pipeline (segmented mode): at most one
+  // build is in flight per group.  Ranked *before* mu_ — the pipeline
+  // phases take mu_ briefly while holding it; searches never take it.
+  mutable Mutex seal_mu_{LockRank::kIndexGroupSeal, "IndexGroup::seal_mu_"};
+  // Publication counter for Segment::seq (only the pipeline writes it).
+  uint64_t next_segment_seq_ GUARDED_BY(seal_mu_) = 0;
   // Guards all mutable group state (records, WAL, indexes, pending cache).
   // See the locking-order comment at the top of this header.
   mutable SharedMutex mu_{LockRank::kIndexGroup, "IndexGroup::mu_"};
@@ -238,6 +380,14 @@ class IndexGroup {
   WriteAheadLog wal_ GUARDED_BY(mu_);
   std::vector<NamedIndex> indexes_ GUARDED_BY(mu_);
   std::vector<FileUpdate> pending_ GUARDED_BY(mu_);
+  // Segmented mode: committed segments, oldest first.  The shared_ptrs
+  // are the snapshot mechanism — a search copies the vector under shared
+  // mu_ and the segments stay alive however long the search runs.
+  std::vector<std::shared_ptr<const Segment>> segments_ GUARDED_BY(mu_);
+  // The batch an in-flight seal swapped out of `pending_` but has not yet
+  // published.  Searches overlay it (with `pending_`) so sealed-but-
+  // unpublished updates never disappear from view mid-seal.
+  std::shared_ptr<const std::vector<FileUpdate>> sealing_ GUARDED_BY(mu_);
   // Simulated stage time of the oldest pending update; < 0 when unset.
   double oldest_pending_staged_s_ GUARDED_BY(mu_) = -1.0;
   // Lock-free mirror of !pending_.empty(): lets Search skip the exclusive

@@ -62,6 +62,36 @@ sim::Cost KdTree::Insert(const std::vector<double>& point, FileId file) {
   return cost;
 }
 
+sim::Cost KdTree::BulkLoad(
+    std::vector<std::pair<std::vector<double>, FileId>> points) {
+  assert(num_nodes_ == 0);
+  if (points.empty()) return sim::Cost::Zero();
+  // Deterministic build regardless of input order: nth_element ties are
+  // broken by the pre-sort below.
+  std::sort(points.begin(), points.end(),
+            [](const std::pair<std::vector<double>, FileId>& a,
+               const std::pair<std::vector<double>, FileId>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  std::vector<std::unique_ptr<Node>> scratch;
+  scratch.reserve(points.size());
+  std::vector<Node*> raw;
+  raw.reserve(points.size());
+  for (auto& [point, file] : points) {
+    auto n = std::make_unique<Node>();
+    n->point = std::move(point);
+    n->file = file;
+    raw.push_back(n.get());
+    scratch.push_back(std::move(n));
+  }
+  uint64_t next_slot = 0;
+  root_ = Build(raw, 0, raw.size(), 0, &next_slot);
+  num_nodes_ = num_points_ = raw.size();
+  // One sequential pass writes the whole (serialized or paged) image.
+  return store_.SequentialLoad(NumPages());
+}
+
 sim::Cost KdTree::Remove(const std::vector<double>& point, FileId file) {
   assert(point.size() == dims_);
   sim::Cost cost;

@@ -20,6 +20,7 @@
 #include <limits>
 #include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "index/attr.h"
@@ -62,6 +63,10 @@ class KdTree {
 
   // Appends a point (classic kd insertion).  point.size() must equal dims.
   sim::Cost Insert(const std::vector<double>& point, FileId file);
+
+  // Builds a balanced tree from a batch in one sequential write.  Only
+  // valid on an empty tree (segment builds).
+  sim::Cost BulkLoad(std::vector<std::pair<std::vector<double>, FileId>> points);
 
   // Marks a point deleted (tombstone); compaction happens on Rebuild.
   sim::Cost Remove(const std::vector<double>& point, FileId file);

@@ -37,6 +37,23 @@ RecordStore::PutResult RecordStore::Put(FileId file, AttrSet attrs) {
   return out;
 }
 
+sim::Cost RecordStore::BulkLoad(std::vector<std::pair<FileId, AttrSet>> rows) {
+  records_.reserve(rows.size());
+  for (auto& [file, attrs] : rows) {
+    auto it = records_.find(file);
+    if (it != records_.end()) {
+      bytes_ -= it->second.ByteSize();
+      bytes_ += attrs.ByteSize();
+      it->second = std::move(attrs);
+    } else {
+      bytes_ += attrs.ByteSize();
+      records_.emplace(file, std::move(attrs));
+    }
+  }
+  // One sequential pass writes the whole heap file.
+  return store_.SequentialLoad(NumPages());
+}
+
 RecordStore::EraseResult RecordStore::Erase(FileId file) {
   EraseResult out;
   uint64_t page = PageOf(file);

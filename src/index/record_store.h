@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "index/attr.h"
 #include "sim/io_context.h"
@@ -47,8 +49,26 @@ class RecordStore {
     return cost;
   }
 
+  // Cost-free scan for statistics (heartbeat gauges, segment accounting).
+  // Must not touch the page cache — a simulated charge here would make
+  // observability perturb the deterministic cost model.
+  template <typename Fn>
+  void ForEachInMemory(Fn&& fn) const {
+    for (const auto& [file, attrs] : records_) fn(file, attrs);
+  }
+
+  // Builds the store from a batch in one sequential write instead of
+  // per-record random page touches.  Only valid on an empty store; rows
+  // with duplicate FileIds keep the last occurrence.
+  sim::Cost BulkLoad(std::vector<std::pair<FileId, AttrSet>> rows);
+
+  // Membership probe without a simulated page touch: segment shadowing
+  // checks charge their own flat per-probe cost at the caller.
+  bool Contains(FileId file) const { return records_.count(file) != 0u; }
+
   uint64_t NumRecords() const { return records_.size(); }
   uint64_t NumPages() const { return 1 + bytes_ / kPageBytes; }
+  uint64_t Bytes() const { return bytes_; }
 
  private:
   static constexpr uint64_t kPageBytes = 4096;

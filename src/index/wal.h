@@ -6,6 +6,7 @@
 // recovery tests can rebuild state from it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,6 +41,17 @@ class WriteAheadLog {
   sim::Cost Truncate() {
     records_.clear();
     bytes_ = 0;
+    return store_.Append(8);  // truncation marker
+  }
+
+  // Discards the oldest `n` records only.  Used by segment seals: the
+  // records folded into a sealed segment are durable there, while records
+  // appended after the seal snapshot was taken stay replayable.
+  sim::Cost TruncatePrefix(size_t n) {
+    n = std::min(n, records_.size());
+    for (size_t i = 0; i < n; ++i) bytes_ -= records_[i].size() + 8;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<long>(n));
     return store_.Append(8);  // truncation marker
   }
 

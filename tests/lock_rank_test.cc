@@ -27,6 +27,7 @@ TEST(LockRankTableTest, MatchesDesignDocOrder) {
       LockRank::kFaultPlan,       // net::FaultPlan::mu_
       LockRank::kIndexNodeGroups, // core::IndexNode::groups_mu_
       LockRank::kGroupJournal,    // core::GroupJournal::mu_
+      LockRank::kIndexGroupSeal,  // index::IndexGroup::seal_mu_
       LockRank::kIndexGroup,      // index::IndexGroup::mu_
       LockRank::kIndexGroupCache, // index::IndexGroup::cache_mu_
       LockRank::kIoContext,       // sim::IoContext::mu_
@@ -48,6 +49,7 @@ TEST(LockRankTableTest, NamesAreStable) {
   EXPECT_STREQ(LockRankName(LockRank::kIndexGroup), "kIndexGroup");
   EXPECT_STREQ(LockRankName(LockRank::kClientCache), "kClientCache");
   EXPECT_STREQ(LockRankName(LockRank::kIndexGroupCache), "kIndexGroupCache");
+  EXPECT_STREQ(LockRankName(LockRank::kIndexGroupSeal), "kIndexGroupSeal");
   EXPECT_STREQ(LockRankName(LockRank::kUnranked), "kUnranked");
 }
 

@@ -86,6 +86,55 @@ TEST(ParallelSearchTest, ParallelModeIsBitIdenticalToSerial) {
   }
 }
 
+TEST(ParallelSearchTest, SegmentedModeIsBitIdenticalAcrossExecutionModes) {
+  // Snapshot searches against immutable segments have no execution-order
+  // freedom to hide in either: serial and parallel engines must agree on
+  // results AND simulated costs with the segmented index on, across
+  // staged-overlay reads, seals, and merges.
+  auto build = [](bool parallel) {
+    ClusterConfig cfg = MakeConfig(parallel);
+    cfg.segmented_index = true;
+    auto cluster = std::make_unique<PropellerCluster>(cfg);
+    EXPECT_TRUE(
+        cluster->client()
+            .CreateIndex({"by_size", index::IndexType::kBTree, {"size"}})
+            .ok());
+    EXPECT_TRUE(cluster->client()
+                    .BatchUpdate(workload::SyntheticRows(1, kBaseFiles, Spec()),
+                                 cluster->now())
+                    .ok());
+    return cluster;
+  };
+  auto serial = build(false);
+  auto parallel = build(true);
+
+  auto parsed = ParseQuery(kQuery, 1'000'000);
+  ASSERT_TRUE(parsed.ok());
+  auto step = [&](PropellerCluster& cluster, int round) {
+    if (round > 0) {
+      // Fresh updates each round: searches overlay the memtable, then the
+      // commit-timeout tick seals a new segment (and eventually merges).
+      EXPECT_TRUE(cluster.client()
+                      .BatchUpdate(workload::SyntheticRows(
+                                       kBaseFiles + round * kExtraFiles + 1,
+                                       kExtraFiles, Spec()),
+                                   cluster.now())
+                      .ok());
+      cluster.AdvanceTime(6.0);
+    }
+    return cluster.client().Search(parsed->predicate);
+  };
+  for (int round = 0; round < 4; ++round) {
+    auto s = step(*serial, round);
+    auto p = step(*parallel, round);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(s->files, p->files) << "round " << round;
+    EXPECT_EQ(s->nodes_queried, p->nodes_queried) << "round " << round;
+    EXPECT_EQ(s->cost.seconds(), p->cost.seconds()) << "round " << round;
+  }
+}
+
 TEST(ParallelSearchTest, DefaultRetryPolicyIsCostNeutralWithoutFaults) {
   // Regression for the resilience layer: with no fault plan installed and
   // the retry policy at its defaults, every result and simulated cost must

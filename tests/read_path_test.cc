@@ -356,6 +356,42 @@ TEST(GroupResultCacheTest, HitsUntilCommitInvalidates) {
   EXPECT_EQ(fresh.files.size(), miss.files.size() + 1);
 }
 
+TEST(GroupResultCacheTest, EmptyCommitIsEpochNeutralAndKeepsCacheWarm) {
+  // An empty commit (a tick firing on a group with nothing staged, or a
+  // search racing a just-drained queue) must not invalidate memoized
+  // results: the committed state did not change, so the cache stays warm
+  // and the epoch stays put.  Regression guard for both group modes.
+  for (bool segmented : {false, true}) {
+    sim::IoContext io;
+    obs::MetricsRegistry metrics;
+    IndexGroupOptions options;
+    options.metrics = &metrics;
+    options.result_cache = true;
+    options.segmented = segmented;
+    IndexGroup group(1, &io, options);
+    ASSERT_TRUE(
+        group.CreateIndex({"by_size", IndexType::kBTree, {"size"}}).ok());
+    group.StageUpdate(Upsert(1, 100, "/a"));
+    group.Commit();
+
+    Predicate p;
+    p.And("size", CmpOp::kGt, AttrValue(int64_t{50}));
+    group.Search(p);  // fill
+    const uint64_t epoch = group.CommitEpoch();
+    group.Commit();  // nothing staged
+    EXPECT_EQ(group.CommitEpoch(), epoch)
+        << (segmented ? "segmented" : "commit-barrier")
+        << ": empty commit bumped the epoch";
+    auto hit = group.Search(p);
+    EXPECT_EQ(hit.access_path.rfind("result-cache(", 0), 0u)
+        << (segmented ? "segmented" : "commit-barrier")
+        << ": empty commit evicted a still-valid result";
+    auto snap = metrics.Snapshot();
+    EXPECT_EQ(snap.counters["in.result_cache.hits"], 1u);
+    EXPECT_EQ(snap.counters["in.result_cache.misses"], 1u);
+  }
+}
+
 TEST(GroupResultCacheTest, DisabledCacheNeverEngages) {
   sim::IoContext io;
   obs::MetricsRegistry metrics;

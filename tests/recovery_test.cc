@@ -202,5 +202,69 @@ TEST(RecoveryTest, StagedButUncommittedUpdatesSurviveNodeLoss) {
   EXPECT_EQ(r->files.size(), 30u);
 }
 
+TEST(RecoveryTest, JournalCompactionTruncatesAtSealAndStillConverges) {
+  // Segmented mode + journal: a commit-timeout tick seals each group and
+  // checkpoints its journal to a base image, so the replayable history
+  // stops growing with update volume — and recovery after a permanent
+  // node loss must converge to the same state as before.
+  ClusterConfig cfg = RecoveryConfig(true);
+  cfg.segmented_index = true;
+  PropellerCluster cluster(RecoveryConfig(true));
+  PropellerCluster compacting(cfg);
+
+  for (PropellerCluster* c : {&cluster, &compacting}) {
+    ASSERT_TRUE(c->client().CreateIndex(SizeIndex()).ok());
+    // Four generations of the same 40 files: the update history is 4x the
+    // live state, so a checkpoint visibly shrinks the journal.
+    for (int64_t gen = 1; gen <= 4; ++gen) {
+      std::vector<FileUpdate> updates;
+      for (FileId f = 1; f <= 40; ++f) updates.push_back(Upsert(f, gen));
+      ASSERT_TRUE(
+          c->client().BatchUpdate(std::move(updates), c->now()).ok());
+      Tick(*c, 7);  // past the 5s commit timeout: seal (+ checkpoint)
+    }
+  }
+
+  // Without compaction the journal retains all 160 records per cluster;
+  // with it, each group's log collapsed to its live-state image and an
+  // empty tail.
+  uint64_t plain = cluster.Stats().journal_records;
+  uint64_t compacted = compacting.Stats().journal_records;
+  EXPECT_EQ(plain, 160u);
+  EXPECT_EQ(compacted, 40u) << "checkpoint kept more than the live image";
+  for (size_t i = 0; i < compacting.num_index_nodes(); ++i) {
+    for (const auto& stat : compacting.index_node(i).GroupStats()) {
+      EXPECT_EQ(compacting.recovery_journal()->NumTailRecords(stat.group), 0u)
+          << "group " << stat.group << " tail survived the checkpoint";
+    }
+  }
+
+  // Updates staged after the last checkpoint land in the tail...
+  std::vector<FileUpdate> fresh;
+  for (FileId f = 100; f < 110; ++f) fresh.push_back(Upsert(f, 9));
+  ASSERT_TRUE(
+      compacting.client().BatchUpdate(std::move(fresh), compacting.now()).ok());
+
+  // ...and a kill/recover replays image + tail: every generation-4 file
+  // and every fresh one comes back on the survivors.
+  size_t victim = NodeWithGroups(compacting);
+  cluster.KillIndexNode(victim, /*wipe=*/true);  // twin, for symmetry
+  compacting.KillIndexNode(victim, /*wipe=*/true);
+  Tick(compacting, 5);
+
+  Predicate p;
+  p.And("size", CmpOp::kEq, AttrValue(int64_t{4}));
+  auto r = compacting.client().Search(p, "by_size");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->files.size(), 40u)
+      << "recovery from checkpoint image lost committed records";
+  Predicate pf;
+  pf.And("size", CmpOp::kEq, AttrValue(int64_t{9}));
+  auto rf = compacting.client().Search(pf, "by_size");
+  ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+  EXPECT_EQ(rf->files.size(), 10u)
+      << "recovery lost tail records staged after the checkpoint";
+}
+
 }  // namespace
 }  // namespace propeller::core

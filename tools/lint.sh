@@ -70,22 +70,30 @@ stage_tsa() {
 }
 
 stage_sanitizer() {
-  # $1 = preset name (asan / ubsan / tsan-fault)
-  note "sanitizer preset: $1 (configure + build + ctest)"
-  if ! cmake --preset "$1" >/dev/null; then
-    note "FAIL: configure preset $1"
+  # $1 = configure/build preset (asan / ubsan / tsan-fault);
+  # $2.. = test presets to run against that build ($1 when omitted).
+  local preset=$1
+  shift
+  local test_presets=("$@")
+  [[ ${#test_presets[@]} -eq 0 ]] && test_presets=("$preset")
+  note "sanitizer preset: $preset (configure + build + ctest: ${test_presets[*]})"
+  if ! cmake --preset "$preset" >/dev/null; then
+    note "FAIL: configure preset $preset"
     FAILED=1
     return
   fi
-  if ! cmake --build --preset "$1" -j "$(nproc)" >/dev/null; then
-    note "FAIL: build preset $1"
+  if ! cmake --build --preset "$preset" -j "$(nproc)" >/dev/null; then
+    note "FAIL: build preset $preset"
     FAILED=1
     return
   fi
-  if ! ctest --preset "$1"; then
-    note "FAIL: test preset $1"
-    FAILED=1
-  fi
+  local tp
+  for tp in "${test_presets[@]}"; do
+    if ! ctest --preset "$tp"; then
+      note "FAIL: test preset $tp"
+      FAILED=1
+    fi
+  done
 }
 
 STAGES=("$@")
@@ -101,7 +109,7 @@ for stage in "${STAGES[@]}"; do
     tsa) stage_tsa ;;
     asan) stage_sanitizer asan ;;
     ubsan) stage_sanitizer ubsan ;;
-    tsan) stage_sanitizer tsan-fault ;;
+    tsan) stage_sanitizer tsan-fault tsan-fault tsan-segments ;;
     *)
       note "unknown stage '$stage' (expected: tidy tsa asan ubsan tsan all)"
       exit 2
