@@ -12,6 +12,7 @@
 // execution engine (ClusterConfig::parallel_execution) on an 8-node /
 // 8-group workload.  Simulated costs are asserted bit-identical between
 // the two modes; only real elapsed time differs.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "common/table_printer.h"
 #include "core/cluster.h"
 #include "core/query_parser.h"
+#include "net/fault.h"
 #include "workload/dataset.h"
 
 using namespace propeller;
@@ -257,6 +259,132 @@ std::vector<std::pair<std::string, double>> ReadPathCachingComparison() {
   return results;
 }
 
+// Tail-tolerant reads under a sustained straggler: a 4-node cluster at
+// replication factor 2 where one node's handler work stretches `kSlow`
+// times.  With hedged reads on, a branch whose primary exceeds the
+// client's learned latency quantile re-issues to the group's secondary
+// and takes the first answer, so the p99 stays near the no-fault
+// baseline; with hedging off every search waits out the straggler.
+// Latencies are exact percentiles over per-search simulated costs.
+std::vector<std::pair<std::string, double>> TailLatencyComparison() {
+  std::vector<std::pair<std::string, double>> results;
+  const int kNodes = 4;
+  const double kSlow = 40.0;
+  const uint64_t files = bench::Scaled(32'000);
+  auto build = [&](bool hedged) {
+    core::ClusterConfig cfg;
+    cfg.index_nodes = kNodes;
+    cfg.replication_factor = 2;
+    cfg.hedged_reads = hedged;
+    cfg.master.acg_policy.cluster_target = files / kNodes;
+    cfg.master.acg_policy.merge_limit = files / kNodes;
+    cfg.index_node.io.cache_pages = 1u << 20;
+    auto cluster = std::make_unique<core::PropellerCluster>(cfg);
+    auto& client = cluster->client();
+    (void)client.CreateIndex(
+        {"by_attrs", index::IndexType::kKdTree, {"size", "mtime", "uid"}});
+    workload::DatasetSpec spec;
+    spec.num_files = files;
+    for (uint64_t base = 0; base < files; base += 50'000) {
+      uint64_t n = std::min<uint64_t>(50'000, files - base);
+      (void)client.BatchUpdate(workload::SyntheticRows(base + 1, n, spec),
+                               cluster->now());
+      cluster->AdvanceTime(6.0);
+    }
+    return cluster;
+  };
+  auto hedged = build(true);
+  auto unhedged = build(false);
+
+  std::printf(
+      "--- Tail-tolerant reads: r=2, one %gx straggler node (%d nodes) ---\n",
+      kSlow, kNodes);
+  auto query = core::ParseQuery("size>16m", 1'000'000);
+  auto sample = [&](core::PropellerCluster& c, int reps,
+                    std::vector<double>* out) {
+    for (int i = 0; i < reps; ++i) {
+      auto r = c.client().Search(query->predicate);
+      if (!r.ok()) return false;
+      out->push_back(r->cost.seconds());
+    }
+    return true;
+  };
+  auto pct = [](std::vector<double> v, double p) {
+    std::sort(v.begin(), v.end());
+    return v[static_cast<size_t>(p * static_cast<double>(v.size() - 1))];
+  };
+
+  // Warm-up trains each client's branch-latency quantile; the fault-free
+  // samples double as the baseline distribution.
+  std::vector<double> baseline, tail_on, tail_off;
+  const int kReps = 40;
+  if (!sample(*hedged, kReps, &baseline)) return results;
+  {
+    std::vector<double> discard;
+    if (!sample(*unhedged, kReps, &discard)) return results;
+  }
+
+  // One sustained straggler; it must carry at least one primary or no
+  // search branch routes through it (placement is deterministic, so pick
+  // the first node that does).
+  core::NodeId slow = 0;
+  for (size_t i = 0; i < hedged->num_index_nodes() && slow == 0; ++i) {
+    core::NodeId n = hedged->index_node(i).id();
+    for (const auto& stat : hedged->index_node(i).GroupStats()) {
+      if (hedged->master().ReplicasOfGroup(stat.group).front() == n) {
+        slow = n;
+        break;
+      }
+    }
+  }
+  for (core::PropellerCluster* c : {hedged.get(), unhedged.get()}) {
+    auto plan = std::make_shared<net::FaultPlan>(1);
+    plan->SetNodeSlowness(slow, kSlow);
+    c->transport().SetFaultPlan(plan);
+  }
+  if (!sample(*hedged, kReps, &tail_on)) return results;
+  if (!sample(*unhedged, kReps, &tail_off)) return results;
+
+  auto client_counter = [](core::PropellerCluster& c, const char* k) {
+    auto snap = c.client().MetricsSnapshot();
+    auto it = snap.counters.find(k);
+    return it == snap.counters.end() ? uint64_t{0} : it->second;
+  };
+  const double hedges =
+      static_cast<double>(client_counter(*hedged, "client.search.hedges"));
+  const double wins =
+      static_cast<double>(client_counter(*hedged, "client.search.hedge_wins"));
+
+  TablePrinter table({"percentile", "no fault", "straggler+hedge",
+                      "straggler no hedge"});
+  for (double p : {0.50, 0.95, 0.99}) {
+    table.AddRow({Sprintf("p%.0f", p * 100), bench::Secs(pct(baseline, p)),
+                  bench::Secs(pct(tail_on, p)),
+                  bench::Secs(pct(tail_off, p))});
+  }
+  table.Print();
+  const double base_p99 = pct(baseline, 0.99);
+  const double on_p99 = pct(tail_on, 0.99);
+  const double off_p99 = pct(tail_off, 0.99);
+  std::printf(
+      "p99 vs no-fault baseline: hedged %.2fx, unhedged %.2fx "
+      "(hedges fired %.0f, won %.0f)\n\n",
+      on_p99 / base_p99, off_p99 / base_p99, hedges, wins);
+  results = {{"tail_baseline_p50_s", pct(baseline, 0.50)},
+             {"tail_baseline_p99_s", base_p99},
+             {"tail_hedged_p50_s", pct(tail_on, 0.50)},
+             {"tail_hedged_p95_s", pct(tail_on, 0.95)},
+             {"tail_hedged_p99_s", on_p99},
+             {"tail_unhedged_p50_s", pct(tail_off, 0.50)},
+             {"tail_unhedged_p95_s", pct(tail_off, 0.95)},
+             {"tail_unhedged_p99_s", off_p99},
+             {"tail_hedged_p99_ratio", on_p99 / base_p99},
+             {"tail_unhedged_p99_ratio", off_p99 / base_p99},
+             {"tail_hedges", hedges},
+             {"tail_hedge_wins", wins}};
+  return results;
+}
+
 }  // namespace
 
 int main() {
@@ -302,6 +430,8 @@ int main() {
   SerialVsParallelComparison();
   auto caching = ReadPathCachingComparison();
   json.insert(json.end(), caching.begin(), caching.end());
+  auto tail = TailLatencyComparison();
+  json.insert(json.end(), tail.begin(), tail.end());
   bench::WriteBenchJson("fig09", json);
   std::printf(
       "\nPaper (Table IV): cold 1497->175s (100M), warm 1.61->0.030s (100M); "

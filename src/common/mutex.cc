@@ -19,6 +19,8 @@ const char* LockRankName(LockRank rank) {
       return "kFaultPlan";
     case LockRank::kIndexNodeGroups:
       return "kIndexNodeGroups";
+    case LockRank::kIndexNodeReplica:
+      return "kIndexNodeReplica";
     case LockRank::kGroupJournal:
       return "kGroupJournal";
     case LockRank::kIndexGroupSeal:

@@ -55,6 +55,7 @@ enum class LockRank : int {
   kTransportRouting = 20, // net::Transport::mu_ (handler/down-set snapshot)
   kFaultPlan = 25,        // net::FaultPlan::mu_
   kIndexNodeGroups = 30,  // core::IndexNode::groups_mu_ (shared_mutex)
+  kIndexNodeReplica = 32, // core::IndexNode::replica_mu_ (applied-seq map)
   kGroupJournal = 35,     // core::GroupJournal::mu_
   kIndexGroupSeal = 38,   // index::IndexGroup::seal_mu_ (seal/merge pipeline)
   kIndexGroup = 40,       // index::IndexGroup::mu_ (shared_mutex)

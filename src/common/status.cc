@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kStaleLocation:
       return "STALE_LOCATION";
+    case StatusCode::kStaleReplica:
+      return "STALE_REPLICA";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,11 @@ enum class StatusCode {
   // moved after the client cached its routing).  Clients holding a
   // placement cache re-resolve through the master exactly once and retry.
   kStaleLocation,
+  // A replica's applied per-group commit sequence is behind the floor the
+  // client attached to its read (read-your-writes under replication).  The
+  // client retries a fresher replica; the lagging one catches up from the
+  // group journal on its next tick.
+  kStaleReplica,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -70,6 +75,9 @@ class Status {
   }
   static Status StaleLocation(std::string m = "") {
     return Status(StatusCode::kStaleLocation, std::move(m));
+  }
+  static Status StaleReplica(std::string m = "") {
+    return Status(StatusCode::kStaleReplica, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,8 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <limits>
+#include <map>
 #include <tuple>
 #include <utility>
 
@@ -29,7 +31,8 @@ double JitterFraction(uint64_t seed, net::NodeId node,
 }  // namespace
 
 net::Transport::CallResult PropellerClient::CallWithRetry(
-    NodeId to, const std::string& method, std::string payload) {
+    NodeId to, const std::string& method, std::string payload,
+    double elapsed_s) {
   const RetryPolicy& rp = config_.retry;
   const int attempts = std::max(1, rp.max_attempts);
   const double deadline = rp.request_deadline_s;
@@ -58,7 +61,7 @@ net::Transport::CallResult PropellerClient::CallWithRetry(
     total += out.cost;
     out.cost = total;
     if (out.status.code() != StatusCode::kUnavailable) return out;
-    if (deadline > 0 && total.seconds() >= deadline) {
+    if (deadline > 0 && elapsed_s + total.seconds() >= deadline) {
       out.status = Status::DeadlineExceeded(
           method + " to node " + std::to_string(to) + " exceeded " +
           std::to_string(deadline) + "s deadline after " +
@@ -77,7 +80,7 @@ net::Transport::CallResult PropellerClient::CallWithRetry(
       backoff_span.Advance(sim::Cost(sleep));
     }
     total += sim::Cost(sleep);
-    if (deadline > 0 && total.seconds() >= deadline) {
+    if (deadline > 0 && elapsed_s + total.seconds() >= deadline) {
       out.cost = total;
       out.status = Status::DeadlineExceeded(
           method + " to node " + std::to_string(to) + " exceeded " +
@@ -103,8 +106,14 @@ PropellerClient::PropellerClient(NodeId id, net::Transport* transport,
       cache_hits_(&metrics_.GetCounter("client.placement_cache.hits")),
       cache_misses_(&metrics_.GetCounter("client.placement_cache.misses")),
       stale_retries_(&metrics_.GetCounter("client.placement_cache.stale_retries")),
+      hedges_(&metrics_.GetCounter("client.search.hedges")),
+      hedge_wins_(&metrics_.GetCounter("client.search.hedge_wins")),
+      hedge_cancelled_(&metrics_.GetCounter("client.search.hedge_cancelled")),
+      stale_replica_retries_(
+          &metrics_.GetCounter("client.search.stale_replica_retries")),
       search_latency_(&metrics_.GetHistogram("client.search.latency_s")),
-      update_latency_(&metrics_.GetHistogram("client.batch_update.latency_s")) {
+      update_latency_(&metrics_.GetHistogram("client.batch_update.latency_s")),
+      branch_latency_(&metrics_.GetHistogram("client.search.branch_latency_s")) {
 }
 
 bool PropellerClient::LookupSearchTargets(const std::string& index_name,
@@ -166,6 +175,44 @@ void PropellerClient::InvalidateRoutingCache() {
   MutexLock lock(cache_mu_);
   search_cache_.clear();
   file_cache_.clear();
+  // Replica sets are routing too; the floors are not (acked writes stay
+  // acked regardless of where the replicas live now).
+  replica_cache_.clear();
+}
+
+void PropellerClient::StoreReplicaSets(
+    const std::vector<GroupReplicaSet>& sets) {
+  if (sets.empty()) return;
+  MutexLock lock(cache_mu_);
+  for (const GroupReplicaSet& rs : sets) replica_cache_[rs.group] = rs.nodes;
+}
+
+std::unordered_map<GroupId, std::vector<NodeId>>
+PropellerClient::SnapshotReplicaSets() const {
+  MutexLock lock(cache_mu_);
+  return replica_cache_;
+}
+
+void PropellerClient::RecordAckedSeq(GroupId group, uint64_t seq) {
+  if (seq == 0) return;
+  MutexLock lock(cache_mu_);
+  uint64_t& floor = seq_floor_[group];
+  floor = std::max(floor, seq);
+}
+
+std::unordered_map<GroupId, uint64_t> PropellerClient::SnapshotSeqFloors()
+    const {
+  MutexLock lock(cache_mu_);
+  return seq_floor_;
+}
+
+double PropellerClient::HedgeThreshold() const {
+  const ClientConfig::HedgePolicy& hp = config_.hedge;
+  if (branch_latency_->count() < hp.min_samples) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double q = branch_latency_->Snapshot().Percentile(hp.quantile * 100.0);
+  return std::max(hp.min_s, q);
 }
 
 void PropellerClient::AttachVfs(fs::Vfs* vfs) { vfs->AddListener(&builder_); }
@@ -232,15 +279,20 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
     for (const auto& p : resolved->placements) {
       where[p.file] = FilePlacement{p.group, p.node};
     }
-    if (caching) {
-      StoreFilePlacements(*resolved);
-      if (resolved->metadata_epoch > 0) epoch = resolved->metadata_epoch;
+    if (config_.replicated) StoreReplicaSets(resolved->replicas);
+    if (caching) StoreFilePlacements(*resolved);
+    if ((caching || config_.replicated) && resolved->metadata_epoch > 0) {
+      epoch = resolved->metadata_epoch;
     }
     return Status::Ok();
   };
   if (!need.empty()) {
     PROPELLER_RETURN_IF_ERROR(resolve(std::move(need)));
   }
+  // Replicated mode: the replica set each shipment must fan to.  Cached
+  // placements reuse the memoized sets; a fresh resolve just refilled them.
+  std::unordered_map<GroupId, std::vector<NodeId>> rsets;
+  if (config_.replicated) rsets = SnapshotReplicaSets();
 
   // Bucket updates per group (a group lives on exactly one node): a flat
   // vector filled through a reserved hash index, then whole buckets sorted
@@ -280,6 +332,12 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
     NodeId node = 0;
     GroupId group = 0;
     std::vector<std::string> payloads;
+    // Replicated mode: the group's full replica set ([0] = primary = node),
+    // the same batches re-encoded with the secondary role, and the highest
+    // commit sequence the primary acked (the read-your-writes floor).
+    std::vector<NodeId> replicas;
+    std::vector<std::string> secondary_payloads;
+    uint64_t acked_seq = 0;
     sim::Cost cost;
     Status status;
   };
@@ -290,18 +348,44 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
       Shipment s;
       s.node = bucket.node;
       s.group = bucket.group;
+      bool fan = false;
+      if (config_.replicated) {
+        auto it = rsets.find(bucket.group);
+        if (it != rsets.end() && !it->second.empty()) {
+          s.replicas = it->second;
+          // The resolved node is authoritative for where the primary lives
+          // right now; a stale memoized set keeps the secondaries only.
+          s.replicas.front() = bucket.node;
+          s.replicas.erase(std::remove(s.replicas.begin() + 1,
+                                       s.replicas.end(), bucket.node),
+                           s.replicas.end());
+        } else {
+          s.replicas = {bucket.node};
+        }
+        fan = s.replicas.size() > 1;
+      }
       for (size_t off = 0; off < bucket.updates.size();
            off += config_.update_batch) {
         StageUpdatesRequest sreq;
         sreq.group = bucket.group;
         sreq.now_s = now_s;
-        sreq.epoch = caching ? epoch : 0;
+        sreq.epoch = (caching || config_.replicated) ? epoch : 0;
+        if (config_.replicated) sreq.replica_role = kReplicaRolePrimary;
         size_t end = std::min(off + config_.update_batch, bucket.updates.size());
         sreq.updates.assign(
             std::make_move_iterator(bucket.updates.begin() +
                                     static_cast<long>(off)),
             std::make_move_iterator(bucket.updates.begin() +
                                     static_cast<long>(end)));
+        if (fan) {
+          StageUpdatesRequest dup;
+          dup.group = sreq.group;
+          dup.now_s = sreq.now_s;
+          dup.epoch = sreq.epoch;
+          dup.replica_role = kReplicaRoleSecondary;
+          dup.updates = sreq.updates;
+          s.secondary_payloads.push_back(Encode(dup));
+        }
         s.payloads.push_back(Encode(sreq));
       }
       out->push_back(std::move(s));
@@ -323,16 +407,83 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   // Every shipment is attempted even when one fails — partial-failure
   // semantics: independent buckets still land, and the error below names
   // exactly the (node, group) buckets that did not.
+  // When a repair pass may re-ship failed payloads (caching or replicated
+  // mode), the sent copies must survive the send: the repair decodes them
+  // to recover the original updates.
+  const bool keep_payloads = caching || config_.replicated;
   auto ship_all = [&](std::vector<Shipment>& ships,
                       const obs::TraceCursor& base) {
     auto ship_one = [&](size_t i) {
       obs::ScopedTraceCursor branch(base);
       Shipment& s = ships[i];
-      for (std::string& payload : s.payloads) {
-        auto call = CallWithRetry(s.node, "in.stage_updates", std::move(payload));
-        s.cost += call.cost;
-        if (!call.status.ok()) {
-          s.status = call.status;
+      const bool fan = s.replicas.size() > 1;
+      for (size_t b = 0; b < s.payloads.size(); ++b) {
+        if (!fan) {
+          auto call = CallWithRetry(s.node, "in.stage_updates",
+                                    keep_payloads ? std::string(s.payloads[b])
+                                                  : std::move(s.payloads[b]));
+          s.cost += call.cost;
+          if (!call.status.ok()) {
+            s.status = call.status;
+            return;
+          }
+          if (config_.replicated) {
+            // Solo replica set but role-stamped: the primary still acks
+            // the committed sequence for read-your-writes.
+            if (auto resp = Decode<StageUpdatesResponse>(call.payload);
+                resp.ok()) {
+              s.acked_seq = std::max(s.acked_seq, resp->seq);
+              RecordAckedSeq(s.group, resp->seq);
+            }
+          }
+          continue;
+        }
+        // Replica fan-out: the batch goes to every replica concurrently
+        // (simulated latency = the slowest copy; the client waits for the
+        // quorum, and the quorum includes the slowest mandatory ack).  The
+        // primary's journal append is the durable copy, so its failure
+        // fails the batch outright; secondaries only count toward quorum.
+        const obs::TraceCursor batch_base = obs::CurrentTrace();
+        net::Transport::CallResult pcall;
+        {
+          obs::ScopedTraceCursor primary_cursor(batch_base);
+          pcall = CallWithRetry(s.replicas[0], "in.stage_updates",
+                                std::string(s.payloads[b]));
+        }
+        size_t secondary_acks = 0;
+        sim::Cost secondary_max;
+        for (size_t j = 1; j < s.replicas.size(); ++j) {
+          obs::ScopedTraceCursor secondary_cursor(batch_base);
+          auto scall = CallWithRetry(s.replicas[j], "in.stage_updates",
+                                     std::string(s.secondary_payloads[b]));
+          if (scall.cost.seconds() > secondary_max.seconds()) {
+            secondary_max = scall.cost;
+          }
+          if (scall.status.ok()) ++secondary_acks;
+        }
+        const sim::Cost batch_cost =
+            sim::Cost::ParallelMax({pcall.cost, secondary_max});
+        s.cost += batch_cost;
+        if (obs::CurrentTrace().active()) {
+          obs::CurrentTrace().now_s = batch_base.now_s + batch_cost.seconds();
+        }
+        if (!pcall.status.ok()) {
+          s.status = pcall.status;
+          return;
+        }
+        if (auto resp = Decode<StageUpdatesResponse>(pcall.payload);
+            resp.ok()) {
+          s.acked_seq = std::max(s.acked_seq, resp->seq);
+          RecordAckedSeq(s.group, resp->seq);
+        }
+        // Quorum = primary + floor((r-1)/2) secondaries (r=2 needs the
+        // primary alone; r=3 needs one secondary; ...).
+        const size_t required = (s.replicas.size() - 1) / 2;
+        if (secondary_acks < required) {
+          s.status = Status::Unavailable(
+              "write quorum not reached for group " + std::to_string(s.group) +
+              " (" + std::to_string(secondary_acks) + "/" +
+              std::to_string(required) + " secondary acks)");
           return;
         }
       }
@@ -370,7 +521,10 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   // Sort failures: cache-repairable (stale routing, or a cached route to an
   // unreachable node — the master may have re-homed its groups) vs fatal.
   auto is_repairable = [&](const Status& st) {
-    if (!caching) return false;
+    // Replicated mode repairs the same classes even without the placement
+    // cache: a quorum miss or a dead primary may mean the master already
+    // promoted a secondary — one re-resolve routes to the new primary.
+    if (!caching && !config_.replicated) return false;
     return st.code() == StatusCode::kStaleLocation ||
            st.code() == StatusCode::kUnavailable;
   };
@@ -421,6 +575,7 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
       }
     }
     PROPELLER_RETURN_IF_ERROR(resolve(std::move(files)));
+    if (config_.replicated) rsets = SnapshotReplicaSets();
     std::vector<Bucket> retry_buckets;
     PROPELLER_RETURN_IF_ERROR(
         make_buckets(std::move(failed_updates), &retry_buckets));
@@ -448,6 +603,8 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
                       clock_s_ != nullptr ? *clock_s_ : 0.0, id_);
   if (!index_name.empty()) root.Tag("index", index_name);
   const bool caching = config_.read_path_caching;
+  const bool replicated = config_.replicated;
+  const bool hedging = replicated && config_.hedge.enabled;
 
   // Routing: the placement cache answers repeat searches without touching
   // the master (read_path_caching); otherwise one resolve RPC, memoized.
@@ -464,6 +621,7 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
     if (!decoded.ok()) return decoded.status();
     targets = std::move(*decoded);
     epoch = targets.metadata_epoch;
+    if (replicated) StoreReplicaSets(targets.replicas);
     if (caching) StoreSearchTargets(index_name, targets);
     return Status::Ok();
   };
@@ -481,22 +639,165 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
     // responses aggregated in target order, so both modes produce identical
     // results and simulated costs.
     const size_t n = targets.targets.size();
-    std::vector<net::Transport::CallResult> calls(n);
     std::vector<std::string> payloads(n);
+    std::unordered_map<GroupId, uint64_t> floors;
+    if (replicated) floors = SnapshotSeqFloors();
+    auto append_floors = [&](const std::vector<GroupId>& groups,
+                             SearchRequest* sreq) {
+      for (GroupId g : groups) {
+        auto it = floors.find(g);
+        if (it != floors.end() && it->second > 0) {
+          sreq->min_seqs.push_back({g, it->second});
+        }
+      }
+    };
     for (size_t i = 0; i < n; ++i) {
       SearchRequest sreq;
       sreq.groups = targets.targets[i].groups;
       sreq.predicate = predicate;
-      sreq.epoch = caching ? epoch : 0;
+      sreq.epoch = (caching || replicated) ? epoch : 0;
+      if (replicated) append_floors(sreq.groups, &sreq);
       payloads[i] = Encode(sreq);
     }
+    // Hedge plan: per branch, the groups' first secondaries bucketed by
+    // node (deterministic order).  A branch is hedge-eligible only when
+    // every one of its groups has a secondary — a partial hedge could
+    // "win" with whole groups missing from the result.
+    std::vector<std::vector<std::pair<NodeId, std::vector<GroupId>>>>
+        hedge_plan(n);
+    if (hedging) {
+      std::unordered_map<GroupId, const GroupReplicaSet*> set_of;
+      set_of.reserve(targets.replicas.size());
+      for (const GroupReplicaSet& rs : targets.replicas) {
+        set_of[rs.group] = &rs;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        std::map<NodeId, std::vector<GroupId>> by_secondary;
+        size_t covered = 0;
+        for (GroupId g : targets.targets[i].groups) {
+          auto it = set_of.find(g);
+          if (it == set_of.end() || it->second->nodes.size() < 2) continue;
+          by_secondary[it->second->nodes[1]].push_back(g);
+          ++covered;
+        }
+        if (covered > 0 && covered == targets.targets[i].groups.size()) {
+          hedge_plan[i].assign(by_secondary.begin(), by_secondary.end());
+        }
+      }
+    }
+    // Per-branch outcome: status + decoded files + simulated latency (the
+    // hedged effective latency when a hedge fired).
+    struct Branch {
+      Status status;
+      std::vector<FileId> files;
+      sim::Cost cost;
+      bool decode_failed = false;  // undecodable response: always fatal
+    };
+    std::vector<Branch> branches_res(n);
     // Branches fork from the cursor captured here (also in serial mode), so
     // fan-out span timestamps match the cost model's parallel composition.
     const obs::TraceCursor fanout_base = obs::CurrentTrace();
     auto call_one = [&](size_t i) {
       obs::ScopedTraceCursor branch(fanout_base);
-      calls[i] = CallWithRetry(targets.targets[i].node, "in.search",
-                               std::move(payloads[i]));
+      Branch& b = branches_res[i];
+      const NodeId primary = targets.targets[i].node;
+      auto decode_into = [](const std::string& payload, NodeId node,
+                            std::vector<FileId>* files) -> Status {
+        auto resp = Decode<SearchResponse>(payload);
+        if (!resp.ok()) {
+          return Status(resp.status().code(),
+                        "search response from node " + std::to_string(node) +
+                            " undecodable: " + resp.status().ToString());
+        }
+        files->insert(files->end(), resp->files.begin(), resp->files.end());
+        return Status::Ok();
+      };
+      auto pcall = CallWithRetry(primary, "in.search", std::move(payloads[i]));
+      const double c1 = pcall.cost.seconds();
+      const bool primary_ok = pcall.status.ok();
+      bool fire = false;
+      double threshold = 0;
+      if (!hedge_plan[i].empty()) {
+        threshold = HedgeThreshold();
+        fire = !primary_ok || c1 > threshold;
+      }
+      // Only unhedged latencies train the quantile: a branch slow enough
+      // to hedge is exactly the outlier the threshold exists to catch, and
+      // feeding it back would drag the quantile up toward the straggler
+      // until hedging turns itself off.
+      if (primary_ok && !fire) branch_latency_->Observe(c1);
+      if (!fire) {
+        b.status = pcall.status;
+        b.cost = pcall.cost;
+        if (b.status.ok()) {
+          b.status = decode_into(pcall.payload, primary, &b.files);
+          b.decode_failed = !b.status.ok();
+        }
+        return;
+      }
+      // Hedge: re-issue the branch at each group's first secondary.  It
+      // launches at t_hedge — the latency-quantile threshold when the
+      // primary is merely slow (the client cannot know earlier that it
+      // will be slow), or the primary's failure instant.  First complete
+      // response wins; the loser is cancelled, its cost still accounted
+      // up to the winner's completion.
+      hedges_->Add(1);
+      const double t_hedge = primary_ok ? std::min(c1, threshold) : c1;
+      Status hstatus;
+      std::vector<FileId> hedge_files;
+      double hedge_cost = 0;
+      {
+        obs::ScopedTraceCursor hedge_cursor(fanout_base);
+        if (obs::CurrentTrace().active()) {
+          obs::CurrentTrace().now_s = fanout_base.now_s + t_hedge;
+        }
+        obs::SpanGuard hedge_span("search.hedged",
+                                  static_cast<uint64_t>(primary) ^
+                                      (static_cast<uint64_t>(i + 1) << 48));
+        hedge_span.Tag("primary", static_cast<uint64_t>(primary));
+        hedge_span.Tag("launch_us", static_cast<uint64_t>(t_hedge * 1e6));
+        const obs::TraceCursor hedge_base = obs::CurrentTrace();
+        for (const auto& [secondary, sgroups] : hedge_plan[i]) {
+          SearchRequest hreq;
+          hreq.groups = sgroups;
+          hreq.predicate = predicate;
+          hreq.epoch = (caching || replicated) ? epoch : 0;
+          append_floors(sgroups, &hreq);
+          obs::ScopedTraceCursor secondary_cursor(hedge_base);
+          // A hedge is a fresh call launched t_hedge into the request: it
+          // starts its own retry budget but shares the request deadline.
+          auto hcall =
+              CallWithRetry(secondary, "in.search", Encode(hreq), t_hedge);
+          hedge_cost = std::max(hedge_cost, hcall.cost.seconds());
+          if (!hstatus.ok()) continue;  // already failed; cost still counts
+          if (!hcall.status.ok()) {
+            hstatus = hcall.status;
+            continue;
+          }
+          hstatus = decode_into(hcall.payload, secondary, &hedge_files);
+        }
+      }
+      const bool hedge_ok = hstatus.ok();
+      const double hedge_done = t_hedge + hedge_cost;
+      if (hedge_ok && (!primary_ok || hedge_done < c1)) {
+        // The hedge came back first (or the primary never will).
+        hedge_wins_->Add(1);
+        b.status = Status::Ok();
+        b.files = std::move(hedge_files);
+        b.cost = sim::Cost(primary_ok ? std::min(c1, hedge_done) : hedge_done);
+      } else if (primary_ok) {
+        // Primary finished first after all — cancel the hedge.
+        hedge_cancelled_->Add(1);
+        b.status = decode_into(pcall.payload, primary, &b.files);
+        b.decode_failed = !b.status.ok();
+        b.cost = sim::Cost(c1);
+      } else {
+        // Both sides failed; the primary's error names the real problem
+        // and the client waited through the hedge too.
+        hedge_cancelled_->Add(1);
+        b.status = pcall.status;
+        b.cost = sim::Cost(std::max(c1, hedge_done));
+      }
     };
     if (rpc_pool_ != nullptr && n > 1) {
       auto futures = rpc_pool_->SubmitBatch(n, call_one);
@@ -507,31 +808,44 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
 
     // Stale cached routing?  kStaleLocation (a node disowned a group we
     // named) always means yes; kUnavailable on a cached route may mean the
-    // node died and the master re-homed its groups.  Either way: one
-    // re-resolve, one full retry — never a loop.
-    if (caching && attempt == 0) {
+    // node died and the master re-homed its groups; kStaleReplica means a
+    // replica has not caught up to this client's acked writes — by the
+    // retry, anti-entropy or a promotion catch-up has usually closed the
+    // gap.  Either way: one re-resolve, one full retry — never a loop.
+    if ((caching || replicated) && attempt == 0) {
       bool stale = false;
+      bool stale_replica = false;
       for (size_t i = 0; i < n; ++i) {
-        if (calls[i].status.code() == StatusCode::kStaleLocation ||
-            (from_cache &&
-             calls[i].status.code() == StatusCode::kUnavailable)) {
+        const StatusCode code = branches_res[i].status.code();
+        // Replicated clients stamp epochs even without the placement
+        // cache, so they repair kStaleLocation the same way.
+        if ((caching || replicated) && code == StatusCode::kStaleLocation) {
           stale = true;
-          break;
+        }
+        if (caching && from_cache && code == StatusCode::kUnavailable) {
+          stale = true;
+        }
+        if (replicated && code == StatusCode::kStaleReplica) {
+          stale_replica = true;
         }
       }
-      if (stale) {
+      if (stale || stale_replica) {
         // The client waited on the whole stale fan-out; account its
         // slowest branch before the repair.
         std::vector<sim::Cost> waited;
         waited.reserve(n);
-        for (const auto& c : calls) waited.push_back(c.cost);
+        for (const Branch& b : branches_res) waited.push_back(b.cost);
         out.cost += sim::Cost::ParallelMax(waited);
         if (obs::CurrentTrace().active()) {
           obs::CurrentTrace().now_s =
               fanout_base.now_s + sim::Cost::ParallelMax(waited).seconds();
         }
-        stale_retries_->Add(1);
-        root.Tag("stale_retry", "true");
+        if (stale) stale_retries_->Add(1);
+        if (stale_replica) {
+          stale_replica_retries_->Add(1);
+          root.Tag("stale_replica_retry", "true");
+        }
+        if (stale) root.Tag("stale_retry", "true");
         InvalidateRoutingCache();
         PROPELLER_RETURN_IF_ERROR(resolve());
         from_cache = false;
@@ -547,25 +861,20 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
     branches.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       const NodeId node = targets.targets[i].node;
-      branches.push_back(calls[i].cost);
-      if (!calls[i].status.ok()) {
+      Branch& b = branches_res[i];
+      branches.push_back(b.cost);
+      if (!b.status.ok()) {
+        if (b.decode_failed) return b.status;
         if (!config_.allow_partial_search) {
-          return Status(calls[i].status.code(),
+          return Status(b.status.code(),
                         "search fan-out to node " + std::to_string(node) +
-                            " failed: " + calls[i].status.ToString());
+                            " failed: " + b.status.ToString());
         }
         out.partial = true;
-        out.node_errors.push_back({node, calls[i].status});
+        out.node_errors.push_back({node, b.status});
         continue;
       }
-      auto resp = Decode<SearchResponse>(calls[i].payload);
-      if (!resp.ok()) {
-        return Status(resp.status().code(),
-                      "search response from node " + std::to_string(node) +
-                          " undecodable: " + resp.status().ToString());
-      }
-      out.files.insert(out.files.end(), resp->files.begin(),
-                       resp->files.end());
+      out.files.insert(out.files.end(), b.files.begin(), b.files.end());
       ++out.nodes_queried;
     }
     out.cost += sim::Cost::ParallelMax(branches);

@@ -61,6 +61,30 @@ struct ClientConfig {
   // Requires MasterConfig::publish_metadata_epoch on the master to have
   // any effect; PropellerCluster wires both from its own flag.
   bool read_path_caching = false;
+  // Replication (tail-tolerant reads).  On, the client fans every write
+  // shipment to the group's full replica set — the primary's journal
+  // append is the durable copy and its ack carries the commit sequence;
+  // the write succeeds once the primary plus floor((r-1)/2) secondaries
+  // ack — tracks those acked sequences as read-your-writes floors, and
+  // hedges slow or failed search branches to each group's first
+  // secondary.  PropellerCluster wires this from replication_factor.
+  bool replicated = false;
+  // Hedged-read policy (replicated mode).  A search branch whose primary
+  // exceeds the client's observed latency quantile — or fails outright —
+  // is re-issued to the secondary replicas; the first complete response
+  // wins and the loser is accounted as cancelled.
+  struct HedgePolicy {
+    bool enabled = true;
+    // Hedge once a branch runs past this quantile of past branch
+    // latencies (0.95 = p95).
+    double quantile = 0.95;
+    // Never hedge below this latency, however tight the distribution.
+    double min_s = 0.0005;
+    // Observations needed before the quantile is trusted; until then the
+    // threshold is infinite and only failed primaries hedge.
+    uint64_t min_samples = 16;
+  };
+  HedgePolicy hedge;
 };
 
 class PropellerClient {
@@ -125,8 +149,14 @@ class PropellerClient {
   // Issues one RPC under the client's RetryPolicy: retries kUnavailable
   // with backoff+jitter, enforces the simulated deadline, and returns the
   // last attempt's result with `cost` covering every attempt and backoff.
+  // `elapsed_s` is simulated time already spent on the request before this
+  // call (a hedge fired at t_hedge passes t_hedge), so the deadline covers
+  // launch time + attempts + backoffs, not just this call's own clock.
+  // A hedge is a fresh call, not a retry: it starts at attempt 0 and never
+  // consumes a slot of (or charges a retry against) the primary's budget.
   net::Transport::CallResult CallWithRetry(NodeId to, const std::string& method,
-                                           std::string payload);
+                                           std::string payload,
+                                           double elapsed_s = 0.0);
 
   // --- placement cache (read_path_caching) ---
   struct FilePlacement {
@@ -149,8 +179,22 @@ class PropellerClient {
                             uint64_t* epoch, std::vector<FileId>* missing);
   void StoreFilePlacements(const ResolveUpdateResponse& resp);
   // Drops both caches — routing proved stale (kStaleLocation) or a cached
-  // route hit a dead node; the follow-up resolve refills them.
+  // route hit a dead node; the follow-up resolve refills them.  The
+  // read-your-writes floors survive: they describe acknowledged writes,
+  // not routing.
   void InvalidateRoutingCache();
+
+  // --- replication state (replicated mode) ---
+  // Memoizes resolve-provided replica sets / reads them back for write
+  // fan-out (search branches take theirs from the resolve response).
+  void StoreReplicaSets(const std::vector<GroupReplicaSet>& sets);
+  std::unordered_map<GroupId, std::vector<NodeId>> SnapshotReplicaSets() const;
+  // Primary-acked commit floors (monotone per group).
+  void RecordAckedSeq(GroupId group, uint64_t seq);
+  std::unordered_map<GroupId, uint64_t> SnapshotSeqFloors() const;
+  // Current hedge-fire latency threshold from the observed branch-latency
+  // histogram; +infinity until min_samples observations exist.
+  double HedgeThreshold() const;
 
   NodeId id_;
   net::Transport* transport_;
@@ -169,8 +213,15 @@ class PropellerClient {
   obs::Counter* cache_hits_;
   obs::Counter* cache_misses_;
   obs::Counter* stale_retries_;
+  obs::Counter* hedges_;
+  obs::Counter* hedge_wins_;
+  obs::Counter* hedge_cancelled_;
+  obs::Counter* stale_replica_retries_;
   obs::Histogram* search_latency_;
   obs::Histogram* update_latency_;
+  // Per-branch in.search latencies (successful primaries); feeds the
+  // hedge-fire quantile.
+  obs::Histogram* branch_latency_;
 
   // Placement-cache state.  cache_mu_ (LockRank::kClientCache) is never
   // held across a transport call; each cache is valid only at the epoch
@@ -181,6 +232,11 @@ class PropellerClient {
   uint64_t search_cache_epoch_ GUARDED_BY(cache_mu_) = 0;
   std::unordered_map<FileId, FilePlacement> file_cache_ GUARDED_BY(cache_mu_);
   uint64_t file_cache_epoch_ GUARDED_BY(cache_mu_) = 0;
+  // Replication: latest known replica set per group (write fan-out) and
+  // the highest primary-acked commit sequence per group (read floors).
+  std::unordered_map<GroupId, std::vector<NodeId>> replica_cache_
+      GUARDED_BY(cache_mu_);
+  std::unordered_map<GroupId, uint64_t> seq_floor_ GUARDED_BY(cache_mu_);
 };
 
 }  // namespace propeller::core

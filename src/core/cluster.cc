@@ -14,9 +14,23 @@ PropellerCluster::PropellerCluster(ClusterConfig config)
     client_pool_ = std::make_unique<ThreadPool>(threads);
     config_.index_node.parallel_search = true;
   }
+  if (config_.replication_factor > 1) {
+    // The shared journal is the replication log: secondaries catch up from
+    // it and promotions replay it, so r > 1 forces it on.
+    config_.recovery_journal = true;
+  }
   if (config_.recovery_journal) {
     journal_ = std::make_unique<GroupJournal>(config_.index_node.io);
     config_.index_node.recovery_journal = journal_.get();
+  }
+  if (config_.replication_factor > 1) {
+    config_.master.replication_factor = config_.replication_factor;
+    // Clients must know which replica answered a resolve and how fresh
+    // their own writes are; the epoch rides on every resolve response.
+    config_.master.publish_metadata_epoch = true;
+    config_.index_node.replicated = true;
+    config_.client.replicated = true;
+    config_.client.hedge.enabled = config_.hedged_reads;
   }
   if (config_.read_path_caching) {
     config_.master.publish_metadata_epoch = true;

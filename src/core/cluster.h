@@ -59,6 +59,21 @@ struct ClusterConfig {
   // wire bytes, simulated costs, and traces are bit-identical to previous
   // behavior.
   bool segmented_index = false;
+  // Tail-tolerant reads (see DESIGN.md "Replication & hedged reads"):
+  // every group lives on this many distinct Index Nodes (nodes[0] = the
+  // primary, the sole journal appender).  Writes fan to the full set and
+  // succeed at quorum (primary + floor((r-1)/2) secondaries); lagging
+  // secondaries catch up from the recovery journal on the commit tick;
+  // node death becomes a promotion + journal catch-up instead of a full
+  // rebuild; clients hedge slow search branches to the secondaries.
+  // Implies recovery_journal (the journal is the replication log).
+  // 1 = off: wire bytes, simulated costs, and traces are bit-identical to
+  // previous behavior.
+  int replication_factor = 1;
+  // Replicated mode only: hedge a search branch to the group's secondary
+  // when the primary runs past the client's observed latency quantile (or
+  // fails outright).  ClientConfig::hedge holds the tuning knobs.
+  bool hedged_reads = true;
 };
 
 // Aggregate cluster health / recovery view (see PropellerCluster::Stats).

@@ -19,6 +19,9 @@ sim::Cost GroupJournal::Checkpoint(
     index::GroupId group, const std::vector<index::FileUpdate>& state) {
   MutexLock lock(mu_);
   GroupLog& log = records_[group];
+  // The image now covers every appended sequence; cursors behind this
+  // point can no longer catch up incrementally.
+  log.checkpoint_seq += log.tail.size();
   // Retire the old image + tail from the retained-bytes accounting.
   for (const std::string& rec : log.checkpoint) bytes_ -= rec.size() + 8;
   for (const std::string& rec : log.tail) bytes_ -= rec.size() + 8;
@@ -41,16 +44,27 @@ sim::Cost GroupJournal::Checkpoint(
 }
 
 sim::Cost GroupJournal::Append(index::GroupId group,
-                               const index::FileUpdate& update) {
+                               const index::FileUpdate& update,
+                               uint64_t* seq) {
   MutexLock lock(mu_);
-  return AppendLocked(group, update);
+  sim::Cost cost = AppendLocked(group, update);
+  if (seq != nullptr) {
+    const GroupLog& log = records_[group];
+    *seq = log.checkpoint_seq + log.tail.size();
+  }
+  return cost;
 }
 
 sim::Cost GroupJournal::AppendBatch(
-    index::GroupId group, const std::vector<index::FileUpdate>& updates) {
+    index::GroupId group, const std::vector<index::FileUpdate>& updates,
+    uint64_t* seq) {
   MutexLock lock(mu_);
   sim::Cost cost;
   for (const index::FileUpdate& u : updates) cost += AppendLocked(group, u);
+  if (seq != nullptr) {
+    const GroupLog& log = records_[group];
+    *seq = log.checkpoint_seq + log.tail.size();
+  }
   return cost;
 }
 
@@ -83,6 +97,56 @@ Status GroupJournal::Replay(
     PROPELLER_RETURN_IF_ERROR(fn(u));
   }
   return Status::Ok();
+}
+
+Status GroupJournal::ReplayFrom(
+    index::GroupId group, uint64_t after_seq,
+    const std::function<Status(const index::FileUpdate&)>& fn,
+    sim::Cost* cost) const {
+  std::vector<std::string> records;
+  uint64_t record_bytes = 0;
+  {
+    MutexLock lock(mu_);
+    auto it = records_.find(group);
+    if (it != records_.end()) {
+      const GroupLog& log = it->second;
+      if (after_seq < log.checkpoint_seq) {
+        return Status::FailedPrecondition(
+            "cursor predates checkpoint; full rebuild required");
+      }
+      const uint64_t have = log.checkpoint_seq + log.tail.size();
+      if (after_seq < have) {
+        const size_t skip = static_cast<size_t>(after_seq - log.checkpoint_seq);
+        records.assign(log.tail.begin() + static_cast<long>(skip),
+                       log.tail.end());
+        for (const std::string& rec : records) record_bytes += rec.size() + 8;
+      }
+    }
+  }
+  if (cost != nullptr) {
+    // Seek to the cursor, then a sequential scan of just the gap.
+    *cost += store_.SequentialLoad(record_bytes / 4096 + 1);
+  }
+  for (const std::string& rec : records) {
+    BinaryReader r(rec);
+    index::FileUpdate u;
+    PROPELLER_RETURN_IF_ERROR(index::FileUpdate::Deserialize(r, u));
+    PROPELLER_RETURN_IF_ERROR(fn(u));
+  }
+  return Status::Ok();
+}
+
+uint64_t GroupJournal::Seq(index::GroupId group) const {
+  MutexLock lock(mu_);
+  auto it = records_.find(group);
+  if (it == records_.end()) return 0;
+  return it->second.checkpoint_seq + it->second.tail.size();
+}
+
+uint64_t GroupJournal::CheckpointSeq(index::GroupId group) const {
+  MutexLock lock(mu_);
+  auto it = records_.find(group);
+  return it == records_.end() ? 0 : it->second.checkpoint_seq;
 }
 
 uint64_t GroupJournal::NumRecords(index::GroupId group) const {

@@ -41,10 +41,16 @@ class GroupJournal {
       : io_(io), store_(io_.CreateStore()) {}
 
   // Appends serialized updates under `group`; charged as sequential log
-  // I/O (the replication write to shared storage).
-  sim::Cost Append(index::GroupId group, const index::FileUpdate& update);
+  // I/O (the replication write to shared storage).  Every appended update
+  // is assigned the group's next commit sequence number; when `seq` is
+  // non-null it receives the last assigned sequence (replication: the
+  // primary acks this seq back to the client as its read-your-writes
+  // floor).
+  sim::Cost Append(index::GroupId group, const index::FileUpdate& update,
+                   uint64_t* seq = nullptr);
   sim::Cost AppendBatch(index::GroupId group,
-                        const std::vector<index::FileUpdate>& updates);
+                        const std::vector<index::FileUpdate>& updates,
+                        uint64_t* seq = nullptr);
 
   // Replays every update recorded for `group`, oldest first — the latest
   // checkpoint image (if any) followed by the tail appended since.  Adds
@@ -63,6 +69,21 @@ class GroupJournal {
   sim::Cost Checkpoint(index::GroupId group,
                        const std::vector<index::FileUpdate>& state);
 
+  // Per-replica cursored replay (replication catch-up): replays only the
+  // tail updates with sequence numbers in (after_seq, Seq(group)], oldest
+  // first.  Fails with kFailedPrecondition when `after_seq` predates the
+  // latest checkpoint image — the caller's copy is older than the oldest
+  // replayable record, so it must rebuild from scratch via Replay().
+  Status ReplayFrom(index::GroupId group, uint64_t after_seq,
+                    const std::function<Status(const index::FileUpdate&)>& fn,
+                    sim::Cost* cost = nullptr) const;
+
+  // Latest commit sequence assigned for `group` (0 = nothing appended).
+  // Sequence numbers are a monotone count of appended updates and survive
+  // checkpoints (the image covers sequences up to CheckpointSeq).
+  uint64_t Seq(index::GroupId group) const;
+  uint64_t CheckpointSeq(index::GroupId group) const;
+
   uint64_t NumRecords(index::GroupId group) const;
   // Records appended since the last checkpoint (tests: proves compaction
   // actually truncated the replayable history).
@@ -71,10 +92,12 @@ class GroupJournal {
 
  private:
   // Per-group log: an optional checkpoint base image plus the tail of
-  // updates appended after it.
+  // updates appended after it.  tail[i] carries commit sequence
+  // checkpoint_seq + i + 1; the image covers sequences [1, checkpoint_seq].
   struct GroupLog {
     std::vector<std::string> checkpoint;
     std::vector<std::string> tail;
+    uint64_t checkpoint_seq = 0;
   };
 
   sim::Cost AppendLocked(index::GroupId group, const index::FileUpdate& update)

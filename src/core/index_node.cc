@@ -67,6 +67,8 @@ net::RpcHandler::Response IndexNode::Handle(const std::string& method,
   if (method == "in.migrate_out") return HandleMigrateOut(payload);
   if (method == "in.install_group") return HandleInstallGroup(payload);
   if (method == "in.recover_group") return HandleRecoverGroup(payload);
+  if (method == "in.catch_up") return HandleCatchUp(payload);
+  if (method == "in.drop_group") return HandleDropGroup(payload);
   if (method == "in.reset") return HandleReset(payload);
   return Response{Status::NotFound("unknown method " + method), {}, {}};
 }
@@ -101,9 +103,18 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
   sim::Cost cost;
   // Replicate to the shared recovery journal before staging (StageUpdate
   // consumes the update), so a node lost after acking can be rebuilt.
-  if (config_.recovery_journal != nullptr) {
-    cost += config_.recovery_journal->AppendBatch(req->group, req->updates);
+  // Under replication only the primary appends — the journal is the single
+  // durable copy — and the assigned commit sequence is acked back to the
+  // client as its read-your-writes floor.  Secondaries stage in memory
+  // and count what they applied so floor checks can prove freshness.
+  const bool secondary = req->replica_role == kReplicaRoleSecondary;
+  uint64_t acked_seq = 0;
+  if (config_.recovery_journal != nullptr && !secondary) {
+    cost += config_.recovery_journal->AppendBatch(
+        req->group, req->updates,
+        req->replica_role == kReplicaRolePrimary ? &acked_seq : nullptr);
   }
+  const uint64_t count = req->updates.size();
   // StageUpdate also stamps the group's oldest-pending clock (first stager
   // after a commit claims the commit-timeout slot) — atomically with the
   // staging itself, under the group mutex.
@@ -111,7 +122,22 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
     cost += group->StageUpdate(std::move(u), req->now_s);
   }
   span.Advance(cost);
-  return Response{Status::Ok(), {}, cost};
+  if (req->replica_role == kReplicaRoleNone) {
+    return Response{Status::Ok(), {}, cost};
+  }
+  {
+    MutexLock rlock(replica_mu_);
+    uint64_t& applied = applied_seq_[req->group];
+    if (secondary) {
+      applied += count;
+      acked_seq = applied;
+    } else {
+      applied = std::max(applied, acked_seq);
+    }
+  }
+  StageUpdatesResponse resp;
+  resp.seq = acked_seq;
+  return Response{Status::Ok(), Encode(resp), cost};
 }
 
 net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
@@ -121,6 +147,22 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
   // Hold the map lock (shared) for the whole request so a concurrent
   // migrate-out cannot free a group under the workers.
   ReaderMutexLock lock(groups_mu_);
+  // Read-your-writes floors: refuse to serve when this replica has not yet
+  // applied everything the client saw acked.  The client retries a fresher
+  // replica; anti-entropy closes the gap on the next tick.
+  if (!req->min_seqs.empty()) {
+    MutexLock rlock(replica_mu_);
+    for (const SearchRequest::GroupSeqFloor& f : req->min_seqs) {
+      auto it = applied_seq_.find(f.group);
+      const uint64_t applied = it == applied_seq_.end() ? 0 : it->second;
+      if (applied < f.seq) {
+        metrics_.GetCounter("in.stale_replica").Add(1);
+        return Response{Status::StaleReplica("replica behind client floor"),
+                        {},
+                        sim::Cost(10e-6)};  // metadata-only work
+      }
+    }
+  }
   std::vector<index::IndexGroup*> targets;
   targets.reserve(req->groups.size());
   for (GroupId gid : req->groups) {
@@ -215,6 +257,35 @@ net::RpcHandler::Response IndexNode::HandleTick(const std::string& payload) {
     ReaderMutexLock lock(groups_mu_);
     cost = TickLocked(req->now_s, /*checkpoint=*/false);
   }
+  // Anti-entropy (replication): close any gap between this replica's
+  // applied sequences and the journal's.  A cheap shared-lock pass detects
+  // lag; only when some group is behind do we take the map exclusively to
+  // replay (which must not interleave with stagers, who hold groups_mu_
+  // shared across their journal-append + stage pair).
+  if (config_.replicated && config_.recovery_journal != nullptr) {
+    std::vector<GroupId> lagging;
+    {
+      ReaderMutexLock lock(groups_mu_);
+      MutexLock rlock(replica_mu_);
+      for (const auto& [gid, group] : groups_) {
+        auto it = applied_seq_.find(gid);
+        const uint64_t applied = it == applied_seq_.end() ? 0 : it->second;
+        if (config_.recovery_journal->Seq(gid) > applied) {
+          lagging.push_back(gid);
+        }
+      }
+    }
+    if (!lagging.empty()) {
+      WriterMutexLock lock(groups_mu_);
+      for (GroupId gid : lagging) {
+        Status st = CatchUpGroupLocked(gid, nullptr, &cost);
+        if (!st.ok() && st.code() != StatusCode::kNotFound) {
+          PLOG(WARNING) << "anti-entropy catch-up for group " << gid
+                        << " failed: " << st.ToString();
+        }
+      }
+    }
+  }
   // Background commits overlap foreground work; report the cost so callers
   // can account it, but it is not on any request's critical path.
   return Response{Status::Ok(), {}, cost};
@@ -295,8 +366,17 @@ net::RpcHandler::Response IndexNode::HandleMigrateOut(const std::string& payload
   }
   cost += group->Commit();
 
+  // Replication: this (primary) copy has applied everything it appended.
+  if (config_.replicated && config_.recovery_journal != nullptr) {
+    const uint64_t seq = config_.recovery_journal->Seq(req->group);
+    MutexLock rlock(replica_mu_);
+    uint64_t& applied = applied_seq_[req->group];
+    applied = std::max(applied, seq);
+  }
   if (req->drop_group && group->NumFiles() == 0) {
     groups_.erase(req->group);
+    MutexLock rlock(replica_mu_);
+    applied_seq_.erase(req->group);
   }
   return Response{Status::Ok(), Encode(resp), cost};
 }
@@ -316,6 +396,12 @@ net::RpcHandler::Response IndexNode::HandleInstallGroup(const std::string& paylo
     cost += group->StageUpdate(std::move(u));
   }
   cost += group->Commit();
+  if (config_.replicated && config_.recovery_journal != nullptr) {
+    const uint64_t seq = config_.recovery_journal->Seq(req->group);
+    MutexLock rlock(replica_mu_);
+    uint64_t& applied = applied_seq_[req->group];
+    applied = std::max(applied, seq);
+  }
   return Response{Status::Ok(), {}, cost};
 }
 
@@ -348,7 +434,98 @@ net::RpcHandler::Response IndexNode::HandleRecoverGroup(const std::string& paylo
       &cost);
   if (!st.ok()) return Response{st, {}, cost};
   cost += group->Commit();
+  if (config_.replicated) {
+    const uint64_t seq = config_.recovery_journal->Seq(req->group);
+    MutexLock rlock(replica_mu_);
+    uint64_t& applied = applied_seq_[req->group];
+    applied = std::max(applied, seq);
+  }
   return Response{Status::Ok(), Encode(resp), cost};
+}
+
+Status IndexNode::CatchUpGroupLocked(GroupId gid, uint64_t* replayed,
+                                     sim::Cost* cost_out) {
+  index::IndexGroup* group = Find(gid);
+  if (group == nullptr) return Status::NotFound("no such group");
+  GroupJournal* journal = config_.recovery_journal;
+  uint64_t applied = 0;
+  {
+    MutexLock rlock(replica_mu_);
+    applied = applied_seq_[gid];
+  }
+  const uint64_t target = journal->Seq(gid);
+  if (applied >= target) return Status::Ok();
+
+  metrics_.GetCounter("in.replica.catch_ups").Add(1);
+  obs::SpanGuard span("replica.catch_up", gid, id_);
+  span.Tag("group", gid);
+  sim::Cost cost;
+  uint64_t count = 0;
+  auto apply = [&](const FileUpdate& u) {
+    cost += group->StageUpdate(FileUpdate(u));
+    ++count;
+    return Status::Ok();
+  };
+  Status st;
+  if (applied < journal->CheckpointSeq(gid)) {
+    // The journal compacted past this replica's cursor: the missing
+    // records no longer exist individually, so rebuild from the base
+    // image by replaying the whole log into a fresh group.
+    std::vector<IndexSpec> specs = group->Specs();
+    groups_.erase(gid);
+    PROPELLER_RETURN_IF_ERROR(EnsureGroup(gid, specs));
+    group = Find(gid);
+    st = journal->Replay(gid, apply, &cost);
+  } else {
+    st = journal->ReplayFrom(gid, applied, apply, &cost);
+  }
+  if (!st.ok()) return st;
+  cost += group->Commit();
+  {
+    MutexLock rlock(replica_mu_);
+    uint64_t& a = applied_seq_[gid];
+    a = std::max(a, target);
+  }
+  span.Tag("records", count);
+  span.Advance(cost);
+  if (replayed != nullptr) *replayed += count;
+  if (cost_out != nullptr) *cost_out += cost;
+  return Status::Ok();
+}
+
+net::RpcHandler::Response IndexNode::HandleCatchUp(const std::string& payload) {
+  auto req = Decode<CatchUpRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  if (config_.recovery_journal == nullptr) {
+    return Response{
+        Status::FailedPrecondition("node has no recovery journal attached"),
+        {},
+        {}};
+  }
+  WriterMutexLock lock(groups_mu_);
+  Status st = EnsureGroup(req->group, req->specs);
+  if (!st.ok()) return Response{st, {}, {}};
+  CatchUpResponse resp;
+  sim::Cost cost;
+  st = CatchUpGroupLocked(req->group, &resp.records_replayed, &cost);
+  if (!st.ok()) return Response{st, {}, cost};
+  {
+    MutexLock rlock(replica_mu_);
+    resp.seq = applied_seq_[req->group];
+  }
+  return Response{Status::Ok(), Encode(resp), cost};
+}
+
+net::RpcHandler::Response IndexNode::HandleDropGroup(const std::string& payload) {
+  auto req = Decode<DropGroupRequest>(payload);
+  if (!req.ok()) return Response{req.status(), {}, {}};
+  WriterMutexLock lock(groups_mu_);
+  groups_.erase(req->group);
+  {
+    MutexLock rlock(replica_mu_);
+    applied_seq_.erase(req->group);
+  }
+  return Response{Status::Ok(), {}, sim::Cost(10e-6)};  // metadata-only work
 }
 
 net::RpcHandler::Response IndexNode::HandleReset(const std::string& payload) {
@@ -397,6 +574,19 @@ obs::MetricsSnapshot IndexNode::MetricsSnapshot() const {
       for (const auto& [gid, group] : groups_) segments += group->NumSegments();
       snap.gauges["in.segments"] = static_cast<double>(segments);
     }
+    if (config_.replicated && config_.recovery_journal != nullptr) {
+      // Total replica lag: journal records this node's copies have not yet
+      // applied (0 = every copy is fresh).
+      uint64_t lag = 0;
+      MutexLock rlock(replica_mu_);
+      for (const auto& [gid, group] : groups_) {
+        auto it = applied_seq_.find(gid);
+        const uint64_t applied = it == applied_seq_.end() ? 0 : it->second;
+        const uint64_t seq = config_.recovery_journal->Seq(gid);
+        if (seq > applied) lag += seq - applied;
+      }
+      snap.gauges["in.replica.lag"] = static_cast<double>(lag);
+    }
   }
   return snap;
 }
@@ -417,6 +607,10 @@ Status IndexNode::CrashAndRecover() {
 Status IndexNode::Reset() {
   WriterMutexLock lock(groups_mu_);
   groups_.clear();
+  {
+    MutexLock rlock(replica_mu_);
+    applied_seq_.clear();
+  }
   io_.DropCaches();
   return Status::Ok();
 }

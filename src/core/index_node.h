@@ -67,6 +67,12 @@ struct IndexNodeConfig {
   // base image when a commit timeout seals it, so recovery replays only
   // the image plus the unsealed tail instead of the full update history.
   bool journal_compaction = false;
+  // Replication (tail-tolerant reads): this node may hold secondary
+  // copies of groups.  Role-stamped stage requests update the per-group
+  // applied commit sequence, searches honour read-your-writes floors
+  // (kStaleReplica when behind), and in.tick runs anti-entropy catch-up
+  // from the shared journal.  Requires recovery_journal.
+  bool replicated = false;
 };
 
 class IndexNode : public net::RpcHandler {
@@ -109,6 +115,8 @@ class IndexNode : public net::RpcHandler {
   Response HandleMigrateOut(const std::string& payload);
   Response HandleInstallGroup(const std::string& payload);
   Response HandleRecoverGroup(const std::string& payload);
+  Response HandleCatchUp(const std::string& payload);
+  Response HandleDropGroup(const std::string& payload);
   Response HandleReset(const std::string& payload);
 
   // Map lookup; shared hold suffices.
@@ -124,6 +132,12 @@ class IndexNode : public net::RpcHandler {
   // staging path's journal-append + stage pair).
   sim::Cost TickLocked(double now_s, bool checkpoint)
       REQUIRES_SHARED(groups_mu_);
+  // Replays the journal records this replica has not yet applied into the
+  // (existing) group and advances its applied sequence.  Rebuilds the
+  // group from scratch when the journal compacted past the replica's
+  // cursor.  Exclusive hold: replay must not interleave with stagers.
+  Status CatchUpGroupLocked(GroupId gid, uint64_t* replayed,
+                            sim::Cost* cost_out) REQUIRES(groups_mu_);
 
   NodeId id_;
   IndexNodeConfig config_;
@@ -136,6 +150,12 @@ class IndexNode : public net::RpcHandler {
                                  "IndexNode::groups_mu_"};
   std::map<GroupId, std::unique_ptr<index::IndexGroup>> groups_
       GUARDED_BY(groups_mu_);
+  // Replication: per-group applied commit sequence (how far this copy has
+  // caught up with the group's journal).  Separate (higher-rank) mutex so
+  // stagers holding groups_mu_ shared can bump it.
+  mutable Mutex replica_mu_{LockRank::kIndexNodeReplica,
+                            "IndexNode::replica_mu_"};
+  std::map<GroupId, uint64_t> applied_seq_ GUARDED_BY(replica_mu_);
   // Per-node search worker pool; null when parallel_search is off.
   std::unique_ptr<ThreadPool> search_pool_;
   obs::MetricsRegistry metrics_;

@@ -40,6 +40,34 @@ NodeId MasterNode::LeastLoadedNode() const {
   return best;
 }
 
+std::vector<NodeId> MasterNode::LeastLoadedNodes(
+    size_t k, const std::vector<NodeId>& exclude) const {
+  std::vector<std::pair<uint64_t, NodeId>> candidates;
+  for (NodeId n : index_nodes_) {
+    if (transport_->IsDown(n) || dead_.count(n) != 0u) continue;
+    if (std::find(exclude.begin(), exclude.end(), n) != exclude.end()) continue;
+    auto it = node_load_.find(n);
+    candidates.emplace_back(it == node_load_.end() ? 0 : it->second, n);
+  }
+  // Ties by node id keep placement deterministic across runs.
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<NodeId> out;
+  for (const auto& [load, n] : candidates) {
+    if (out.size() >= k) break;
+    out.push_back(n);
+  }
+  return out;
+}
+
+void MasterNode::CollectReplicaSets(const std::vector<GroupId>& groups,
+                                    std::vector<GroupReplicaSet>& out) const {
+  for (GroupId g : groups) {
+    auto it = group_replicas_.find(g);
+    if (it == group_replicas_.end()) continue;
+    out.push_back({g, it->second});
+  }
+}
+
 net::RpcHandler::Response MasterNode::Handle(const std::string& method,
                                              const std::string& payload) {
   MutexLock lock(mu_);
@@ -59,22 +87,44 @@ net::RpcHandler::Response MasterNode::Handle(const std::string& method,
 }
 
 Result<NodeId> MasterNode::EnsureGroupPlaced(GroupId group, sim::Cost& cost) {
-  auto it = group_node_.find(group);
-  if (it != group_node_.end()) return it->second;
+  auto it = group_replicas_.find(group);
+  if (it != group_replicas_.end()) return it->second.front();
   if (index_nodes_.empty()) return Status::FailedPrecondition("no index nodes");
 
-  NodeId node = LeastLoadedNode();
+  // Pick the replica set: the legacy single node at r = 1 (bit-identical
+  // path), else the r least-loaded distinct live nodes (fewer when the
+  // cluster is smaller than r — the set heals up via recovery later).
+  std::vector<NodeId> replicas;
+  if (config_.replication_factor <= 1) {
+    replicas.push_back(LeastLoadedNode());
+  } else {
+    replicas = LeastLoadedNodes(
+        static_cast<size_t>(config_.replication_factor), {});
+    if (replicas.empty()) replicas.push_back(LeastLoadedNode());
+  }
+
   CreateGroupRequest req;
   req.group = group;
   req.specs = catalog_;
-  auto call = transport_->Call(id_, node, "in.create_group", Encode(req));
-  cost += call.cost;
-  if (!call.status.ok()) return call.status;
-  group_node_[group] = node;
-  ++node_load_[node];
+  std::vector<NodeId> placed;
+  for (NodeId node : replicas) {
+    auto call = transport_->Call(id_, node, "in.create_group", Encode(req));
+    cost += call.cost;
+    if (!call.status.ok()) {
+      // The primary must exist; a failed secondary just shrinks the set.
+      if (placed.empty()) return call.status;
+      PLOG(WARNING) << "replica create for group " << group << " on node "
+                    << node << " failed: " << call.status.ToString();
+      continue;
+    }
+    placed.push_back(node);
+  }
+  for (NodeId node : placed) ++node_load_[node];
+  NodeId primary = placed.front();
+  group_replicas_[group] = std::move(placed);
   ++mutations_since_flush_;
   ++metadata_epoch_;  // new group visible to searches
-  return node;
+  return primary;
 }
 
 sim::Cost MasterNode::ApplyAcgResult(const acg::AcgManager::ApplyResult& result) {
@@ -92,9 +142,11 @@ sim::Cost MasterNode::ApplyAcgResult(const acg::AcgManager::ApplyResult& result)
   }
   // Merges: group `from` dissolved into `into`; move its index data.
   for (const auto& merge : result.merges) {
-    auto from_it = group_node_.find(merge.from);
-    if (from_it == group_node_.end()) continue;  // never materialized
-    NodeId from_node = from_it->second;
+    auto from_it = group_replicas_.find(merge.from);
+    if (from_it == group_replicas_.end()) continue;  // never materialized
+    // Copy before EnsureGroupPlaced below can rehash the map.
+    std::vector<NodeId> from_replicas = from_it->second;
+    NodeId from_node = from_replicas.front();
     sim::Cost c;
     auto into_node = EnsureGroupPlaced(merge.into, c);
     cost += c;
@@ -121,8 +173,19 @@ sim::Cost MasterNode::ApplyAcgResult(const acg::AcgManager::ApplyResult& result)
         transport_->Call(id_, *into_node, "in.install_group", Encode(in_req));
     cost += in_call.cost;
 
-    if (node_load_[from_node] > 0) --node_load_[from_node];
-    group_node_.erase(merge.from);
+    // Secondaries discard their copies of the dissolved group; the data
+    // now lives under `into` (whose secondaries converge from the journal).
+    for (size_t i = 1; i < from_replicas.size(); ++i) {
+      DropGroupRequest dreq;
+      dreq.group = merge.from;
+      auto dcall = transport_->Call(id_, from_replicas[i], "in.drop_group",
+                                    Encode(dreq));
+      cost += dcall.cost;
+    }
+    for (NodeId n : from_replicas) {
+      if (node_load_[n] > 0) --node_load_[n];
+    }
+    group_replicas_.erase(merge.from);
     ++mutations_since_flush_;
     ++metadata_epoch_;  // group dissolved; cached placements into it are stale
   }
@@ -156,6 +219,14 @@ net::RpcHandler::Response MasterNode::HandleResolveUpdate(
   // Stamped *after* any placements above so the client caches the epoch
   // that already covers them.
   if (config_.publish_metadata_epoch) resp.metadata_epoch = metadata_epoch_;
+  if (config_.replication_factor > 1) {
+    std::vector<GroupId> groups;
+    groups.reserve(resp.placements.size());
+    for (const auto& p : resp.placements) groups.push_back(p.group);
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    CollectReplicaSets(groups, resp.replicas);
+  }
   MaybeFlushMetadata(cost);
   return Response{Status::Ok(), Encode(resp), cost};
 }
@@ -175,8 +246,12 @@ net::RpcHandler::Response MasterNode::HandleResolveSearch(
     if (!known) return Response{Status::NotFound("unknown index"), {}, {}};
   }
 
+  // Search routing targets each group's primary; replica sets ride along
+  // under replication so clients can hedge to a secondary.
   std::unordered_map<NodeId, std::vector<GroupId>> by_node;
-  for (const auto& [group, node] : group_node_) by_node[node].push_back(group);
+  for (const auto& [group, replicas] : group_replicas_) {
+    by_node[replicas.front()].push_back(group);
+  }
 
   ResolveSearchResponse resp;
   for (auto& [node, groups] : by_node) {
@@ -186,8 +261,17 @@ net::RpcHandler::Response MasterNode::HandleResolveSearch(
   std::sort(resp.targets.begin(), resp.targets.end(),
             [](const auto& a, const auto& b) { return a.node < b.node; });
   if (config_.publish_metadata_epoch) resp.metadata_epoch = metadata_epoch_;
+  if (config_.replication_factor > 1) {
+    std::vector<GroupId> groups;
+    groups.reserve(group_replicas_.size());
+    for (const auto& [group, replicas] : group_replicas_) {
+      groups.push_back(group);
+    }
+    std::sort(groups.begin(), groups.end());
+    CollectReplicaSets(groups, resp.replicas);
+  }
   sim::Cost cost(config_.lookup_us / 1e6 *
-                 static_cast<double>(group_node_.size() + 1));
+                 static_cast<double>(group_replicas_.size() + 1));
   return Response{Status::Ok(), Encode(resp), cost};
 }
 
@@ -204,15 +288,17 @@ net::RpcHandler::Response MasterNode::HandleCreateIndex(
   ++mutations_since_flush_;
   ++metadata_epoch_;  // catalog change: cached resolve_search sets are stale
 
-  // Push the new index to every existing group.
+  // Push the new index to every replica of every existing group.
   sim::Cost cost;
-  for (const auto& [group, node] : group_node_) {
+  for (const auto& [group, replicas] : group_replicas_) {
     CreateGroupRequest creq;
     creq.group = group;
     creq.specs = {req->spec};
-    auto call = transport_->Call(id_, node, "in.create_group", Encode(creq));
-    cost += call.cost;
-    if (!call.status.ok()) return Response{call.status, {}, cost};
+    for (NodeId node : replicas) {
+      auto call = transport_->Call(id_, node, "in.create_group", Encode(creq));
+      cost += call.cost;
+      if (!call.status.ok()) return Response{call.status, {}, cost};
+    }
   }
   // Catalog changes are rare and losing one across a master failover makes
   // every index unusable — flush synchronously rather than on the counter.
@@ -242,9 +328,11 @@ sim::Cost MasterNode::RunSplitMaintenanceLocked() {
   sim::Cost cost;
   auto plans = acg_.SplitOversizedGroups();
   for (const auto& plan : plans) {
-    auto src_it = group_node_.find(plan.group);
-    if (src_it == group_node_.end()) continue;
-    NodeId src_node = src_it->second;
+    auto src_it = group_replicas_.find(plan.group);
+    if (src_it == group_replicas_.end()) continue;
+    // Split migrates off the primary; its journal records the per-file
+    // deletes, so secondaries converge on their next catch-up tick.
+    NodeId src_node = src_it->second.front();
 
     sim::Cost place_cost;
     auto dst = EnsureGroupPlaced(plan.new_group, place_cost);
@@ -280,10 +368,13 @@ size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
   if (index_nodes_.size() < 2) return moved;
   for (;;) {
     // Recompute the current spread from the placement table (the load view
-    // from heartbeats can lag behind our own migrations).
+    // from heartbeats can lag behind our own migrations).  Replicated
+    // clusters balance primaries; secondaries follow their groups.
     std::unordered_map<NodeId, std::vector<GroupId>> by_node;
     for (NodeId n : index_nodes_) by_node[n];
-    for (const auto& [group, node] : group_node_) by_node[node].push_back(group);
+    for (const auto& [group, replicas] : group_replicas_) {
+      by_node[replicas.front()].push_back(group);
+    }
 
     NodeId busiest = 0, idlest = 0;
     size_t hi = 0, lo = ~size_t{0};
@@ -303,16 +394,26 @@ size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
     if (busiest == 0 || idlest == 0 || busiest == idlest) break;
     if (hi <= lo + slack) break;  // balanced enough
 
-    // Move one (smallest) group from the busiest to the idlest node.
-    GroupId victim = by_node[busiest].front();
+    // Move one (smallest) group from the busiest to the idlest node,
+    // skipping groups whose replica set already includes the idlest node
+    // (a node cannot hold two copies of the same group).
+    GroupId victim = 0;
+    bool found = false;
     uint64_t victim_size = ~0ull;
     for (GroupId g : by_node[busiest]) {
+      const std::vector<NodeId>& replicas = group_replicas_[g];
+      if (std::find(replicas.begin() + 1, replicas.end(), idlest) !=
+          replicas.end()) {
+        continue;
+      }
       uint64_t size = acg_.GroupSize(g);
-      if (size < victim_size) {
+      if (!found || size < victim_size) {
         victim_size = size;
         victim = g;
+        found = true;
       }
     }
+    if (!found) break;  // every candidate already replicates on idlest
 
     MigrateOutRequest out_req;
     out_req.group = victim;
@@ -333,7 +434,9 @@ size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
     if (cost != nullptr) *cost += in_call.cost;
     if (!in_call.status.ok()) break;
 
-    group_node_[victim] = idlest;
+    // The old primary dropped its copy (drop_group above); the idlest node
+    // takes over as primary and any secondaries are untouched.
+    group_replicas_[victim].front() = idlest;
     if (node_load_[busiest] > 0) --node_load_[busiest];
     ++node_load_[idlest];
     ++mutations_since_flush_;
@@ -406,8 +509,10 @@ void MasterNode::RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost) {
 
   // Sorted for deterministic recovery order.
   std::vector<GroupId> groups;
-  for (const auto& [group, owner] : group_node_) {
-    if (owner == node) groups.push_back(group);
+  for (const auto& [group, replicas] : group_replicas_) {
+    if (std::find(replicas.begin(), replicas.end(), node) != replicas.end()) {
+      groups.push_back(group);
+    }
   }
   std::sort(groups.begin(), groups.end());
 
@@ -426,43 +531,126 @@ void MasterNode::RecoverDeadNode(NodeId node, double now_s, sim::Cost& cost) {
     return;
   }
 
+  const bool replicated = config_.replication_factor > 1;
   for (GroupId g : groups) {
-    NodeId target = LeastLoadedNode();
-    RecoverGroupRequest rreq;
-    rreq.group = g;
-    rreq.specs = catalog_;
-    auto call = transport_->Call(id_, target, "in.recover_group", Encode(rreq));
-    cost += call.cost;
-    event.cost += call.cost;
-    if (call.status.ok()) {
-      if (auto resp = Decode<RecoverGroupResponse>(call.payload); resp.ok()) {
-        event.records_restored += resp->records_replayed;
+    if (!replicated) {
+      NodeId target = LeastLoadedNode();
+      RecoverGroupRequest rreq;
+      rreq.group = g;
+      rreq.specs = catalog_;
+      auto call =
+          transport_->Call(id_, target, "in.recover_group", Encode(rreq));
+      cost += call.cost;
+      event.cost += call.cost;
+      if (call.status.ok()) {
+        if (auto resp = Decode<RecoverGroupResponse>(call.payload); resp.ok()) {
+          event.records_restored += resp->records_replayed;
+        }
+      } else {
+        // No journal on the survivor (or the call failed): keep routing
+        // valid with an empty replacement group.  The data is lost, exactly
+        // as it would be without a shared-storage journal.
+        PLOG(WARNING) << "recover_group " << g << " on node " << target
+                      << " failed (" << call.status.ToString()
+                      << "); creating empty replacement";
+        CreateGroupRequest creq;
+        creq.group = g;
+        creq.specs = catalog_;
+        auto fallback =
+            transport_->Call(id_, target, "in.create_group", Encode(creq));
+        cost += fallback.cost;
+        event.cost += fallback.cost;
+        if (!fallback.status.ok()) {
+          PLOG(WARNING) << "replacement group " << g << " creation failed: "
+                        << fallback.status.ToString();
+          continue;  // leave the mapping; a later tick may retry placement
+        }
       }
-    } else {
-      // No journal on the survivor (or the call failed): keep routing
-      // valid with an empty replacement group.  The data is lost, exactly
-      // as it would be without a shared-storage journal.
-      PLOG(WARNING) << "recover_group " << g << " on node " << target
-                    << " failed (" << call.status.ToString()
-                    << "); creating empty replacement";
-      CreateGroupRequest creq;
+      group_replicas_[g] = {target};
+      ++node_load_[target];
+      if (node_load_[node] > 0) --node_load_[node];
+      ++mutations_since_flush_;
+      ++metadata_epoch_;  // group re-homed onto a survivor
+      ++event.groups_moved;
+      continue;
+    }
+
+    // Replicated: recovery is replica-set surgery, not a full rebuild.
+    // Losing the primary promotes a surviving secondary (journal catch-up
+    // closes its lag); the degraded set then heals with a fresh replica
+    // seeded from the journal on a non-member survivor.
+    std::vector<NodeId>& replicas = group_replicas_[g];
+    const bool was_primary = replicas.front() == node;
+    replicas.erase(std::remove(replicas.begin(), replicas.end(), node),
+                   replicas.end());
+    if (replicas.empty()) {
+      // Every copy died at once: fall back to the journal rebuild.
+      NodeId target = LeastLoadedNode();
+      RecoverGroupRequest rreq;
+      rreq.group = g;
+      rreq.specs = catalog_;
+      auto call =
+          transport_->Call(id_, target, "in.recover_group", Encode(rreq));
+      cost += call.cost;
+      event.cost += call.cost;
+      if (call.status.ok()) {
+        if (auto resp = Decode<RecoverGroupResponse>(call.payload); resp.ok()) {
+          event.records_restored += resp->records_replayed;
+        }
+        replicas.push_back(target);
+        ++node_load_[target];
+      } else {
+        PLOG(WARNING) << "replicated recover_group " << g << " on node "
+                      << target << " failed: " << call.status.ToString();
+        replicas.push_back(node);  // keep the mapping; a later tick retries
+        continue;
+      }
+    } else if (was_primary) {
+      // Promote replicas.front(): replay the journal tail it has not yet
+      // applied so reads see every committed (primary-acked) update.
+      CatchUpRequest creq;
       creq.group = g;
       creq.specs = catalog_;
-      auto fallback =
-          transport_->Call(id_, target, "in.create_group", Encode(creq));
-      cost += fallback.cost;
-      event.cost += fallback.cost;
-      if (!fallback.status.ok()) {
-        PLOG(WARNING) << "replacement group " << g << " creation failed: "
-                      << fallback.status.ToString();
-        continue;  // leave the mapping; a later tick may retry placement
+      auto call =
+          transport_->Call(id_, replicas.front(), "in.catch_up", Encode(creq));
+      cost += call.cost;
+      event.cost += call.cost;
+      if (call.status.ok()) {
+        if (auto resp = Decode<CatchUpResponse>(call.payload); resp.ok()) {
+          event.records_restored += resp->records_replayed;
+        }
+      } else {
+        PLOG(WARNING) << "promotion catch-up for group " << g << " on node "
+                      << replicas.front()
+                      << " failed: " << call.status.ToString();
       }
     }
-    group_node_[g] = target;
-    ++node_load_[target];
+    // Heal the replication degree: seed replacements from the journal on
+    // live non-members (in.catch_up creates the group when absent).
+    const size_t want = static_cast<size_t>(config_.replication_factor);
+    if (replicas.size() < want) {
+      for (NodeId fresh : LeastLoadedNodes(want - replicas.size(), replicas)) {
+        CatchUpRequest creq;
+        creq.group = g;
+        creq.specs = catalog_;
+        auto call = transport_->Call(id_, fresh, "in.catch_up", Encode(creq));
+        cost += call.cost;
+        event.cost += call.cost;
+        if (!call.status.ok()) {
+          PLOG(WARNING) << "replica seed for group " << g << " on node "
+                        << fresh << " failed: " << call.status.ToString();
+          continue;
+        }
+        if (auto resp = Decode<CatchUpResponse>(call.payload); resp.ok()) {
+          event.records_restored += resp->records_replayed;
+        }
+        replicas.push_back(fresh);
+        ++node_load_[fresh];
+      }
+    }
     if (node_load_[node] > 0) --node_load_[node];
     ++mutations_since_flush_;
-    ++metadata_epoch_;  // group re-homed onto a survivor
+    ++metadata_epoch_;  // replica set changed; cached routing is stale
     ++event.groups_moved;
   }
   MaybeFlushMetadata(cost);
@@ -483,8 +671,15 @@ std::vector<NodeId> MasterNode::DeadNodes() const {
 
 std::optional<NodeId> MasterNode::NodeOfGroup(GroupId group) const {
   MutexLock lock(mu_);
-  auto it = group_node_.find(group);
-  if (it == group_node_.end()) return std::nullopt;
+  auto it = group_replicas_.find(group);
+  if (it == group_replicas_.end()) return std::nullopt;
+  return it->second.front();
+}
+
+std::vector<NodeId> MasterNode::ReplicasOfGroup(GroupId group) const {
+  MutexLock lock(mu_);
+  auto it = group_replicas_.find(group);
+  if (it == group_replicas_.end()) return {};
   return it->second;
 }
 
@@ -498,11 +693,12 @@ std::string MasterNode::SnapshotMetadataLocked() const {
   // Catalog.
   w.PutU32(static_cast<uint32_t>(catalog_.size()));
   for (const IndexSpec& s : catalog_) s.Serialize(w);
-  // Group placements.
-  w.PutU32(static_cast<uint32_t>(group_node_.size()));
-  for (const auto& [group, node] : group_node_) {
+  // Group placements (each group's primary; full replica sets trail below
+  // when replication is on, keeping the r = 1 image byte-identical).
+  w.PutU32(static_cast<uint32_t>(group_replicas_.size()));
+  for (const auto& [group, replicas] : group_replicas_) {
     w.PutU64(group);
-    w.PutU32(node);
+    w.PutU32(replicas.front());
   }
   // File -> group mapping (via the groups of the ACG manager).
   std::vector<GroupId> groups = acg_.Groups();
@@ -516,7 +712,26 @@ std::string MasterNode::SnapshotMetadataLocked() const {
   }
   // Trailing-optional epoch: written only when published, so the image —
   // and the simulated flush cost — is unchanged with the feature off.
-  if (config_.publish_metadata_epoch) w.PutU64(metadata_epoch_);
+  // Replication appends the full replica sets after it (and therefore
+  // always writes the epoch first, like the wire messages).
+  if (config_.replication_factor > 1) {
+    w.PutU64(metadata_epoch_);
+    std::vector<GroupId> groups;
+    groups.reserve(group_replicas_.size());
+    for (const auto& [group, replicas] : group_replicas_) {
+      groups.push_back(group);
+    }
+    std::sort(groups.begin(), groups.end());
+    w.PutU32(static_cast<uint32_t>(groups.size()));
+    for (GroupId g : groups) {
+      const std::vector<NodeId>& replicas = group_replicas_.at(g);
+      w.PutU64(g);
+      w.PutU32(static_cast<uint32_t>(replicas.size()));
+      for (NodeId n : replicas) w.PutU32(n);
+    }
+  } else if (config_.publish_metadata_epoch) {
+    w.PutU64(metadata_epoch_);
+  }
   return std::move(w).Take();
 }
 
@@ -533,14 +748,14 @@ Status MasterNode::RestoreMetadata(const std::string& image) {
   }
   uint32_t ng = 0;
   PROPELLER_RETURN_IF_ERROR(r.GetU32(ng));
-  group_node_.clear();
+  group_replicas_.clear();
   for (auto& [node, load] : node_load_) load = 0;
   for (uint32_t i = 0; i < ng; ++i) {
     GroupId g = 0;
     NodeId n = 0;
     PROPELLER_RETURN_IF_ERROR(r.GetU64(g));
     PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
-    group_node_[g] = n;
+    group_replicas_[g] = {n};
     ++node_load_[n];
   }
   // Rebuild the ACG manager from the per-group subgraphs, preserving the
@@ -566,6 +781,27 @@ Status MasterNode::RestoreMetadata(const std::string& image) {
     uint64_t epoch = 0;
     PROPELLER_RETURN_IF_ERROR(r.GetU64(epoch));
     metadata_epoch_ = epoch + 1;
+  }
+  // Trailing replica sets (replicated image): replace the primary-only
+  // entries decoded above and recount the load view per copy.
+  if (!r.AtEnd()) {
+    uint32_t nr = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU32(nr));
+    for (auto& [node, load] : node_load_) load = 0;
+    for (uint32_t i = 0; i < nr; ++i) {
+      GroupId g = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetU64(g));
+      uint32_t nn = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetU32(nn));
+      std::vector<NodeId> replicas;
+      for (uint32_t j = 0; j < nn; ++j) {
+        NodeId n = 0;
+        PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+        replicas.push_back(n);
+        ++node_load_[n];
+      }
+      if (!replicas.empty()) group_replicas_[g] = std::move(replicas);
+    }
   }
   return Status::Ok();
 }

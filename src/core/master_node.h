@@ -58,6 +58,13 @@ struct MasterConfig {
   // (read_path_caching layer 1).  Off, responses carry epoch 0 — encoded
   // as absent — and the wire bytes are unchanged.
   bool publish_metadata_epoch = false;
+  // --- replication (tail-tolerant reads) ---
+  // Replicas per group (1 = no replication, the legacy behavior).  Each
+  // group's replica set lives on distinct least-loaded nodes; nodes[0] is
+  // the primary (sole journal appender), secondaries serve hedged reads
+  // and turn node-death recovery into a promotion + journal catch-up
+  // instead of a full rebuild.
+  int replication_factor = 1;
 };
 
 class MasterNode : public net::RpcHandler {
@@ -83,13 +90,15 @@ class MasterNode : public net::RpcHandler {
     return acg_;
   }
   std::optional<NodeId> NodeOfGroup(GroupId group) const;
+  // Full replica set of `group` (nodes[0] = primary; empty = unknown group).
+  std::vector<NodeId> ReplicasOfGroup(GroupId group) const;
   std::vector<IndexSpec> Catalog() const {
     MutexLock lock(mu_);
     return catalog_;
   }
   uint64_t NumGroups() const {
     MutexLock lock(mu_);
-    return group_node_.size();
+    return group_replicas_.size();
   }
   // Current metadata epoch (monotonically increasing; bumped by every
   // placement / catalog mutation).  Meaningful to clients only when
@@ -170,6 +179,16 @@ class MasterNode : public net::RpcHandler {
   Result<NodeId> EnsureGroupPlaced(GroupId group, sim::Cost& cost)
       REQUIRES(mu_);
   NodeId LeastLoadedNode() const REQUIRES(mu_);
+  // Up to `k` distinct live nodes by ascending load (ties by node id),
+  // skipping members of `exclude` — replica placement and replacement.
+  std::vector<NodeId> LeastLoadedNodes(size_t k,
+                                       const std::vector<NodeId>& exclude) const
+      REQUIRES(mu_);
+  // Appends the replica sets of `groups` (sorted, deduped by the caller)
+  // to `out` for a resolve response.
+  void CollectReplicaSets(const std::vector<GroupId>& groups,
+                          std::vector<GroupReplicaSet>& out) const
+      REQUIRES(mu_);
   // Applies AcgManager placement/merge decisions: creates groups, moves
   // merged files' index data between nodes.
   sim::Cost ApplyAcgResult(const acg::AcgManager::ApplyResult& result)
@@ -191,7 +210,10 @@ class MasterNode : public net::RpcHandler {
   MasterConfig config_;
   acg::AcgManager acg_ GUARDED_BY(mu_);
   std::vector<NodeId> index_nodes_ GUARDED_BY(mu_);
-  std::unordered_map<GroupId, NodeId> group_node_ GUARDED_BY(mu_);
+  // Per-group replica sets; [0] is the primary.  Size 1 everywhere when
+  // replication_factor == 1 (the legacy placement table).
+  std::unordered_map<GroupId, std::vector<NodeId>> group_replicas_
+      GUARDED_BY(mu_);
   // Load view (updated by heartbeats + own placements): groups per node.
   std::unordered_map<NodeId, uint64_t> node_load_ GUARDED_BY(mu_);
   std::vector<IndexSpec> catalog_ GUARDED_BY(mu_);

@@ -18,6 +18,47 @@ Status GetTrailingEpoch(BinaryReader& r, uint64_t& epoch) {
   return r.GetU64(epoch);
 }
 
+// Trailing replica-set section (replication).  Follows the trailing
+// epoch, so when the section is written the epoch always is too (its real
+// value, possibly 0) — the decoder can then distinguish "epoch only" from
+// "epoch + replicas" purely by remaining bytes.
+void PutTrailingReplicas(BinaryWriter& w, uint64_t epoch,
+                         const std::vector<GroupReplicaSet>& replicas) {
+  if (replicas.empty()) {
+    PutTrailingEpoch(w, epoch);
+    return;
+  }
+  w.PutU64(epoch);
+  w.PutU32(static_cast<uint32_t>(replicas.size()));
+  for (const GroupReplicaSet& rs : replicas) {
+    w.PutU64(rs.group);
+    w.PutU32(static_cast<uint32_t>(rs.nodes.size()));
+    for (NodeId n : rs.nodes) w.PutU32(n);
+  }
+}
+
+Status GetTrailingReplicas(BinaryReader& r, uint64_t& epoch,
+                           std::vector<GroupReplicaSet>& replicas) {
+  replicas.clear();
+  PROPELLER_RETURN_IF_ERROR(GetTrailingEpoch(r, epoch));
+  if (r.AtEnd()) return Status::Ok();
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    GroupReplicaSet rs;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(rs.group));
+    uint32_t nn = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU32(nn));
+    for (uint32_t j = 0; j < nn; ++j) {
+      NodeId node = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetU32(node));
+      rs.nodes.push_back(node);
+    }
+    replicas.push_back(std::move(rs));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 void ResolveUpdateRequest::Serialize(BinaryWriter& w) const {
@@ -44,7 +85,7 @@ void ResolveUpdateResponse::Serialize(BinaryWriter& w) const {
     w.PutU64(p.group);
     w.PutU32(p.node);
   }
-  PutTrailingEpoch(w, metadata_epoch);
+  PutTrailingReplicas(w, metadata_epoch, replicas);
 }
 Status ResolveUpdateResponse::Deserialize(BinaryReader& r,
                                           ResolveUpdateResponse& out) {
@@ -58,7 +99,7 @@ Status ResolveUpdateResponse::Deserialize(BinaryReader& r,
     PROPELLER_RETURN_IF_ERROR(r.GetU32(p.node));
     out.placements.push_back(p);
   }
-  return GetTrailingEpoch(r, out.metadata_epoch);
+  return GetTrailingReplicas(r, out.metadata_epoch, out.replicas);
 }
 
 void ResolveSearchRequest::Serialize(BinaryWriter& w) const {
@@ -76,7 +117,7 @@ void ResolveSearchResponse::Serialize(BinaryWriter& w) const {
     w.PutU32(static_cast<uint32_t>(t.groups.size()));
     for (GroupId g : t.groups) w.PutU64(g);
   }
-  PutTrailingEpoch(w, metadata_epoch);
+  PutTrailingReplicas(w, metadata_epoch, replicas);
 }
 Status ResolveSearchResponse::Deserialize(BinaryReader& r,
                                           ResolveSearchResponse& out) {
@@ -95,7 +136,7 @@ Status ResolveSearchResponse::Deserialize(BinaryReader& r,
     }
     out.targets.push_back(std::move(t));
   }
-  return GetTrailingEpoch(r, out.metadata_epoch);
+  return GetTrailingReplicas(r, out.metadata_epoch, out.replicas);
 }
 
 void CreateIndexRequest::Serialize(BinaryWriter& w) const { spec.Serialize(w); }
@@ -161,7 +202,13 @@ void StageUpdatesRequest::Serialize(BinaryWriter& w) const {
   w.PutDouble(now_s);
   w.PutU32(static_cast<uint32_t>(updates.size()));
   for (const FileUpdate& u : updates) u.Serialize(w);
-  PutTrailingEpoch(w, epoch);
+  if (replica_role != kReplicaRoleNone) {
+    // Role implies the epoch field is present (its value may be 0).
+    w.PutU64(epoch);
+    w.PutU8(replica_role);
+  } else {
+    PutTrailingEpoch(w, epoch);
+  }
 }
 Status StageUpdatesRequest::Deserialize(BinaryReader& r, StageUpdatesRequest& out) {
   PROPELLER_RETURN_IF_ERROR(r.GetU64(out.group));
@@ -174,7 +221,16 @@ Status StageUpdatesRequest::Deserialize(BinaryReader& r, StageUpdatesRequest& ou
     PROPELLER_RETURN_IF_ERROR(FileUpdate::Deserialize(r, u));
     out.updates.push_back(std::move(u));
   }
-  return GetTrailingEpoch(r, out.epoch);
+  PROPELLER_RETURN_IF_ERROR(GetTrailingEpoch(r, out.epoch));
+  out.replica_role = kReplicaRoleNone;
+  if (r.AtEnd()) return Status::Ok();
+  return r.GetU8(out.replica_role);
+}
+
+void StageUpdatesResponse::Serialize(BinaryWriter& w) const { w.PutU64(seq); }
+Status StageUpdatesResponse::Deserialize(BinaryReader& r,
+                                         StageUpdatesResponse& out) {
+  return r.GetU64(out.seq);
 }
 
 void SearchRequest::Serialize(BinaryWriter& w) const {
@@ -183,7 +239,17 @@ void SearchRequest::Serialize(BinaryWriter& w) const {
   w.PutU32(static_cast<uint32_t>(groups.size()));
   for (GroupId g : groups) w.PutU64(g);
   predicate.Serialize(w);
-  PutTrailingEpoch(w, epoch);
+  if (!min_seqs.empty()) {
+    // Floors imply the epoch field is present (its value may be 0).
+    w.PutU64(epoch);
+    w.PutU32(static_cast<uint32_t>(min_seqs.size()));
+    for (const GroupSeqFloor& f : min_seqs) {
+      w.PutU64(f.group);
+      w.PutU64(f.seq);
+    }
+  } else {
+    PutTrailingEpoch(w, epoch);
+  }
 }
 Status SearchRequest::Deserialize(BinaryReader& r, SearchRequest& out) {
   uint32_t n = 0;
@@ -195,7 +261,18 @@ Status SearchRequest::Deserialize(BinaryReader& r, SearchRequest& out) {
     out.groups.push_back(g);
   }
   PROPELLER_RETURN_IF_ERROR(Predicate::Deserialize(r, out.predicate));
-  return GetTrailingEpoch(r, out.epoch);
+  PROPELLER_RETURN_IF_ERROR(GetTrailingEpoch(r, out.epoch));
+  out.min_seqs.clear();
+  if (r.AtEnd()) return Status::Ok();
+  uint32_t nf = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(nf));
+  for (uint32_t i = 0; i < nf; ++i) {
+    GroupSeqFloor f;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(f.group));
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(f.seq));
+    out.min_seqs.push_back(f);
+  }
+  return Status::Ok();
 }
 
 void SearchResponse::Serialize(BinaryWriter& w) const {
@@ -311,6 +388,38 @@ void RecoverGroupResponse::Serialize(BinaryWriter& w) const {
 Status RecoverGroupResponse::Deserialize(BinaryReader& r,
                                          RecoverGroupResponse& out) {
   return r.GetU64(out.records_replayed);
+}
+
+void CatchUpRequest::Serialize(BinaryWriter& w) const {
+  w.PutU64(group);
+  w.PutU32(static_cast<uint32_t>(specs.size()));
+  for (const IndexSpec& s : specs) s.Serialize(w);
+}
+Status CatchUpRequest::Deserialize(BinaryReader& r, CatchUpRequest& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.group));
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  out.specs.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    IndexSpec s;
+    PROPELLER_RETURN_IF_ERROR(IndexSpec::Deserialize(r, s));
+    out.specs.push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+void CatchUpResponse::Serialize(BinaryWriter& w) const {
+  w.PutU64(records_replayed);
+  w.PutU64(seq);
+}
+Status CatchUpResponse::Deserialize(BinaryReader& r, CatchUpResponse& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.records_replayed));
+  return r.GetU64(out.seq);
+}
+
+void DropGroupRequest::Serialize(BinaryWriter& w) const { w.PutU64(group); }
+Status DropGroupRequest::Deserialize(BinaryReader& r, DropGroupRequest& out) {
+  return r.GetU64(out.group);
 }
 
 void ResetNodeRequest::Serialize(BinaryWriter&) const {}

@@ -7,7 +7,8 @@
 //            mn.flush_acg       mn.heartbeat       mn.tick
 //   Index:   in.create_group    in.stage_updates   in.search
 //            in.tick            in.migrate_out     in.install_group
-//            in.recover_group   in.reset
+//            in.recover_group   in.reset           in.catch_up
+//            in.drop_group
 #pragma once
 
 #include <cstdint>
@@ -41,6 +42,20 @@ using net::NodeId;
 // and therefore the simulated transfer costs — bit-identical to the
 // pre-caching protocol whenever the feature is off.
 
+// ---- replica convention (group replication) ----
+// With ClusterConfig::replication_factor > 1 every group lives on r
+// distinct nodes; nodes[0] is the *primary* (sole journal appender, always
+// in the write quorum) and the rest are secondaries (hedge / failover
+// targets).  Resolve responses carry the per-group replica sets as a
+// trailing section written only when some group is actually replicated, so
+// an unreplicated cluster's wire bytes are unchanged.  Because the section
+// follows the trailing-optional epoch, a sender that writes it always
+// writes the epoch field too (its real value, possibly 0).
+struct GroupReplicaSet {
+  GroupId group = 0;
+  std::vector<NodeId> nodes;  // nodes[0] = primary
+};
+
 // ---- mn.resolve_update ----
 // Client: "I am about to index these files; where do they live?"
 // The master places unknown files and answers (file, group, node) triples.
@@ -53,10 +68,12 @@ struct ResolveUpdateResponse {
   struct Placement {
     FileId file = 0;
     GroupId group = 0;
-    NodeId node = 0;
+    NodeId node = 0;  // the group's primary
   };
   std::vector<Placement> placements;
   uint64_t metadata_epoch = 0;  // 0 = master not publishing epochs
+  // Full replica sets for the groups named above (empty = unreplicated).
+  std::vector<GroupReplicaSet> replicas;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, ResolveUpdateResponse& out);
 };
@@ -74,8 +91,11 @@ struct ResolveSearchResponse {
     NodeId node = 0;
     std::vector<GroupId> groups;
   };
-  std::vector<NodeGroups> targets;
+  std::vector<NodeGroups> targets;  // keyed by each group's primary
   uint64_t metadata_epoch = 0;  // 0 = master not publishing epochs
+  // Full replica sets per group (empty = unreplicated); clients hedge
+  // slow/failed primary branches to nodes[1].
+  std::vector<GroupReplicaSet> replicas;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, ResolveSearchResponse& out);
 };
@@ -119,6 +139,16 @@ struct CreateGroupRequest {
 };
 
 // ---- in.stage_updates ----
+// Replica roles (StageUpdatesRequest::replica_role).  kNone keeps the
+// legacy contract: the node appends to the journal iff one is attached and
+// the response payload is empty.  Under replication the client fans one
+// shipment per replica: the primary appends to the journal and acks the
+// assigned commit seq; secondaries stage only (the primary's append is the
+// single durable copy) and track their own applied count.
+inline constexpr uint8_t kReplicaRoleNone = 0;
+inline constexpr uint8_t kReplicaRolePrimary = 1;
+inline constexpr uint8_t kReplicaRoleSecondary = 2;
+
 struct StageUpdatesRequest {
   GroupId group = 0;
   double now_s = 0;  // cluster virtual time, drives the commit timeout
@@ -127,8 +157,19 @@ struct StageUpdatesRequest {
   // node to answer kStaleLocation (instead of kNotFound) when the group
   // has moved away, triggering the client's re-resolve + retry.
   uint64_t epoch = 0;
+  // Trailing-optional (absent when kReplicaRoleNone, so unreplicated wire
+  // bytes are unchanged); when written, the epoch field is always written
+  // first.
+  uint8_t replica_role = kReplicaRoleNone;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, StageUpdatesRequest& out);
+};
+// Response payload only under replication (legacy responses stay empty):
+// the replica's applied commit sequence after this batch.
+struct StageUpdatesResponse {
+  uint64_t seq = 0;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, StageUpdatesResponse& out);
 };
 
 // ---- in.search ----
@@ -138,6 +179,16 @@ struct SearchRequest {
   // Epoch the client's routing was resolved at; > 0 makes a group that is
   // no longer on this node a kStaleLocation error instead of a silent skip.
   uint64_t epoch = 0;
+  // Read-your-writes floors (replication): per-group minimum applied
+  // commit sequences from the client's primary-acked writes.  A replica
+  // whose applied seq is behind a floor answers kStaleReplica instead of
+  // serving stale results.  Trailing-optional: absent when empty (and the
+  // epoch is always written when floors are).
+  struct GroupSeqFloor {
+    GroupId group = 0;
+    uint64_t seq = 0;
+  };
+  std::vector<GroupSeqFloor> min_seqs;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, SearchRequest& out);
 };
@@ -199,6 +250,35 @@ struct RecoverGroupResponse {
   uint64_t records_replayed = 0;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, RecoverGroupResponse& out);
+};
+
+// ---- in.catch_up ----
+// Master -> replica: close the gap between the replica's applied commit
+// sequence and the journal's.  Used when promoting a surviving replica
+// after a node death and when seeding a brand-new replica (applied seq 0 =
+// full replay).  Unlike in.recover_group it replays only the missing tail
+// when the replica already holds a prefix (per-replica journal cursors).
+struct CatchUpRequest {
+  GroupId group = 0;
+  std::vector<IndexSpec> specs;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, CatchUpRequest& out);
+};
+struct CatchUpResponse {
+  uint64_t records_replayed = 0;
+  uint64_t seq = 0;  // the replica's applied seq after catch-up
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, CatchUpResponse& out);
+};
+
+// ---- in.drop_group ----
+// Master -> secondary replica: discard the local copy of `group` without
+// journal writes (the group dissolved in a merge, or this node left the
+// replica set).  The journal and the surviving replicas keep the data.
+struct DropGroupRequest {
+  GroupId group = 0;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, DropGroupRequest& out);
 };
 
 // ---- in.reset ----

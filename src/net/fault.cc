@@ -42,6 +42,23 @@ FaultPlan::Decision FaultPlan::Decide(NodeId src, NodeId dst,
   return Decision{};
 }
 
+void FaultPlan::SetNodeSlowness(NodeId node, double multiplier) {
+  MutexLock lock(mu_);
+  if (multiplier <= 1.0) {
+    slowness_.erase(node);
+  } else {
+    slowness_[node] = multiplier;
+  }
+}
+
+double FaultPlan::SlownessOf(NodeId dst) {
+  MutexLock lock(mu_);
+  auto it = slowness_.find(dst);
+  if (it == slowness_.end()) return 1.0;
+  ++counters_.slowed;
+  return it->second;
+}
+
 FaultPlan::Counters FaultPlan::counters() const {
   MutexLock lock(mu_);
   return counters_;

@@ -19,6 +19,11 @@
 // does not perturb the fault schedule: a fixed seed plus a fixed sequence
 // of matching calls yields the same drop/delay sequence every run.
 //
+// Separate from the probabilistic rules, a node can be marked *sustainedly
+// slow* (SetNodeSlowness): every remote call it serves has its handler
+// cost multiplied — a straggler, not a lottery.  Slowness is deterministic,
+// consumes no RNG draw, and composes with any rule the call also matched.
+//
 // Thread safety: Decide() takes a small mutex around the RNG, so one plan
 // may be shared by any number of concurrent Transport::Call()ers.  With
 // concurrent callers the draw *order* follows the thread schedule; tests
@@ -27,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
@@ -77,11 +83,20 @@ class FaultPlan {
   // First matching live rule wins; consumes one draw iff a rule matched.
   Decision Decide(NodeId src, NodeId dst, const std::string& method);
 
+  // Sustained straggler: every remote call served by `node` has its handler
+  // cost multiplied by `multiplier` (applies to all methods).  Values <= 1
+  // clear the entry.  Deterministic — no RNG draw, no trigger consumed.
+  void SetNodeSlowness(NodeId node, double multiplier);
+  // The multiplier the transport must apply to `dst`'s handler cost
+  // (1.0 = not slowed).  Bumps the `slowed` counter when > 1.
+  double SlownessOf(NodeId dst);
+
   struct Counters {
     uint64_t dropped = 0;
     uint64_t failed = 0;
     uint64_t delayed = 0;
     uint64_t passed = 0;  // matched a rule but drew a clean pass
+    uint64_t slowed = 0;  // remote calls stretched by a slowness entry
   };
   Counters counters() const;
 
@@ -94,6 +109,7 @@ class FaultPlan {
   mutable Mutex mu_{LockRank::kFaultPlan, "FaultPlan::mu_"};
   Rng rng_ GUARDED_BY(mu_);
   std::vector<RuleState> rules_ GUARDED_BY(mu_);
+  std::unordered_map<NodeId, double> slowness_ GUARDED_BY(mu_);
   Counters counters_ GUARDED_BY(mu_);
 };
 

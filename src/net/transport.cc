@@ -34,9 +34,10 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
 
   // Fault injection applies to remote calls only: a node cannot drop its
   // own in-process calls.
+  std::shared_ptr<FaultPlan> fault_plan = remote ? fault_.load() : nullptr;
   sim::Cost injected_delay;
   if (remote) {
-    if (std::shared_ptr<FaultPlan> plan = fault_.load(); plan != nullptr) {
+    if (const std::shared_ptr<FaultPlan>& plan = fault_plan; plan != nullptr) {
       FaultPlan::Decision d = plan->Decide(from, to, method);
       switch (d.action) {
         case FaultPlan::Action::kDrop:
@@ -93,6 +94,19 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
     if (topup > 0) span.Advance(sim::Cost(topup));
   }
   out.cost += resp.cost;
+  // Sustained slowness (FaultPlan::SetNodeSlowness): the destination is a
+  // straggler, so its handler work takes `slow` times as long — stretched
+  // after the fact, on top of any per-call delay rule that also fired.
+  if (fault_plan != nullptr) {
+    const double slow = fault_plan->SlownessOf(to);
+    if (slow > 1.0) {
+      const sim::Cost extra(resp.cost.seconds() * (slow - 1.0));
+      out.cost += extra;
+      span.Advance(extra);
+      faults_slowed_->Add(1);
+      span.Tag("fault", "slow");
+    }
+  }
   out.status = resp.status;
   if (remote) {
     // A failed handler already consumed the request transfer (charged above)

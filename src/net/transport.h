@@ -63,7 +63,8 @@ class Transport {
         bytes_(&metrics_.GetCounter("net.bytes_sent")),
         faults_dropped_(&metrics_.GetCounter("net.faults.dropped")),
         faults_failed_(&metrics_.GetCounter("net.faults.failed")),
-        faults_delayed_(&metrics_.GetCounter("net.faults.delayed")) {
+        faults_delayed_(&metrics_.GetCounter("net.faults.delayed")),
+        faults_slowed_(&metrics_.GetCounter("net.faults.slowed")) {
     routing_.store(std::make_shared<const Routing>());
   }
 
@@ -150,6 +151,7 @@ class Transport {
   obs::Counter* faults_dropped_;
   obs::Counter* faults_failed_;
   obs::Counter* faults_delayed_;
+  obs::Counter* faults_slowed_;
 };
 
 }  // namespace propeller::net

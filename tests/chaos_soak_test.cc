@@ -72,7 +72,7 @@ IndexSpec SizeIndex() { return {"by_size", index::IndexType::kBTree, {"size"}}; 
 
 class ChaosSoak {
  public:
-  explicit ChaosSoak(uint64_t seed) : rng_(seed) {
+  explicit ChaosSoak(uint64_t seed, int replication_factor = 1) : rng_(seed) {
     ClusterConfig cfg;
     cfg.index_nodes = 5;
     cfg.master.acg_policy.cluster_target = 8;
@@ -80,6 +80,7 @@ class ChaosSoak {
     cfg.master.acg_policy.merge_limit = 1000;
     cfg.parallel_execution = true;
     cfg.recovery_journal = true;
+    cfg.replication_factor = replication_factor;
     cfg.client.allow_partial_search = true;
     cfg.client.retry.max_attempts = 3;
     cluster_ = std::make_unique<PropellerCluster>(cfg);
@@ -171,9 +172,10 @@ class ChaosSoak {
   FileId next_file_ = 1;
 };
 
-void RunSoak(uint64_t seed) {
-  SCOPED_TRACE("chaos seed " + std::to_string(seed));
-  ChaosSoak soak(seed);
+void RunSoak(uint64_t seed, int replication_factor = 1) {
+  SCOPED_TRACE("chaos seed " + std::to_string(seed) + " r=" +
+               std::to_string(replication_factor));
+  ChaosSoak soak(seed, replication_factor);
   PropellerCluster& cluster = soak.cluster();
 
   // Phase 1 — clean warm-up: exact answers required.
@@ -265,6 +267,18 @@ TEST(ChaosSoakTest, SeededSoakSurvivesFaultsAndNodeLoss) {
     return;
   }
   for (uint64_t seed : {11ull, 23ull, 47ull}) RunSoak(seed);
+}
+
+// The same soak — faults, a transient outage, a permanent wipe of a loaded
+// node — at replication factor 2: every acknowledged write must survive
+// (the final sweeps demand exact answers), with hedged reads and replica
+// promotion active throughout.
+TEST(ChaosSoakTest, ReplicatedSoakLosesNothingAtRTwo) {
+  if (const char* env = std::getenv("PROPELLER_CHAOS_SEED")) {
+    RunSoak(std::strtoull(env, nullptr, 10), /*replication_factor=*/2);
+    return;
+  }
+  for (uint64_t seed : {11ull, 23ull}) RunSoak(seed, /*replication_factor=*/2);
 }
 
 }  // namespace

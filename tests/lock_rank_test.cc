@@ -26,6 +26,7 @@ TEST(LockRankTableTest, MatchesDesignDocOrder) {
       LockRank::kTransportRouting,// net::Transport::mu_
       LockRank::kFaultPlan,       // net::FaultPlan::mu_
       LockRank::kIndexNodeGroups, // core::IndexNode::groups_mu_
+      LockRank::kIndexNodeReplica,// core::IndexNode::replica_mu_
       LockRank::kGroupJournal,    // core::GroupJournal::mu_
       LockRank::kIndexGroupSeal,  // index::IndexGroup::seal_mu_
       LockRank::kIndexGroup,      // index::IndexGroup::mu_
@@ -50,6 +51,7 @@ TEST(LockRankTableTest, NamesAreStable) {
   EXPECT_STREQ(LockRankName(LockRank::kClientCache), "kClientCache");
   EXPECT_STREQ(LockRankName(LockRank::kIndexGroupCache), "kIndexGroupCache");
   EXPECT_STREQ(LockRankName(LockRank::kIndexGroupSeal), "kIndexGroupSeal");
+  EXPECT_STREQ(LockRankName(LockRank::kIndexNodeReplica), "kIndexNodeReplica");
   EXPECT_STREQ(LockRankName(LockRank::kUnranked), "kUnranked");
 }
 

@@ -352,6 +352,56 @@ TEST(TransportFaultTest, MaxTriggersHealsTheRule) {
   EXPECT_EQ(plan->counters().dropped, 3u);
 }
 
+TEST(TransportFaultTest, NodeSlownessStretchesHandlerCostOnAllMethods) {
+  Transport t(sim::NetModel(sim::NetParams{.latency_us = 1000,
+                                           .bandwidth_mb_per_s = 100}));
+  EchoHandler h7, h8;
+  t.Register(7, &h7);
+  t.Register(8, &h8);
+
+  auto clean = t.Call(1, 7, "ping", "x");
+  ASSERT_TRUE(clean.status.ok());
+  auto clean_other = t.Call(1, 7, "other", "x");  // longer method name on wire
+  ASSERT_TRUE(clean_other.status.ok());
+
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->SetNodeSlowness(7, 10.0);
+  t.SetFaultPlan(plan);
+
+  // The handler's 0.001s of work stretches 10x; the wire transfers do not
+  // (a straggler is slow to compute, not slow to be reached).
+  auto slow = t.Call(1, 7, "ping", "x");
+  ASSERT_TRUE(slow.status.ok());
+  EXPECT_EQ(slow.payload, "x!") << "slowed call still runs the handler";
+  EXPECT_DOUBLE_EQ(slow.cost.seconds(), clean.cost.seconds() + 9 * 0.001);
+  // Every method of the slow node is affected — sustained, not per-call.
+  auto slow2 = t.Call(1, 7, "other", "x");
+  EXPECT_DOUBLE_EQ(slow2.cost.seconds(), clean_other.cost.seconds() + 9 * 0.001);
+  EXPECT_EQ(plan->counters().slowed, 2u);
+  // Other nodes are untouched, and no RNG draw was consumed (no rule ran).
+  auto other = t.Call(1, 8, "ping", "x");
+  EXPECT_DOUBLE_EQ(other.cost.seconds(), clean.cost.seconds());
+  EXPECT_EQ(plan->counters().passed, 0u);
+
+  // Slowness composes with a per-call delay rule: delay first, then the
+  // handler stretch on top.
+  plan->AddRule(FaultRule{.dst = 7, .delay_prob = 1.0, .delay_s = 0.25});
+  auto both = t.Call(1, 7, "ping", "x");
+  EXPECT_DOUBLE_EQ(both.cost.seconds(),
+                   clean.cost.seconds() + 0.25 + 9 * 0.001);
+
+  // multiplier <= 1 clears the entry.
+  plan->ClearRules();
+  plan->SetNodeSlowness(7, 1.0);
+  auto healed = t.Call(1, 7, "ping", "x");
+  EXPECT_DOUBLE_EQ(healed.cost.seconds(), clean.cost.seconds());
+
+  // Local calls never fault — slowness included.
+  plan->SetNodeSlowness(7, 10.0);
+  auto local = t.Call(7, 7, "ping", "x");
+  EXPECT_DOUBLE_EQ(local.cost.seconds(), 0.001);
+}
+
 TEST(TransportFaultTest, RuleScopingByDstAndMethod) {
   Transport t;
   EchoHandler h7, h8;
