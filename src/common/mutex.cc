@@ -17,6 +17,8 @@ const char* LockRankName(LockRank rank) {
       return "kTransportRouting";
     case LockRank::kFaultPlan:
       return "kFaultPlan";
+    case LockRank::kIndexNodeAdmission:
+      return "kIndexNodeAdmission";
     case LockRank::kIndexNodeGroups:
       return "kIndexNodeGroups";
     case LockRank::kIndexNodeReplica:

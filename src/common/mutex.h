@@ -54,6 +54,7 @@ enum class LockRank : int {
   kMaster = 10,           // core::MasterNode::mu_ (held across nested RPCs)
   kTransportRouting = 20, // net::Transport::mu_ (handler/down-set snapshot)
   kFaultPlan = 25,        // net::FaultPlan::mu_
+  kIndexNodeAdmission = 28,  // core::IndexNode::admission_mu_ (virtual queue)
   kIndexNodeGroups = 30,  // core::IndexNode::groups_mu_ (shared_mutex)
   kIndexNodeReplica = 32, // core::IndexNode::replica_mu_ (applied-seq map)
   kGroupJournal = 35,     // core::GroupJournal::mu_

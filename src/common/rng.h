@@ -105,4 +105,72 @@ class Rng {
   uint64_t s_[4];
 };
 
+// Skewed variate in [0, 1) biased toward 0: a single uniform draw raised
+// to the `power`-th power by repeated multiplication (power=1 is uniform;
+// larger powers push mass toward small values).  Shared by the dataset
+// builder (file-size skew) and anywhere a cheap monotone skew is enough
+// and a full Zipfian sampler is overkill.  Consumes exactly one draw, and
+// power=2 computes u*u with no std::pow rounding — callers that predate
+// the helper stay bit-identical.
+inline double SkewedUnit(Rng& rng, int power) {
+  double u = rng.UniformDouble();
+  double v = 1.0;
+  for (int i = 0; i < power; ++i) v *= u;
+  return v;
+}
+
+// Exact Zipfian rank sampler over [0, n) (Gray et al., as popularized by
+// YCSB): P(rank k) proportional to 1/(k+1)^theta, theta in (0, 1).  The
+// harmonic normalizer is computed once at construction (O(n)), so sampling
+// is O(1) — unlike Rng::Zipf's power-law approximation this matches the
+// textbook distribution, which matters when benchmark skew must be
+// comparable across runs and engines.  Consumes exactly one draw per
+// Sample().
+class ZipfianSampler {
+ public:
+  ZipfianSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (n_ == 0) n_ = 1;
+    for (uint64_t i = 0; i < n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    }
+    zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Zipfian rank in [0, n): rank 0 is the hottest item.
+  uint64_t Sample(Rng& rng) const {
+    double u = rng.UniformDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < zeta2_) return 1;
+    auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_ = 0;
+  double zeta2_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+// Diurnal rate modulation: a sinusoid over `period_s` swinging the
+// instantaneous rate by +/- `amplitude` around 1.0 (clamped at 0 so a
+// large amplitude yields quiet troughs rather than negative rates).
+// amplitude <= 0 or period_s <= 0 disables modulation (returns 1.0).
+inline double DiurnalFactor(double t_s, double period_s, double amplitude) {
+  if (amplitude <= 0 || period_s <= 0) return 1.0;
+  constexpr double kTwoPi = 6.283185307179586;
+  double f = 1.0 + amplitude * std::sin(kTwoPi * t_s / period_s);
+  return f < 0 ? 0.0 : f;
+}
+
 }  // namespace propeller

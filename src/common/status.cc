@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "STALE_LOCATION";
     case StatusCode::kStaleReplica:
       return "STALE_REPLICA";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

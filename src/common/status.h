@@ -34,6 +34,11 @@ enum class StatusCode {
   // client retries a fresher replica; the lagging one catches up from the
   // group journal on its next tick.
   kStaleReplica,
+  // The serving node's bounded admission queue is full; the request was
+  // shed before any work (no side effects).  Deliberately NOT retryable by
+  // default — retrying into an overloaded node is a retry storm.  Clients
+  // surface it so open-loop callers can account shed load.
+  kOverloaded,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -78,6 +83,9 @@ class Status {
   }
   static Status StaleReplica(std::string m = "") {
     return Status(StatusCode::kStaleReplica, std::move(m));
+  }
+  static Status Overloaded(std::string m = "") {
+    return Status(StatusCode::kOverloaded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -111,6 +111,8 @@ PropellerClient::PropellerClient(NodeId id, net::Transport* transport,
       hedge_cancelled_(&metrics_.GetCounter("client.search.hedge_cancelled")),
       stale_replica_retries_(
           &metrics_.GetCounter("client.search.stale_replica_retries")),
+      shed_searches_(&metrics_.GetCounter("client.search.shed")),
+      shed_updates_(&metrics_.GetCounter("client.update.shed")),
       search_latency_(&metrics_.GetHistogram("client.search.latency_s")),
       update_latency_(&metrics_.GetHistogram("client.batch_update.latency_s")),
       branch_latency_(&metrics_.GetHistogram("client.search.branch_latency_s")) {
@@ -241,7 +243,7 @@ Result<sim::Cost> PropellerClient::CreateIndex(const IndexSpec& spec) {
 }
 
 Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
-                                               double now_s) {
+                                               double now_s, bool admission) {
   if (updates.empty()) return sim::Cost::Zero();
   obs::TraceRoot root(tracer_, "client.batch_update", id_,
                       trace_seq_.fetch_add(1, std::memory_order_relaxed),
@@ -371,6 +373,7 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
         sreq.now_s = now_s;
         sreq.epoch = (caching || config_.replicated) ? epoch : 0;
         if (config_.replicated) sreq.replica_role = kReplicaRolePrimary;
+        sreq.admission = admission ? 1 : 0;
         size_t end = std::min(off + config_.update_batch, bucket.updates.size());
         sreq.updates.assign(
             std::make_move_iterator(bucket.updates.begin() +
@@ -383,6 +386,7 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
           dup.now_s = sreq.now_s;
           dup.epoch = sreq.epoch;
           dup.replica_role = kReplicaRoleSecondary;
+          dup.admission = sreq.admission;
           dup.updates = sreq.updates;
           s.secondary_payloads.push_back(Encode(dup));
         }
@@ -542,10 +546,21 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
     return {code, failed};
   };
 
+  // Shed shipments (kOverloaded) are deliberately NOT repairable: the
+  // node refused the work because its queue is full, and re-offering it
+  // immediately is exactly the retry storm admission control exists to
+  // prevent.  They surface in the returned status; the counter lets
+  // open-loop drivers account shed write load.
+  auto count_shed = [&](const std::vector<Shipment>& ships) {
+    for (const Shipment& s : ships) {
+      if (s.status.code() == StatusCode::kOverloaded) shed_updates_->Add(1);
+    }
+  };
   bool retry = false;
   for (const Shipment& s : shipments) {
     if (!s.status.ok() && is_repairable(s.status)) retry = true;
     if (!s.status.ok() && !is_repairable(s.status)) {
+      count_shed(shipments);
       auto [code, failed] = format_failures(shipments);
       return Status(code, "batch update partially failed (" + failed + ")");
     }
@@ -585,6 +600,7 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
     ship_all(retry_shipments, retry_base);
     auto [code, failed] = format_failures(retry_shipments);
     if (code != StatusCode::kOk) {
+      count_shed(retry_shipments);
       return Status(code, "batch update partially failed (" + failed + ")");
     }
     join(retry_shipments, retry_base);
@@ -596,7 +612,8 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
 }
 
 Result<PropellerClient::SearchOutcome> PropellerClient::Search(
-    const Predicate& predicate, const std::string& index_name) {
+    const Predicate& predicate, const std::string& index_name,
+    double arrival_s) {
   SearchOutcome out;
   obs::TraceRoot root(tracer_, "client.search", id_,
                       trace_seq_.fetch_add(1, std::memory_order_relaxed),
@@ -657,6 +674,7 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
       sreq.predicate = predicate;
       sreq.epoch = (caching || replicated) ? epoch : 0;
       if (replicated) append_floors(sreq.groups, &sreq);
+      sreq.arrival_s = arrival_s;
       payloads[i] = Encode(sreq);
     }
     // Hedge plan: per branch, the groups' first secondaries bucketed by
@@ -717,7 +735,12 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
       const bool primary_ok = pcall.status.ok();
       bool fire = false;
       double threshold = 0;
-      if (!hedge_plan[i].empty()) {
+      // A shed primary (kOverloaded) never hedges: the hedge would dump
+      // the refused load straight onto the replica of an already saturated
+      // group — backpressure must reach the caller, not move sideways.
+      const bool shed =
+          !primary_ok && pcall.status.code() == StatusCode::kOverloaded;
+      if (!hedge_plan[i].empty() && !shed) {
         threshold = HedgeThreshold();
         fire = !primary_ok || c1 > threshold;
       }
@@ -763,6 +786,7 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
           hreq.predicate = predicate;
           hreq.epoch = (caching || replicated) ? epoch : 0;
           append_floors(sgroups, &hreq);
+          hreq.arrival_s = arrival_s;
           obs::ScopedTraceCursor secondary_cursor(hedge_base);
           // A hedge is a fresh call launched t_hedge into the request: it
           // starts its own retry budget but shares the request deadline.
@@ -864,6 +888,10 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
       Branch& b = branches_res[i];
       branches.push_back(b.cost);
       if (!b.status.ok()) {
+        if (b.status.code() == StatusCode::kOverloaded) {
+          out.overloaded = true;
+          shed_searches_->Add(1);
+        }
         if (b.decode_failed) return b.status;
         if (!config_.allow_partial_search) {
           return Status(b.status.code(),

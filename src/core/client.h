@@ -122,8 +122,14 @@ class PropellerClient {
 
   // --- File indexing (real-time path) ---
   // Batches updates by target group (resolved through the master) and
-  // stages them on the owning Index Nodes in parallel.
-  Result<sim::Cost> BatchUpdate(std::vector<FileUpdate> updates, double now_s);
+  // stages them on the owning Index Nodes in parallel.  `admission` stamps
+  // every stage request for the index nodes' bounded admission queues
+  // (open-loop traffic): an overloaded node sheds the batch with
+  // kOverloaded, which is NOT retried or repaired — the caller decides
+  // whether and when to re-offer the load.  Off (the default) the wire
+  // bytes are unchanged.
+  Result<sim::Cost> BatchUpdate(std::vector<FileUpdate> updates, double now_s,
+                                bool admission = false);
 
   // --- File search ---
   struct SearchOutcome {
@@ -138,10 +144,19 @@ class PropellerClient {
     // Index Node could not be reached; node_errors names each one.
     bool partial = false;
     std::vector<NodeError> node_errors;
+    // Backpressure (admission control): at least one branch was shed with
+    // kOverloaded.  The branch is never retried, repaired, or hedged —
+    // re-offering load to a saturated node is the caller's decision.
+    bool overloaded = false;
   };
-  // `index_name` may be empty (all groups are eligible).
+  // `index_name` may be empty (all groups are eligible).  `arrival_s` > 0
+  // stamps the fan-out with the virtual instant the request entered the
+  // system (open-loop traffic): admission-controlled nodes model queueing
+  // delay from that instant and may shed with kOverloaded.  0 (the
+  // default) leaves the wire bytes unchanged.
   Result<SearchOutcome> Search(const Predicate& predicate,
-                               const std::string& index_name = "");
+                               const std::string& index_name = "",
+                               double arrival_s = 0);
   // Query-string form, e.g. "size>16m" or "/data/?size>1m&mtime<1day".
   Result<SearchOutcome> SearchQuery(const std::string& query, int64_t now_s);
 
@@ -217,6 +232,8 @@ class PropellerClient {
   obs::Counter* hedge_wins_;
   obs::Counter* hedge_cancelled_;
   obs::Counter* stale_replica_retries_;
+  obs::Counter* shed_searches_;
+  obs::Counter* shed_updates_;
   obs::Histogram* search_latency_;
   obs::Histogram* update_latency_;
   // Per-branch in.search latencies (successful primaries); feeds the

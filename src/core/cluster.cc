@@ -37,6 +37,10 @@ PropellerCluster::PropellerCluster(ClusterConfig config)
     config_.index_node.result_cache = true;
     config_.client.read_path_caching = true;
   }
+  if (config_.admission_control) {
+    config_.index_node.admission_control = true;
+    config_.index_node.admission_queue_bound = config_.admission_queue_bound;
+  }
   if (config_.segmented_index) {
     config_.index_node.segmented_index = true;
     // Journal compaction needs sealed-segment durability AND a journal to

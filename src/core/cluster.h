@@ -74,6 +74,17 @@ struct ClusterConfig {
   // when the primary runs past the client's observed latency quantile (or
   // fails outright).  ClientConfig::hedge holds the tuning knobs.
   bool hedged_reads = true;
+  // Overload protection (see DESIGN.md "Open-loop traffic & admission
+  // control"): every Index Node runs a bounded virtual-time admission
+  // queue in front of its search workers for arrival-stamped requests
+  // (the open-loop traffic engine stamps its ops; ordinary requests are
+  // unstamped and bypass the queue bit-identically).  A full waiting line
+  // sheds with kOverloaded before any work; clients never retry or hedge
+  // shed requests.  Off by default.
+  bool admission_control = false;
+  // Waiting-line capacity per node; 0 = unbounded (queueing is modeled,
+  // nothing sheds — the "admission off" arm of the saturation bench).
+  size_t admission_queue_bound = 64;
 };
 
 // Aggregate cluster health / recovery view (see PropellerCluster::Stats).

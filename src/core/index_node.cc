@@ -1,6 +1,7 @@
 #include "core/index_node.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "common/logging.h"
@@ -16,11 +17,78 @@ IndexNode::IndexNode(NodeId id, IndexNodeConfig config)
       searches_(&metrics_.GetCounter("in.searches")),
       stage_batches_(&metrics_.GetCounter("in.stage_batches")),
       commit_timeouts_(&metrics_.GetCounter("in.commit_timeouts")),
-      search_latency_(&metrics_.GetHistogram("in.search.latency_s")) {
+      search_latency_(&metrics_.GetHistogram("in.search.latency_s")),
+      admit_admitted_(&metrics_.GetCounter("in.admit.admitted")),
+      admit_shed_(&metrics_.GetCounter("in.admit.shed")),
+      admit_wait_(&metrics_.GetHistogram("in.admit.wait_s")),
+      admit_depth_(&metrics_.GetGauge("in.admit.queue_depth")),
+      admit_depth_peak_(&metrics_.GetGauge("in.admit.queue_peak")) {
   if (config_.parallel_search) {
     search_pool_ = std::make_unique<ThreadPool>(
         std::max<size_t>(1, static_cast<size_t>(config_.search_threads)));
   }
+  if (config_.admission_control) {
+    MutexLock lock(admission_mu_);
+    const auto workers =
+        std::max<size_t>(1, static_cast<size_t>(config_.search_threads));
+    for (size_t i = 0; i < workers; ++i) admit_free_.push(0.0);
+  }
+}
+
+namespace {
+constexpr double kInFlight = std::numeric_limits<double>::infinity();
+}  // namespace
+
+bool IndexNode::AdmissionReserve(double arrival_s) {
+  MutexLock lock(admission_mu_);
+  // Drain requests that finished (in virtual time) before this arrival.
+  while (!admit_outstanding_.empty() &&
+         *admit_outstanding_.begin() <= arrival_s) {
+    admit_outstanding_.erase(admit_outstanding_.begin());
+  }
+  const size_t workers = admit_free_.size();
+  const size_t waiting = admit_outstanding_.size() > workers
+                             ? admit_outstanding_.size() - workers
+                             : 0;
+  if (config_.admission_queue_bound > 0 &&
+      waiting >= config_.admission_queue_bound) {
+    admit_shed_->Add(1);
+    return false;
+  }
+  // Hold an in-flight slot (completion time unknown yet) so concurrent
+  // arrivals see this request occupying the line and the bound stays
+  // strict; Complete/Cancel replaces or releases the sentinel.
+  admit_outstanding_.insert(kInFlight);
+  admit_admitted_->Add(1);
+  const size_t depth = admit_outstanding_.size() > workers
+                           ? admit_outstanding_.size() - workers
+                           : 0;
+  admit_depth_->Set(static_cast<double>(depth));
+  if (static_cast<double>(depth) > admit_depth_peak_->value()) {
+    admit_depth_peak_->Set(static_cast<double>(depth));
+  }
+  return true;
+}
+
+sim::Cost IndexNode::AdmissionComplete(double arrival_s, sim::Cost service) {
+  MutexLock lock(admission_mu_);
+  auto it = admit_outstanding_.find(kInFlight);
+  if (it != admit_outstanding_.end()) admit_outstanding_.erase(it);
+  // Service starts when the earliest worker frees (or at arrival if one is
+  // already idle) and occupies that worker for the service time.
+  const double start = std::max(arrival_s, admit_free_.top());
+  admit_free_.pop();
+  const double finish = start + service.seconds();
+  admit_free_.push(finish);
+  admit_outstanding_.insert(finish);
+  admit_wait_->Observe(start - arrival_s);
+  return sim::Cost(finish - arrival_s);
+}
+
+void IndexNode::AdmissionCancel() {
+  MutexLock lock(admission_mu_);
+  auto it = admit_outstanding_.find(kInFlight);
+  if (it != admit_outstanding_.end()) admit_outstanding_.erase(it);
 }
 
 index::IndexGroup* IndexNode::FindGroup(GroupId id) {
@@ -84,22 +152,47 @@ net::RpcHandler::Response IndexNode::HandleCreateGroup(const std::string& payloa
 net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& payload) {
   auto req = Decode<StageUpdatesRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
+  // Admission-stamped batches queue behind the node's workers; shedding
+  // happens here, before the journal append or any staging, so a shed
+  // batch has no side effects whatsoever.
+  const bool admitted = config_.admission_control && req->admission != 0;
+  if (admitted && !AdmissionReserve(req->now_s)) {
+    return Response{Status::Overloaded("admission queue full"), {},
+                    sim::Cost(10e-6)};  // metadata-only work
+  }
+  Response out = StageUpdatesAdmitted(*req);
+  if (admitted) {
+    if (out.status.ok()) {
+      const double service = out.cost.seconds();
+      out.cost = AdmissionComplete(req->now_s, out.cost);
+      if (obs::CurrentTrace().active()) {
+        obs::CurrentTrace().now_s += out.cost.seconds() - service;
+      }
+    } else {
+      AdmissionCancel();
+    }
+  }
+  return out;
+}
+
+net::RpcHandler::Response IndexNode::StageUpdatesAdmitted(
+    StageUpdatesRequest& req) {
   ReaderMutexLock lock(groups_mu_);
-  index::IndexGroup* group = Find(req->group);
+  index::IndexGroup* group = Find(req.group);
   if (group == nullptr) {
     // A request stamped with a placement epoch came from a client-side
     // cache: tell it the routing went stale so it re-resolves once and
     // retries.  Unstamped (legacy) requests keep the NotFound contract.
-    if (req->epoch > 0) {
+    if (req.epoch > 0) {
       return Response{Status::StaleLocation("group moved"), {},
                       sim::Cost(10e-6)};  // metadata-only work
     }
     return Response{Status::NotFound("no such group"), {}, {}};
   }
   stage_batches_->Add(1);
-  obs::SpanGuard span("wal.append", req->group, id_);
-  span.Tag("group", req->group);
-  span.Tag("records", static_cast<uint64_t>(req->updates.size()));
+  obs::SpanGuard span("wal.append", req.group, id_);
+  span.Tag("group", req.group);
+  span.Tag("records", static_cast<uint64_t>(req.updates.size()));
   sim::Cost cost;
   // Replicate to the shared recovery journal before staging (StageUpdate
   // consumes the update), so a node lost after acking can be rebuilt.
@@ -107,27 +200,27 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
   // durable copy — and the assigned commit sequence is acked back to the
   // client as its read-your-writes floor.  Secondaries stage in memory
   // and count what they applied so floor checks can prove freshness.
-  const bool secondary = req->replica_role == kReplicaRoleSecondary;
+  const bool secondary = req.replica_role == kReplicaRoleSecondary;
   uint64_t acked_seq = 0;
   if (config_.recovery_journal != nullptr && !secondary) {
     cost += config_.recovery_journal->AppendBatch(
-        req->group, req->updates,
-        req->replica_role == kReplicaRolePrimary ? &acked_seq : nullptr);
+        req.group, req.updates,
+        req.replica_role == kReplicaRolePrimary ? &acked_seq : nullptr);
   }
-  const uint64_t count = req->updates.size();
+  const uint64_t count = req.updates.size();
   // StageUpdate also stamps the group's oldest-pending clock (first stager
   // after a commit claims the commit-timeout slot) — atomically with the
   // staging itself, under the group mutex.
-  for (FileUpdate& u : req->updates) {
-    cost += group->StageUpdate(std::move(u), req->now_s);
+  for (FileUpdate& u : req.updates) {
+    cost += group->StageUpdate(std::move(u), req.now_s);
   }
   span.Advance(cost);
-  if (req->replica_role == kReplicaRoleNone) {
+  if (req.replica_role == kReplicaRoleNone) {
     return Response{Status::Ok(), {}, cost};
   }
   {
     MutexLock rlock(replica_mu_);
-    uint64_t& applied = applied_seq_[req->group];
+    uint64_t& applied = applied_seq_[req.group];
     if (secondary) {
       applied += count;
       acked_seq = applied;
@@ -143,16 +236,40 @@ net::RpcHandler::Response IndexNode::HandleStageUpdates(const std::string& paylo
 net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
   auto req = Decode<SearchRequest>(payload);
   if (!req.ok()) return Response{req.status(), {}, {}};
+  // Arrival-stamped searches (open-loop traffic) queue behind the node's
+  // workers in virtual time; a full waiting line sheds the request before
+  // it touches any group.  The reported cost becomes the full sojourn
+  // (queueing delay + service makespan).
+  const bool admitted = config_.admission_control && req->arrival_s > 0;
+  if (admitted && !AdmissionReserve(req->arrival_s)) {
+    return Response{Status::Overloaded("admission queue full"), {},
+                    sim::Cost(10e-6)};  // metadata-only work
+  }
+  Response out = SearchAdmitted(*req);
+  if (admitted) {
+    if (out.status.ok()) {
+      const double service = out.cost.seconds();
+      out.cost = AdmissionComplete(req->arrival_s, out.cost);
+      if (obs::CurrentTrace().active()) {
+        obs::CurrentTrace().now_s += out.cost.seconds() - service;
+      }
+    } else {
+      AdmissionCancel();
+    }
+  }
+  return out;
+}
 
+net::RpcHandler::Response IndexNode::SearchAdmitted(SearchRequest& req) {
   // Hold the map lock (shared) for the whole request so a concurrent
   // migrate-out cannot free a group under the workers.
   ReaderMutexLock lock(groups_mu_);
   // Read-your-writes floors: refuse to serve when this replica has not yet
   // applied everything the client saw acked.  The client retries a fresher
   // replica; anti-entropy closes the gap on the next tick.
-  if (!req->min_seqs.empty()) {
+  if (!req.min_seqs.empty()) {
     MutexLock rlock(replica_mu_);
-    for (const SearchRequest::GroupSeqFloor& f : req->min_seqs) {
+    for (const SearchRequest::GroupSeqFloor& f : req.min_seqs) {
       auto it = applied_seq_.find(f.group);
       const uint64_t applied = it == applied_seq_.end() ? 0 : it->second;
       if (applied < f.seq) {
@@ -164,14 +281,14 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
     }
   }
   std::vector<index::IndexGroup*> targets;
-  targets.reserve(req->groups.size());
-  for (GroupId gid : req->groups) {
+  targets.reserve(req.groups.size());
+  for (GroupId gid : req.groups) {
     index::IndexGroup* group = Find(gid);
     if (group == nullptr) {
       // Epoch-stamped searches come from a client placement cache: a
       // missing group means that cache is stale, and silently skipping it
       // would drop results.  Fail fast so the client re-resolves + retries.
-      if (req->epoch > 0) {
+      if (req.epoch > 0) {
         return Response{Status::StaleLocation("group moved"), {},
                         sim::Cost(10e-6)};  // metadata-only work
       }
@@ -194,7 +311,7 @@ net::RpcHandler::Response IndexNode::HandleSearch(const std::string& payload) {
   // can never have its timeout stamp wiped while its update stays pending.
   auto run_one = [&](size_t i) {
     obs::ScopedTraceCursor branch(fanout_base);
-    results[i] = targets[i]->Search(req->predicate);
+    results[i] = targets[i]->Search(req.predicate);
   };
   if (search_pool_ != nullptr && targets.size() > 1) {
     auto futures = search_pool_->SubmitBatch(targets.size(), run_one);

@@ -22,6 +22,8 @@
 
 #include <map>
 #include <memory>
+#include <queue>
+#include <set>
 #include <vector>
 
 #include "common/mutex.h"
@@ -73,6 +75,17 @@ struct IndexNodeConfig {
   // (kStaleReplica when behind), and in.tick runs anti-entropy catch-up
   // from the shared journal.  Requires recovery_journal.
   bool replicated = false;
+  // Overload protection (open-loop traffic): arrival-stamped requests run
+  // through a bounded virtual-time admission queue in front of the node's
+  // `search_threads` workers.  When the waiting line is full the request
+  // is shed with kOverloaded *before* any work (no journal append, no
+  // staging, no search).  Unstamped requests bypass the queue entirely,
+  // so with the traffic engine unused costs and wire bytes are unchanged.
+  bool admission_control = false;
+  // Waiting-line capacity (requests queued beyond the busy workers).
+  // 0 = unbounded: queueing delay is still modeled, nothing is ever shed
+  // — the "admission off" configuration of the saturation bench.
+  size_t admission_queue_bound = 64;
 };
 
 class IndexNode : public net::RpcHandler {
@@ -111,6 +124,11 @@ class IndexNode : public net::RpcHandler {
   Response HandleCreateGroup(const std::string& payload);
   Response HandleStageUpdates(const std::string& payload);
   Response HandleSearch(const std::string& payload);
+  // The post-admission bodies: all index work happens here, after the
+  // admission queue has decided the request runs at all.  Both take the
+  // decoded request by reference (updates are consumed by staging).
+  Response StageUpdatesAdmitted(StageUpdatesRequest& req);
+  Response SearchAdmitted(SearchRequest& req);
   Response HandleTick(const std::string& payload);
   Response HandleMigrateOut(const std::string& payload);
   Response HandleInstallGroup(const std::string& payload);
@@ -139,6 +157,19 @@ class IndexNode : public net::RpcHandler {
   Status CatchUpGroupLocked(GroupId gid, uint64_t* replayed,
                             sim::Cost* cost_out) REQUIRES(groups_mu_);
 
+  // --- admission queue (virtual-time G/G/k in front of the workers) ---
+  // Reserve admits or sheds an arrival: drains completions up to
+  // `arrival_s`, then refuses (false) when the waiting line is at the
+  // bound.  An admitted request holds an in-flight slot until Complete
+  // (success: models the wait + service and returns the full sojourn as
+  // the response cost) or Cancel (error paths that did no index work).
+  // admission_mu_ ranks *below* groups_mu_ and is never held across
+  // either call's return, so the queue can shed without touching any
+  // group state.
+  bool AdmissionReserve(double arrival_s);
+  sim::Cost AdmissionComplete(double arrival_s, sim::Cost service);
+  void AdmissionCancel();
+
   NodeId id_;
   IndexNodeConfig config_;
   sim::IoContext io_;
@@ -158,11 +189,26 @@ class IndexNode : public net::RpcHandler {
   std::map<GroupId, uint64_t> applied_seq_ GUARDED_BY(replica_mu_);
   // Per-node search worker pool; null when parallel_search is off.
   std::unique_ptr<ThreadPool> search_pool_;
+  // Admission queue state (virtual time).  `admit_free_` holds one entry
+  // per worker: the virtual instant it frees up.  `admit_outstanding_`
+  // holds the completion time of every admitted-but-not-yet-drained
+  // request (+inf sentinel while the request is executing), so the
+  // waiting-line depth at an arrival is outstanding-minus-workers.
+  mutable Mutex admission_mu_{LockRank::kIndexNodeAdmission,
+                              "IndexNode::admission_mu_"};
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      admit_free_ GUARDED_BY(admission_mu_);
+  std::multiset<double> admit_outstanding_ GUARDED_BY(admission_mu_);
   obs::MetricsRegistry metrics_;
   obs::Counter* searches_;
   obs::Counter* stage_batches_;
   obs::Counter* commit_timeouts_;
   obs::Histogram* search_latency_;
+  obs::Counter* admit_admitted_;
+  obs::Counter* admit_shed_;
+  obs::Histogram* admit_wait_;
+  obs::Gauge* admit_depth_;       // waiting-line depth after latest arrival
+  obs::Gauge* admit_depth_peak_;  // high-water mark of the waiting line
 };
 
 }  // namespace propeller::core

@@ -202,7 +202,12 @@ void StageUpdatesRequest::Serialize(BinaryWriter& w) const {
   w.PutDouble(now_s);
   w.PutU32(static_cast<uint32_t>(updates.size()));
   for (const FileUpdate& u : updates) u.Serialize(w);
-  if (replica_role != kReplicaRoleNone) {
+  if (admission != 0) {
+    // Admission implies role and epoch are present (values may be 0).
+    w.PutU64(epoch);
+    w.PutU8(replica_role);
+    w.PutU8(admission);
+  } else if (replica_role != kReplicaRoleNone) {
     // Role implies the epoch field is present (its value may be 0).
     w.PutU64(epoch);
     w.PutU8(replica_role);
@@ -223,8 +228,11 @@ Status StageUpdatesRequest::Deserialize(BinaryReader& r, StageUpdatesRequest& ou
   }
   PROPELLER_RETURN_IF_ERROR(GetTrailingEpoch(r, out.epoch));
   out.replica_role = kReplicaRoleNone;
+  out.admission = 0;
   if (r.AtEnd()) return Status::Ok();
-  return r.GetU8(out.replica_role);
+  PROPELLER_RETURN_IF_ERROR(r.GetU8(out.replica_role));
+  if (r.AtEnd()) return Status::Ok();
+  return r.GetU8(out.admission);
 }
 
 void StageUpdatesResponse::Serialize(BinaryWriter& w) const { w.PutU64(seq); }
@@ -239,14 +247,17 @@ void SearchRequest::Serialize(BinaryWriter& w) const {
   w.PutU32(static_cast<uint32_t>(groups.size()));
   for (GroupId g : groups) w.PutU64(g);
   predicate.Serialize(w);
-  if (!min_seqs.empty()) {
-    // Floors imply the epoch field is present (its value may be 0).
+  if (arrival_s > 0 || !min_seqs.empty()) {
+    // Floors (or an arrival stamp) imply the epoch field is present (its
+    // value may be 0); the stamp additionally implies the floor list is
+    // present (it may be empty).
     w.PutU64(epoch);
     w.PutU32(static_cast<uint32_t>(min_seqs.size()));
     for (const GroupSeqFloor& f : min_seqs) {
       w.PutU64(f.group);
       w.PutU64(f.seq);
     }
+    if (arrival_s > 0) w.PutDouble(arrival_s);
   } else {
     PutTrailingEpoch(w, epoch);
   }
@@ -263,6 +274,7 @@ Status SearchRequest::Deserialize(BinaryReader& r, SearchRequest& out) {
   PROPELLER_RETURN_IF_ERROR(Predicate::Deserialize(r, out.predicate));
   PROPELLER_RETURN_IF_ERROR(GetTrailingEpoch(r, out.epoch));
   out.min_seqs.clear();
+  out.arrival_s = 0;
   if (r.AtEnd()) return Status::Ok();
   uint32_t nf = 0;
   PROPELLER_RETURN_IF_ERROR(r.GetU32(nf));
@@ -272,7 +284,8 @@ Status SearchRequest::Deserialize(BinaryReader& r, SearchRequest& out) {
     PROPELLER_RETURN_IF_ERROR(r.GetU64(f.seq));
     out.min_seqs.push_back(f);
   }
-  return Status::Ok();
+  if (r.AtEnd()) return Status::Ok();
+  return r.GetDouble(out.arrival_s);
 }
 
 void SearchResponse::Serialize(BinaryWriter& w) const {

@@ -161,6 +161,12 @@ struct StageUpdatesRequest {
   // bytes are unchanged); when written, the epoch field is always written
   // first.
   uint8_t replica_role = kReplicaRoleNone;
+  // Trailing-optional admission flag (open-loop traffic): non-zero asks
+  // the node to run this batch through its bounded admission queue at
+  // virtual time `now_s` (kOverloaded on overflow, before any staging).
+  // Absent when 0 — unstamped wire bytes are unchanged; when written, the
+  // epoch and replica_role fields are always written first.
+  uint8_t admission = 0;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, StageUpdatesRequest& out);
 };
@@ -189,6 +195,13 @@ struct SearchRequest {
     uint64_t seq = 0;
   };
   std::vector<GroupSeqFloor> min_seqs;
+  // Trailing-optional arrival stamp (open-loop traffic): > 0 carries the
+  // virtual time the request entered the system, asking the node to model
+  // queueing delay at its bounded admission queue (kOverloaded on
+  // overflow).  Absent when 0 — unstamped wire bytes are unchanged; when
+  // written, the epoch and min_seqs sections are always written first
+  // (the floor list may be empty).
+  double arrival_s = 0;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, SearchRequest& out);
 };

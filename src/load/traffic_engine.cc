@@ -1,0 +1,213 @@
+#include "load/traffic_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cluster.h"
+
+namespace propeller::load {
+namespace {
+
+// Scatters a (tenant, popularity rank) pair over the file universe so each
+// tenant's hot set is a different, arbitrary-looking set of ids rather
+// than ids 1..k.  Pure function of its inputs — the chaos soak recomputes
+// it when auditing what an acknowledged update must have written.
+uint64_t FileFor(uint32_t tenant, uint64_t rank, uint64_t num_files) {
+  if (num_files == 0) num_files = 1;
+  uint64_t h = rank ^ (static_cast<uint64_t>(tenant) + 1) * 0x9e3779b97f4a7c15ULL;
+  h = SplitMix64(h);
+  return 1 + h % num_files;
+}
+
+// Exact percentile over a sorted sample (nearest-rank).
+double PercentileOf(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double idx = p / 100.0 * static_cast<double>(sorted.size());
+  auto k = static_cast<size_t>(std::ceil(idx));
+  if (k == 0) k = 1;
+  if (k > sorted.size()) k = sorted.size();
+  return sorted[k - 1];
+}
+
+}  // namespace
+
+OpenLoopEngine::OpenLoopEngine(TrafficSpec spec) : spec_(std::move(spec)) {
+  if (spec_.tenants.empty()) spec_.tenants.push_back(TenantSpec{});
+  if (spec_.num_files == 0) spec_.num_files = 1;
+
+  double total_weight = 0;
+  for (const TenantSpec& t : spec_.tenants) {
+    total_weight += t.weight > 0 ? t.weight : 0;
+  }
+  if (total_weight <= 0) total_weight = 1;
+
+  std::vector<ZipfianSampler> samplers;
+  samplers.reserve(spec_.tenants.size());
+  for (const TenantSpec& t : spec_.tenants) {
+    double theta = t.zipf_theta;
+    if (theta <= 0 || theta >= 1) theta = 0.9;
+    samplers.emplace_back(spec_.num_files, theta);
+  }
+
+  if (spec_.offered_qps <= 0 || spec_.duration_s <= 0) return;
+
+  // Poisson arrivals by thinning: generate at the envelope's peak rate,
+  // then accept each candidate with probability rate(t)/peak.  With no
+  // diurnal swing the acceptance probability is exactly 1 and every
+  // candidate survives; either way the result is a non-homogeneous
+  // Poisson process with intensity offered_qps * DiurnalFactor(t).
+  Rng rng(spec_.seed);
+  const double amplitude = std::max(0.0, spec_.diurnal_amplitude);
+  const double peak_qps = spec_.offered_qps * (1.0 + amplitude);
+  const double end_s = spec_.start_s + spec_.duration_s;
+  schedule_.reserve(static_cast<size_t>(spec_.offered_qps * spec_.duration_s));
+  for (double t = spec_.start_s;;) {
+    t += rng.Exponential(1.0 / peak_qps);
+    if (t >= end_s) break;
+    const double rate =
+        spec_.offered_qps * DiurnalFactor(t - spec_.start_s,
+                                          spec_.diurnal_period_s,
+                                          spec_.diurnal_amplitude);
+    if (!rng.Bernoulli(rate / peak_qps)) continue;
+
+    Arrival a;
+    a.t_s = t;
+    double w = rng.UniformDouble() * total_weight;
+    a.tenant = 0;
+    for (size_t i = 0; i + 1 < spec_.tenants.size(); ++i) {
+      const double share =
+          spec_.tenants[i].weight > 0 ? spec_.tenants[i].weight : 0;
+      if (w < share) break;
+      w -= share;
+      a.tenant = static_cast<uint32_t>(i + 1);
+    }
+    a.op = rng.Bernoulli(spec_.tenants[a.tenant].search_fraction)
+               ? OpKind::kSearch
+               : OpKind::kUpdate;
+    a.rank = samplers[a.tenant].Sample(rng);
+    a.file = FileFor(a.tenant, a.rank, spec_.num_files);
+    schedule_.push_back(a);
+  }
+}
+
+index::FileUpdate OpenLoopEngine::UpdateFor(const Arrival& a) {
+  index::FileUpdate u;
+  u.file = a.file;
+  // Size is a pure function of (file, rank): hot files keep large sizes so
+  // the rank-threshold predicates in PredicateFor() match the hot set.
+  uint64_t h = a.file ^ (a.rank << 32);
+  const int64_t size =
+      4096 + static_cast<int64_t>(SplitMix64(h) % (64ULL << 20));
+  u.attrs.Set("size", index::AttrValue(size));
+  u.attrs.Set("mtime", index::AttrValue(static_cast<int64_t>(a.t_s)));
+  return u;
+}
+
+index::Predicate OpenLoopEngine::PredicateFor(const Arrival& a) {
+  // A popularity-skewed "keyword": the rank buckets into one of 16 size
+  // thresholds, so hot ranks re-ask the same handful of queries (which is
+  // what makes server-side result caches and admission queues see a
+  // realistic repeat distribution).
+  index::Predicate p;
+  const int64_t threshold = static_cast<int64_t>(1 + a.rank % 16) * (64 << 10);
+  p.And("size", index::CmpOp::kGe, index::AttrValue(threshold));
+  return p;
+}
+
+RunStats OpenLoopEngine::Run(core::PropellerCluster& cluster,
+                             const RunOptions& opts) {
+  RunStats stats;
+  stats.tenants.resize(spec_.tenants.size());
+  for (size_t i = 0; i < spec_.tenants.size(); ++i) {
+    stats.tenants[i].name = spec_.tenants[i].name;
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(schedule_.size());
+  const double tick =
+      opts.tick_interval_s > 0 ? opts.tick_interval_s : 0.05;
+
+  for (const Arrival& a : schedule_) {
+    // Walk the cluster clock up to the arrival instant in tick-sized
+    // steps so commit timeouts and heartbeats fire on their own cadence
+    // while the traffic runs.
+    while (cluster.now() < a.t_s) {
+      cluster.AdvanceTime(std::min(tick, a.t_s - cluster.now()));
+    }
+
+    TenantStats& ts = stats.tenants[a.tenant];
+    ++stats.offered;
+    ++ts.offered;
+
+    Fate fate = Fate::kFailed;
+    Status status = Status::Ok();
+    double latency_s = 0;
+    if (a.op == OpKind::kSearch) {
+      ++ts.searches;
+      auto r = cluster.client().Search(PredicateFor(a), "", a.t_s);
+      status = r.status();
+      if (r.ok()) {
+        latency_s = r.value().cost.seconds();
+        fate = r.value().overloaded ? Fate::kShed : Fate::kOk;
+      } else if (r.status().code() == StatusCode::kOverloaded) {
+        fate = Fate::kShed;
+      }
+    } else {
+      ++ts.updates;
+      auto r = cluster.client().BatchUpdate({UpdateFor(a)}, a.t_s,
+                                            /*admission=*/true);
+      status = r.status();
+      if (r.ok()) {
+        latency_s = r.value().seconds();
+        fate = Fate::kOk;
+      } else if (r.status().code() == StatusCode::kOverloaded) {
+        fate = Fate::kShed;
+      }
+    }
+
+    switch (fate) {
+      case Fate::kOk:
+        ++stats.ok;
+        ++ts.ok;
+        latencies.push_back(latency_s);
+        if (opts.deadline_s <= 0 || latency_s <= opts.deadline_s) {
+          ++stats.good;
+          ++ts.good;
+        }
+        break;
+      case Fate::kShed:
+        ++stats.shed;
+        ++ts.shed;
+        break;
+      case Fate::kFailed:
+        ++stats.failed;
+        ++ts.failed;
+        break;
+    }
+    if (opts.sink) opts.sink(a, fate, status, latency_s);
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_s = PercentileOf(latencies, 50);
+  stats.p99_s = PercentileOf(latencies, 99);
+  if (!latencies.empty()) {
+    double sum = 0;
+    for (double v : latencies) sum += v;
+    stats.mean_s = sum / static_cast<double>(latencies.size());
+    stats.max_s = latencies.back();
+  }
+  for (size_t i = 0; i < cluster.num_index_nodes(); ++i) {
+    obs::MetricsSnapshot snap = cluster.index_node(i).MetricsSnapshot();
+    auto it = snap.gauges.find("in.admit.queue_peak");
+    if (it != snap.gauges.end()) {
+      stats.queue_peak = std::max(stats.queue_peak, it->second);
+    }
+  }
+  stats.goodput_qps =
+      spec_.duration_s > 0
+          ? static_cast<double>(stats.good) / spec_.duration_s
+          : 0;
+  return stats;
+}
+
+}  // namespace propeller::load

@@ -1,0 +1,116 @@
+// Open-loop traffic engine: drives a PropellerCluster with a precomputed,
+// seed-deterministic arrival schedule at a configurable offered rate —
+// including rates past the cluster's capacity, which is the regime a
+// closed-loop driver can never reach (closed loops self-throttle: the next
+// request waits for the previous response, so offered load collapses to
+// capacity exactly when overload behavior matters most).
+//
+// The schedule is generated entirely at construction from TrafficSpec
+// (Poisson arrivals at the offered rate via exponential inter-arrival
+// times, thinned against the diurnal envelope, tenant picked by weight,
+// op kind by the tenant's mix, target by the tenant's Zipfian sampler),
+// so two engines built from the same spec produce bit-identical schedules
+// and Run() against identically-configured clusters produces bit-identical
+// outcomes.  Run() executes arrivals in order on the simulated clock and
+// stamps every op with its arrival instant, which is what activates the
+// index nodes' virtual-time admission queues (see DESIGN.md "Open-loop
+// traffic & admission control").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "index/index_group.h"
+#include "index/query.h"
+#include "load/workload.h"
+
+namespace propeller::core {
+class PropellerCluster;
+}  // namespace propeller::core
+
+namespace propeller::load {
+
+// How each offered op ended.
+enum class Fate : uint8_t {
+  kOk,    // acknowledged (search answered / update acked end-to-end)
+  kShed,  // admission queue full somewhere: kOverloaded, zero side effects
+  kFailed  // any other error (node down, deadline, ...)
+};
+
+struct RunOptions {
+  // Cluster-clock cadence between arrivals (commit timeouts, heartbeats).
+  double tick_interval_s = 0.05;
+  // Goodput deadline: an acknowledged op whose end-to-end simulated latency
+  // exceeds this is completed but not "good" — that is how an unbounded
+  // queue shows up as collapsed goodput instead of a slow success.
+  // 0 = no deadline (every acknowledged op is good).
+  double deadline_s = 1.0;
+  // Observer invoked for every executed arrival (after classification):
+  // chaos tests use it to build the acknowledged-write model.
+  std::function<void(const Arrival&, Fate, const Status&, double latency_s)>
+      sink;
+};
+
+struct TenantStats {
+  std::string name;
+  uint64_t offered = 0;
+  uint64_t searches = 0;
+  uint64_t updates = 0;
+  uint64_t ok = 0;
+  uint64_t good = 0;  // ok and within deadline
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+};
+
+struct RunStats {
+  uint64_t offered = 0;
+  uint64_t ok = 0;
+  uint64_t good = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  // Exact percentiles over the acknowledged ops' end-to-end latencies.
+  double p50_s = 0;
+  double p99_s = 0;
+  double mean_s = 0;
+  double max_s = 0;
+  // Deepest admission waiting line observed on any index node
+  // ("in.admit.queue_peak"); 0 when admission control is off.
+  double queue_peak = 0;
+  // good / spec.duration_s.
+  double goodput_qps = 0;
+  std::vector<TenantStats> tenants;
+};
+
+class OpenLoopEngine {
+ public:
+  // Builds the full arrival schedule; deterministic in spec (incl. seed).
+  explicit OpenLoopEngine(TrafficSpec spec);
+
+  const TrafficSpec& spec() const { return spec_; }
+  const std::vector<Arrival>& schedule() const { return schedule_; }
+
+  // The concrete operation for an arrival, derived deterministically from
+  // the arrival alone — tests and the chaos soak recompute these to check
+  // what the cluster must contain without recording anything during the
+  // run.
+  static index::FileUpdate UpdateFor(const Arrival& a);
+  static index::Predicate PredicateFor(const Arrival& a);
+
+  // Executes the schedule in arrival order against `cluster` via its
+  // default client, advancing the cluster clock in tick_interval_s steps
+  // between arrivals.  Searches are stamped with the arrival instant;
+  // updates are stamped and flagged for admission.  Never throws the
+  // offered load away on failure — every arrival is issued exactly once
+  // and classified (open loop: no retries from the driver either).
+  RunStats Run(core::PropellerCluster& cluster, const RunOptions& opts = {});
+
+ private:
+  TrafficSpec spec_;
+  std::vector<Arrival> schedule_;
+};
+
+}  // namespace propeller::load

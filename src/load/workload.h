@@ -1,0 +1,62 @@
+// Open-loop workload specification: who sends what, how fast, and when.
+//
+// The traffic engine (traffic_engine.h) turns a TrafficSpec into a
+// deterministic arrival schedule: a seeded Poisson process at the offered
+// rate (optionally modulated by a diurnal sinusoid), split across tenants
+// by weight, each tenant mixing searches and updates at its own ratio and
+// picking targets by its own Zipfian popularity skew.  Everything runs on
+// the simulated clock — the same spec and seed always produce the exact
+// same schedule, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace propeller::load {
+
+// One traffic class sharing the offered load.
+struct TenantSpec {
+  std::string name = "default";
+  // Share of the offered rate (normalized across tenants).
+  double weight = 1.0;
+  // Mix: fraction of this tenant's ops that are searches; the rest are
+  // single-batch index updates.
+  double search_fraction = 0.9;
+  // Popularity skew for this tenant's target files and query keywords
+  // (rank 0 hottest); theta in (0, 1), larger = more skew.
+  double zipf_theta = 0.9;
+};
+
+struct TrafficSpec {
+  // Offered arrival rate across all tenants (requests per simulated
+  // second).  The engine is open-loop: arrivals keep coming at this rate
+  // whether or not the cluster keeps up — that is the point.
+  double offered_qps = 100.0;
+  double duration_s = 10.0;
+  // Virtual time of the first possible arrival (schedule times are
+  // absolute, in the cluster clock's timebase).
+  double start_s = 0.0;
+  uint64_t seed = 42;
+  // Diurnal swing: instantaneous rate = offered_qps * (1 + amplitude *
+  // sin(2*pi*t/period)), clamped at 0.  amplitude 0 = flat rate.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_s = 86400.0;
+  // Popularity universe: ops target file ids in [1, num_files].
+  uint64_t num_files = 10'000;
+  std::vector<TenantSpec> tenants;  // empty = one default tenant
+};
+
+enum class OpKind : uint8_t { kSearch, kUpdate };
+
+// One scheduled request.  `rank` is the Zipfian popularity rank the op
+// drew (0 = hottest); `file` is the concrete target id derived from it.
+struct Arrival {
+  double t_s = 0;
+  uint32_t tenant = 0;
+  OpKind op = OpKind::kSearch;
+  uint64_t rank = 0;
+  uint64_t file = 0;
+};
+
+}  // namespace propeller::load

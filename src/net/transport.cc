@@ -108,6 +108,12 @@ Transport::CallResult Transport::Call(NodeId from, NodeId to,
     }
   }
   out.status = resp.status;
+  // Backpressure visibility: count shed responses (kOverloaded) at the
+  // transport so saturation shows up in net-level metrics regardless of
+  // which handler or caller was involved.
+  if (resp.status.code() == StatusCode::kOverloaded) {
+    responses_overloaded_->Add(1);
+  }
   if (remote) {
     // A failed handler already consumed the request transfer (charged above)
     // and its own work; the error travels back as a small status-only frame

@@ -64,7 +64,9 @@ class Transport {
         faults_dropped_(&metrics_.GetCounter("net.faults.dropped")),
         faults_failed_(&metrics_.GetCounter("net.faults.failed")),
         faults_delayed_(&metrics_.GetCounter("net.faults.delayed")),
-        faults_slowed_(&metrics_.GetCounter("net.faults.slowed")) {
+        faults_slowed_(&metrics_.GetCounter("net.faults.slowed")),
+        responses_overloaded_(
+            &metrics_.GetCounter("net.responses.overloaded")) {
     routing_.store(std::make_shared<const Routing>());
   }
 
@@ -152,6 +154,7 @@ class Transport {
   obs::Counter* faults_failed_;
   obs::Counter* faults_delayed_;
   obs::Counter* faults_slowed_;
+  obs::Counter* responses_overloaded_;
 };
 
 }  // namespace propeller::net

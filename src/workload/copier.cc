@@ -5,16 +5,16 @@
 namespace propeller::workload {
 
 Result<uint64_t> FpsCopier::AdvanceTo(double now_s) {
-  if (fps_ <= 0 || now_s <= last_s_) {
-    last_s_ = now_s;
-    return uint64_t{0};
-  }
-  budget_ += (now_s - last_s_) * fps_;
-  last_s_ = now_s;
-
+  if (fps_ <= 0 || now_s <= 0) return uint64_t{0};
+  // Absolute schedule: copy #k is due at (k+1)/fps.  Deriving the due
+  // count from the clock directly (instead of accumulating a float budget
+  // per call) makes the copy count a function of `now_s` alone, so one
+  // big step copies exactly what many small steps at the same rate would
+  // — and a non-monotone clock can never re-earn budget for time already
+  // consumed.
+  auto due = static_cast<uint64_t>(now_s * fps_);
   uint64_t n = 0;
-  while (budget_ >= 1.0) {
-    budget_ -= 1.0;
+  while (copied_ < due) {
     // Copied files keep realistic extensions (some Spotlight-supported).
     const char* ext = rng_.Bernoulli(0.6) ? "txt" : "bin";
     std::string path = Sprintf("%s/copy_%llu.%s", dest_dir_.c_str(),

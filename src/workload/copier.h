@@ -35,8 +35,6 @@ class FpsCopier {
   std::string dest_dir_;
   Rng rng_;
   double large_prob_ = 0.1;
-  double last_s_ = 0;
-  double budget_ = 0;
   uint64_t copied_ = 0;
   uint64_t pid_ = 900'000;  // copier processes get their own pid range
 };

@@ -20,10 +20,11 @@ int64_t PickSize(Rng& rng, const DatasetSpec& spec) {
     return spec.large_size +
            static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(spec.large_size) * 4));
   }
-  // Skewed small sizes around the median.
-  double u = rng.UniformDouble();
+  // Skewed small sizes around the median (shared sampler; power 2 keeps
+  // the historical u*u draw sequence bit-identical).
+  double u2 = SkewedUnit(rng, 2);
   return 1 + static_cast<int64_t>(static_cast<double>(spec.median_size) *
-                                  (0.25 + 1.5 * u * u));
+                                  (0.25 + 1.5 * u2));
 }
 
 // Deterministic directory path for file index `i`: a tree with the

@@ -25,6 +25,7 @@ TEST(LockRankTableTest, MatchesDesignDocOrder) {
       LockRank::kMaster,          // core::MasterNode::mu_
       LockRank::kTransportRouting,// net::Transport::mu_
       LockRank::kFaultPlan,       // net::FaultPlan::mu_
+      LockRank::kIndexNodeAdmission, // core::IndexNode::admission_mu_
       LockRank::kIndexNodeGroups, // core::IndexNode::groups_mu_
       LockRank::kIndexNodeReplica,// core::IndexNode::replica_mu_
       LockRank::kGroupJournal,    // core::GroupJournal::mu_
@@ -52,6 +53,8 @@ TEST(LockRankTableTest, NamesAreStable) {
   EXPECT_STREQ(LockRankName(LockRank::kIndexGroupCache), "kIndexGroupCache");
   EXPECT_STREQ(LockRankName(LockRank::kIndexGroupSeal), "kIndexGroupSeal");
   EXPECT_STREQ(LockRankName(LockRank::kIndexNodeReplica), "kIndexNodeReplica");
+  EXPECT_STREQ(LockRankName(LockRank::kIndexNodeAdmission),
+               "kIndexNodeAdmission");
   EXPECT_STREQ(LockRankName(LockRank::kUnranked), "kUnranked");
 }
 

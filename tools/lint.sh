@@ -109,7 +109,7 @@ for stage in "${STAGES[@]}"; do
     tsa) stage_tsa ;;
     asan) stage_sanitizer asan ;;
     ubsan) stage_sanitizer ubsan ;;
-    tsan) stage_sanitizer tsan-fault tsan-fault tsan-segments tsan-replication ;;
+    tsan) stage_sanitizer tsan-fault tsan-fault tsan-segments tsan-replication tsan-load ;;
     *)
       note "unknown stage '$stage' (expected: tidy tsa asan ubsan tsan all)"
       exit 2
