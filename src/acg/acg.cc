@@ -8,8 +8,11 @@ namespace propeller::acg {
 
 Acg::Projection Acg::Project() const {
   Projection p;
+  // Sorted vertex numbering: the bisector's cut depends on vertex ids, so
+  // hash-order numbering would make split plans (and therefore placement
+  // and the wire) depend on set internals.
   p.vertex_to_file.reserve(vertices_.size());
-  for (FileId f : vertices_) {
+  for (FileId f : SortedVertices()) {
     p.file_to_vertex.emplace(f, static_cast<graph::VertexId>(p.vertex_to_file.size()));
     p.vertex_to_file.push_back(f);
   }
@@ -34,8 +37,10 @@ std::vector<std::vector<FileId>> Acg::Components() const {
 }
 
 void Acg::Serialize(BinaryWriter& w) const {
+  // Sorted vertices + ForEachEdge's sorted order keep the encoded image a
+  // pure function of the graph, not of container iteration.
   w.PutU64(vertices_.size());
-  for (FileId f : vertices_) w.PutU64(f);
+  for (FileId f : SortedVertices()) w.PutU64(f);
   w.PutU64(num_edges_);
   ForEachEdge([&](FileId from, FileId to, uint64_t weight) {
     w.PutU64(from);

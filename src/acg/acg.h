@@ -6,9 +6,11 @@
 // many times the pair was co-accessed in that order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/serialize.h"
@@ -47,6 +49,16 @@ class Acg {
   uint64_t TotalWeight() const { return total_weight_; }
   const std::unordered_set<FileId>& vertices() const { return vertices_; }
 
+  // FileId-sorted vertex list.  Every consumer whose output outlives this
+  // graph (wire serialization, vertex numbering for the partitioner,
+  // placement of fresh files) iterates this instead of `vertices()` so the
+  // result never depends on hash-set internals.
+  std::vector<FileId> SortedVertices() const {
+    std::vector<FileId> out(vertices_.begin(), vertices_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
   uint64_t EdgeWeight(FileId from, FileId to) const {
     auto it = out_.find(from);
     if (it == out_.end()) return 0;
@@ -54,10 +66,22 @@ class Acg {
     return jt == it->second.end() ? 0 : jt->second;
   }
 
+  // Visits edges in (from, to)-sorted order.  Edge order decides placement
+  // (AcgManager::ApplyDelta merges and fill-group choices), partitioner
+  // vertex numbering, and the serialized image, so hash-map iteration here
+  // would leak container internals into all three.
   template <typename Fn>
   void ForEachEdge(Fn&& fn) const {
-    for (const auto& [from, tos] : out_) {
-      for (const auto& [to, w] : tos) fn(from, to, w);
+    std::vector<FileId> froms;
+    froms.reserve(out_.size());
+    for (const auto& [from, tos] : out_) froms.push_back(from);
+    std::sort(froms.begin(), froms.end());
+    std::vector<std::pair<FileId, uint64_t>> row;
+    for (FileId from : froms) {
+      const auto& tos = out_.at(from);
+      row.assign(tos.begin(), tos.end());
+      std::sort(row.begin(), row.end());
+      for (const auto& [to, w] : row) fn(from, to, w);
     }
   }
 

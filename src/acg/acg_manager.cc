@@ -92,8 +92,10 @@ AcgManager::ApplyResult AcgManager::ApplyDelta(const Acg& delta) {
     intra_weight_ += w;
   });
 
-  // Vertex-only entries (created files with no causality yet).
-  for (FileId f : delta.vertices()) {
+  // Vertex-only entries (created files with no causality yet).  Sorted:
+  // fill-group assignment depends on arrival order, which must not depend
+  // on hash-set iteration.
+  for (FileId f : delta.SortedVertices()) {
     if (file_group_.count(f) != 0u) continue;
     PlaceFile(f, FillGroup(), result);
   }
@@ -131,6 +133,9 @@ std::vector<AcgManager::SplitPlan> AcgManager::SplitOversizedGroups() {
   for (const auto& [id, info] : groups_) {
     if (info.files.size() > policy_.split_threshold) oversized.push_back(id);
   }
+  // Split order assigns the new group ids; sort so they never depend on
+  // groups_ hash iteration.
+  std::sort(oversized.begin(), oversized.end());
 
   for (GroupId gid : oversized) {
     GroupInfo& info = groups_[gid];

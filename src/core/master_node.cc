@@ -288,9 +288,16 @@ net::RpcHandler::Response MasterNode::HandleCreateIndex(
   ++mutations_since_flush_;
   ++metadata_epoch_;  // catalog change: cached resolve_search sets are stale
 
-  // Push the new index to every replica of every existing group.
+  // Push the new index to every replica of every existing group, in group
+  // order: the RPC sequence lands in traces and journals, and a failure
+  // return must name the same group on every run.
   sim::Cost cost;
-  for (const auto& [group, replicas] : group_replicas_) {
+  std::vector<GroupId> groups;
+  groups.reserve(group_replicas_.size());
+  for (const auto& [group, replicas] : group_replicas_) groups.push_back(group);
+  std::sort(groups.begin(), groups.end());
+  for (GroupId group : groups) {
+    const std::vector<NodeId>& replicas = group_replicas_.at(group);
     CreateGroupRequest creq;
     creq.group = group;
     creq.specs = {req->spec};
@@ -376,9 +383,16 @@ size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
       by_node[replicas.front()].push_back(group);
     }
 
+    // Scan nodes in id order: busiest/idlest tie-breaks must come from the
+    // node ids, not from by_node's hash iteration.
+    std::vector<NodeId> scan;
+    scan.reserve(by_node.size());
+    for (const auto& [node, groups] : by_node) scan.push_back(node);
+    std::sort(scan.begin(), scan.end());
     NodeId busiest = 0, idlest = 0;
     size_t hi = 0, lo = ~size_t{0};
-    for (const auto& [node, groups] : by_node) {
+    for (NodeId node : scan) {
+      const std::vector<GroupId>& groups = by_node.at(node);
       if (transport_->IsDown(node) || dead_.count(node) != 0u) continue;
       if (groups.size() > hi || busiest == 0) {
         if (groups.size() >= hi) {
@@ -400,6 +414,9 @@ size_t MasterNode::RunRebalance(sim::Cost* cost, uint64_t slack) {
     GroupId victim = 0;
     bool found = false;
     uint64_t victim_size = ~0ull;
+    // Sorted: the candidate list was bucketed from an unordered map, and
+    // the strict `<` below keeps the first of equal-sized victims.
+    std::sort(by_node[busiest].begin(), by_node[busiest].end());
     for (GroupId g : by_node[busiest]) {
       const std::vector<NodeId>& replicas = group_replicas_[g];
       if (std::find(replicas.begin() + 1, replicas.end(), idlest) !=
@@ -695,10 +712,16 @@ std::string MasterNode::SnapshotMetadataLocked() const {
   for (const IndexSpec& s : catalog_) s.Serialize(w);
   // Group placements (each group's primary; full replica sets trail below
   // when replication is on, keeping the r = 1 image byte-identical).
-  w.PutU32(static_cast<uint32_t>(group_replicas_.size()));
-  for (const auto& [group, replicas] : group_replicas_) {
-    w.PutU64(group);
-    w.PutU32(replicas.front());
+  // Sorted: the image is wire/journal bytes, so its layout must be a pure
+  // function of the placement table, not of hash-map iteration.
+  std::vector<GroupId> placed;
+  placed.reserve(group_replicas_.size());
+  for (const auto& [group, replicas] : group_replicas_) placed.push_back(group);
+  std::sort(placed.begin(), placed.end());
+  w.PutU32(static_cast<uint32_t>(placed.size()));
+  for (GroupId g : placed) {
+    w.PutU64(g);
+    w.PutU32(group_replicas_.at(g).front());
   }
   // File -> group mapping (via the groups of the ACG manager).
   std::vector<GroupId> groups = acg_.Groups();

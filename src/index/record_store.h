@@ -6,6 +6,7 @@
 // as a paged heap file addressed by FileId hash.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -41,20 +42,27 @@ class RecordStore {
   };
   EraseResult Erase(FileId file);
 
-  // Full scan (brute-force fallback); visits every record.
+  // Full scan (brute-force fallback); visits every record in FileId order.
+  // Scan order reaches the wire (MigrateOutResponse records) and journal
+  // checkpoint images, so it must not depend on hash-map internals.
   template <typename Fn>
   sim::Cost ForEach(Fn&& fn) const {
     sim::Cost cost = store_.SequentialLoad(NumPages());
-    for (const auto& [file, attrs] : records_) fn(file, attrs);
+    ForEachInMemory(fn);
     return cost;
   }
 
   // Cost-free scan for statistics (heartbeat gauges, segment accounting).
   // Must not touch the page cache — a simulated charge here would make
-  // observability perturb the deterministic cost model.
+  // observability perturb the deterministic cost model.  Same FileId order
+  // as ForEach.
   template <typename Fn>
   void ForEachInMemory(Fn&& fn) const {
-    for (const auto& [file, attrs] : records_) fn(file, attrs);
+    std::vector<FileId> files;
+    files.reserve(records_.size());
+    for (const auto& [file, attrs] : records_) files.push_back(file);
+    std::sort(files.begin(), files.end());
+    for (FileId f : files) fn(f, records_.at(f));
   }
 
   // Builds the store from a batch in one sequential write instead of

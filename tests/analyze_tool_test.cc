@@ -1,0 +1,421 @@
+// Selftest for the propeller_analyze passes (tools/analyze) against
+// synthetic in-memory sources: proves each pass actually detects the
+// defect class it guards against (and stays quiet on the clean idiom),
+// so `ctest -L analysis` fails if the analyzer regresses — not only if
+// the analyzed sources do.
+#include "analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace propeller::analyze {
+namespace {
+
+int FatalCount(const std::vector<Finding>& findings) {
+  int n = 0;
+  for (const Finding& f : findings) n += f.fatal ? 1 : 0;
+  return n;
+}
+
+bool AnyMentions(const std::vector<Finding>& findings, const std::string& s) {
+  for (const Finding& f : findings) {
+    if (f.message.find(s) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string WriteTemp(const std::string& name, const std::string& text) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return path;
+}
+
+// ---- wire pass ---------------------------------------------------------
+
+constexpr char kProtoClean[] = R"cc(
+namespace propeller::core {
+namespace {
+void PutTrailingEpoch(BinaryWriter& w, uint64_t epoch) {
+  if (epoch != 0) w.PutU64(epoch);
+}
+Status GetTrailingEpoch(BinaryReader& r, uint64_t& epoch) {
+  epoch = 0;
+  if (r.AtEnd()) return Status::Ok();
+  return r.GetU64(epoch);
+}
+}  // namespace
+void FooRequest::Serialize(BinaryWriter& w) const {
+  w.PutU64(id);
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (uint64_t x : items) w.PutU64(x);
+  PutTrailingEpoch(w, epoch);
+}
+Status FooRequest::Deserialize(BinaryReader& r, FooRequest& out) {
+  PROPELLER_RETURN_IF_ERROR(r.GetU64(out.id));
+  uint32_t n = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t x = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(x));
+    out.items.push_back(x);
+  }
+  return GetTrailingEpoch(r, out.epoch);
+}
+}  // namespace propeller::core
+)cc";
+
+std::vector<Finding> RunWire(const std::string& proto_text,
+                             const std::string& golden_path = "",
+                             bool update = false) {
+  Options opt;
+  opt.golden = golden_path;
+  opt.update_golden = update;
+  std::vector<Finding> findings;
+  SourceFile proto = MakeSource("src/core/proto.cc", proto_text);
+  RunWireSchemaPass(opt, proto, &findings);
+  return findings;
+}
+
+TEST(WireSchemaPass, CleanPairWithTrailingOptionalHelper) {
+  std::vector<Finding> findings = RunWire(kProtoClean);
+  EXPECT_EQ(FatalCount(findings), 0)
+      << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(WireSchemaPass, DeletedDecodeFieldIsSymmetryBreak) {
+  std::string mutated = kProtoClean;
+  size_t pos = mutated.find("PROPELLER_RETURN_IF_ERROR(r.GetU64(out.id));");
+  ASSERT_NE(pos, std::string::npos);
+  mutated.erase(pos, std::string("PROPELLER_RETURN_IF_ERROR(r.GetU64(out.id));").size());
+  std::vector<Finding> findings = RunWire(mutated);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "FooRequest"));
+}
+
+TEST(WireSchemaPass, SwappedEncodeFieldsAreFieldMismatch) {
+  std::string mutated = kProtoClean;
+  size_t pos = mutated.find("w.PutU64(id);");
+  ASSERT_NE(pos, std::string::npos);
+  mutated.replace(pos, std::string("w.PutU64(id);").size(),
+                  "w.PutU32(static_cast<uint32_t>(items.size()));");
+  size_t pos2 = mutated.find("w.PutU32(static_cast<uint32_t>(items.size()));",
+                             pos + 10);
+  ASSERT_NE(pos2, std::string::npos);
+  mutated.replace(
+      pos2, std::string("w.PutU32(static_cast<uint32_t>(items.size()));").size(),
+      "w.PutU64(id);");
+  std::vector<Finding> findings = RunWire(mutated);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "mismatch"));
+}
+
+TEST(WireSchemaPass, RequiredFieldAfterOptionalViolatesDiscipline) {
+  std::string mutated = kProtoClean;
+  size_t pos = mutated.find("  PutTrailingEpoch(w, epoch);");
+  ASSERT_NE(pos, std::string::npos);
+  mutated.insert(pos + std::string("  PutTrailingEpoch(w, epoch);").size(),
+                 "\n  w.PutU32(checksum);");
+  std::vector<Finding> findings = RunWire(mutated);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "follows an optional"));
+}
+
+TEST(WireSchemaPass, GoldenDetectsMidMessageInsert) {
+  std::string golden = WriteTemp("wire_insert.golden", "");
+  EXPECT_EQ(FatalCount(RunWire(kProtoClean, golden, /*update=*/true)), 0);
+  // Recorded snapshot now matches the clean source.
+  EXPECT_EQ(FatalCount(RunWire(kProtoClean, golden)), 0);
+
+  std::string mutated = kProtoClean;
+  size_t pos = mutated.find("  w.PutU32(static_cast<uint32_t>(items.size()));");
+  ASSERT_NE(pos, std::string::npos);
+  mutated.insert(pos, "  w.PutU32(version);\n");
+  pos = mutated.find("  uint32_t n = 0;");
+  ASSERT_NE(pos, std::string::npos);
+  mutated.insert(pos,
+                 "  uint32_t version = 0;\n"
+                 "  PROPELLER_RETURN_IF_ERROR(r.GetU32(version));\n");
+  std::vector<Finding> findings = RunWire(mutated, golden);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "WIRE-BREAKING"));
+  // Field-level diff: the inserted field appears in the report.
+  EXPECT_TRUE(AnyMentions(findings, "u32 version"));
+}
+
+TEST(WireSchemaPass, TrailingOptionalExtensionIsCalledLegal) {
+  std::string golden = WriteTemp("wire_extend.golden", "");
+  EXPECT_EQ(FatalCount(RunWire(kProtoClean, golden, /*update=*/true)), 0);
+
+  std::string extended = kProtoClean;
+  size_t pos = extended.find("  PutTrailingEpoch(w, epoch);");
+  ASSERT_NE(pos, std::string::npos);
+  extended.replace(pos, std::string("  PutTrailingEpoch(w, epoch);").size(),
+                   "  PutTrailingEpoch(w, epoch);\n"
+                   "  if (flags != 0) w.PutU32(flags);");
+  pos = extended.find("  return GetTrailingEpoch(r, out.epoch);");
+  ASSERT_NE(pos, std::string::npos);
+  extended.replace(
+      pos, std::string("  return GetTrailingEpoch(r, out.epoch);").size(),
+      "  PROPELLER_RETURN_IF_ERROR(GetTrailingEpoch(r, out.epoch));\n"
+      "  if (r.AtEnd()) return Status::Ok();\n"
+      "  return r.GetU32(out.flags);");
+  std::vector<Finding> findings = RunWire(extended, golden);
+  // Still fails (snapshot must be refreshed deliberately) but is
+  // classified as the legal evolution path.
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "legal evolution"));
+  EXPECT_TRUE(AnyMentions(findings, "--update-golden"));
+
+  // After refreshing the snapshot the extended source is clean.
+  EXPECT_EQ(FatalCount(RunWire(extended, golden, /*update=*/true)), 0);
+  EXPECT_EQ(FatalCount(RunWire(extended, golden)), 0);
+}
+
+// ---- lock pass ---------------------------------------------------------
+
+constexpr char kMutexHeader[] = R"cc(
+namespace propeller {
+enum class LockRank : int {
+  kUnranked = 0,
+  kLow = 10,
+  kMid = 20,
+  kHigh = 30,
+};
+class Mutex {};
+class SharedMutex {};
+}  // namespace propeller
+)cc";
+
+std::vector<Finding> RunLocks(const std::string& source_text,
+                              const std::string& design_path = "") {
+  Options opt;
+  opt.design = design_path;
+  std::vector<Finding> findings;
+  std::vector<SourceFile> files;
+  files.push_back(MakeSource("src/common/mutex.h", kMutexHeader));
+  files.push_back(MakeSource("src/core/node.cc", source_text));
+  RunLockOrderPass(opt, files, &findings);
+  return findings;
+}
+
+constexpr char kLockClean[] = R"cc(
+namespace x {
+class Journal {
+ public:
+  void Append() { MutexLock lock(mu_); }
+ private:
+  Mutex mu_{LockRank::kHigh, "Journal::mu_"};
+};
+class Node {
+ public:
+  void Publish() {
+    MutexLock lock(mu_);
+    journal_->Append();
+  }
+  void Scoped() {
+    { MutexLock lock(low_); }
+    MutexLock lock(mu_);
+  }
+ private:
+  Mutex low_{LockRank::kLow, "Node::low_"};
+  Mutex mu_{LockRank::kMid, "Node::mu_"};
+  Journal* journal_ = nullptr;
+};
+}  // namespace x
+)cc";
+
+TEST(LockOrderPass, CleanOrderingHasNoFindings) {
+  std::vector<Finding> findings = RunLocks(kLockClean);
+  EXPECT_EQ(FatalCount(findings), 0) << (findings.empty()
+      ? ""
+      : findings[0].message);
+}
+
+TEST(LockOrderPass, NestedInversionIsFlagged) {
+  std::string bad = kLockClean;
+  // Acquire kMid then kLow in the same scope: rank inversion.
+  size_t pos = bad.find("    { MutexLock lock(low_); }\n    MutexLock lock(mu_);");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos,
+              std::string("    { MutexLock lock(low_); }\n"
+                          "    MutexLock lock(mu_);")
+                  .size(),
+              "    MutexLock a(mu_);\n    MutexLock b(low_);");
+  std::vector<Finding> findings = RunLocks(bad);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "lock-order violation"));
+  EXPECT_TRUE(AnyMentions(findings, "kMid"));
+  EXPECT_TRUE(AnyMentions(findings, "kLow"));
+}
+
+TEST(LockOrderPass, CallPropagationCatchesInvertedCallee) {
+  // Journal::Append acquires kHigh; calling it while holding a rank above
+  // kHigh must be flagged through the one-level call propagation.
+  std::string bad = kLockClean;
+  size_t pos = bad.find("Mutex mu_{LockRank::kMid, \"Node::mu_\"};");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, std::string("Mutex mu_{LockRank::kMid, \"Node::mu_\"};").size(),
+              "Mutex mu_{LockRank::kHigh, \"Node::mu_\"};");
+  std::vector<Finding> findings = RunLocks(bad);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "Journal::Append"));
+}
+
+TEST(LockOrderPass, UnrankedMutexNeedsAllow) {
+  std::string src = R"cc(
+namespace x {
+class Scratch {
+ private:
+  Mutex mu_;
+};
+}  // namespace x
+)cc";
+  std::vector<Finding> findings = RunLocks(src);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "unranked"));
+
+  std::string allowed = R"cc(
+namespace x {
+class Scratch {
+ private:
+  Mutex mu_;  // analyze:allow(locks)
+};
+}  // namespace x
+)cc";
+  EXPECT_EQ(FatalCount(RunLocks(allowed)), 0);
+}
+
+TEST(LockOrderPass, DesignTableCrossCheck) {
+  std::string good_table = WriteTemp("design_ok.md",
+      "| `kLow` (10) | `x::Node::low_` | scratch |\n"
+      "| `kMid` (20) | `x::Node::mu_` | node state |\n"
+      "| `kHigh` (30) | `x::Journal::mu_` | journal |\n");
+  EXPECT_EQ(FatalCount(RunLocks(kLockClean, good_table)), 0);
+
+  // Wrong number for kMid, plus a row for a mutex that does not exist.
+  std::string bad_table = WriteTemp("design_bad.md",
+      "| `kLow` (10) | `x::Node::low_` | scratch |\n"
+      "| `kMid` (25) | `x::Node::mu_` | node state |\n"
+      "| `kHigh` (30) | `x::Journal::mu_` | journal |\n"
+      "| `kHigh` (30) | `x::Ghost::mu_` | gone |\n");
+  std::vector<Finding> findings = RunLocks(kLockClean, bad_table);
+  EXPECT_GE(FatalCount(findings), 2);
+  EXPECT_TRUE(AnyMentions(findings, "kMid"));
+  EXPECT_TRUE(AnyMentions(findings, "Ghost"));
+
+  // A ranked mutex missing from the table is also a finding.
+  std::string short_table = WriteTemp("design_short.md",
+      "| `kLow` (10) | `x::Node::low_` | scratch |\n"
+      "| `kHigh` (30) | `x::Journal::mu_` | journal |\n");
+  findings = RunLocks(kLockClean, short_table);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "missing from the DESIGN.md rank table"));
+}
+
+// ---- determinism pass --------------------------------------------------
+
+std::vector<Finding> RunDet(const std::string& text,
+                            const std::string& path = "src/core/node.cc") {
+  Options opt;
+  std::vector<Finding> findings;
+  std::vector<SourceFile> files;
+  files.push_back(MakeSource(path, text));
+  RunDeterminismPass(opt, files, &findings);
+  return findings;
+}
+
+TEST(DeterminismPass, WallClockBannedOutsideObs) {
+  std::string src = R"cc(
+namespace x {
+double Now() {
+  return std::chrono::duration<double>(
+      std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+}  // namespace x
+)cc";
+  std::vector<Finding> findings = RunDet(src);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "steady_clock"));
+
+  // The same text under src/obs/ is the sanctioned wall-time shim.
+  EXPECT_EQ(FatalCount(RunDet(src, "src/obs/wall.cc")), 0);
+
+  // And an allow comment documents a deliberate exception anywhere.
+  std::string allowed = src;
+  size_t pos = allowed.find("std::chrono::steady_clock::now");
+  allowed.insert(pos, "// analyze:allow(determinism)\n      ");
+  EXPECT_EQ(FatalCount(RunDet(allowed)), 0);
+}
+
+TEST(DeterminismPass, AmbientRandomnessBanned) {
+  std::string src = R"cc(
+namespace x {
+int Roll() { return rand() % 6; }
+uint64_t Seed() { std::random_device rd; return rd(); }
+}  // namespace x
+)cc";
+  std::vector<Finding> findings = RunDet(src);
+  EXPECT_GE(FatalCount(findings), 2);
+  EXPECT_TRUE(AnyMentions(findings, "rand"));
+  EXPECT_TRUE(AnyMentions(findings, "random_device"));
+
+  // Identifiers merely *named* rand / time are fine.
+  std::string benign = R"cc(
+namespace x {
+struct S { double time = 0; int rand = 0; };
+double F(const S& s) { return s.time + s.rand; }
+}  // namespace x
+)cc";
+  EXPECT_EQ(FatalCount(RunDet(benign)), 0);
+}
+
+TEST(DeterminismPass, UnorderedIterationIntoWriterFlagged) {
+  std::string src = R"cc(
+namespace x {
+class Table {
+ public:
+  void Snapshot(BinaryWriter& w) const {
+    for (const auto& [k, v] : rows_) {
+      w.PutU64(k);
+      w.PutU64(v);
+    }
+  }
+ private:
+  std::unordered_map<uint64_t, uint64_t> rows_;
+};
+}  // namespace x
+)cc";
+  std::vector<Finding> findings = RunDet(src);
+  EXPECT_GE(FatalCount(findings), 1);
+  EXPECT_TRUE(AnyMentions(findings, "unordered"));
+
+  // The sorted-keys idiom is clean: the serializing loop runs over a
+  // sorted vector, the unordered loop only collects.
+  std::string sorted = R"cc(
+namespace x {
+class Table {
+ public:
+  void Snapshot(BinaryWriter& w) const {
+    std::vector<uint64_t> keys;
+    for (const auto& [k, v] : rows_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t k : keys) {
+      w.PutU64(k);
+      w.PutU64(rows_.at(k));
+    }
+  }
+ private:
+  std::unordered_map<uint64_t, uint64_t> rows_;
+};
+}  // namespace x
+)cc";
+  EXPECT_EQ(FatalCount(RunDet(sorted)), 0);
+}
+
+}  // namespace
+}  // namespace propeller::analyze

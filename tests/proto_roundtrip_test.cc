@@ -1,0 +1,274 @@
+// Byte-exact roundtrip coverage for every wire message in core/proto.h:
+// encode -> decode -> re-encode must reproduce the original bytes, for
+// each trailing-optional section both present and absent.  Together with
+// the propeller_analyze wire pass (encode/decode symmetry + golden
+// schema) this pins the wire format: the analyzer proves the structure,
+// this test proves the bytes.
+#include "core/proto.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace propeller::core {
+namespace {
+
+template <typename T>
+std::string EncodeBytes(const T& msg) {
+  BinaryWriter w;
+  msg.Serialize(w);
+  return w.data();
+}
+
+// Encode, decode, re-encode; the two encodings must be byte-identical and
+// the decoder must consume every byte.
+template <typename T>
+void ExpectRoundtrip(const T& msg) {
+  std::string bytes = EncodeBytes(msg);
+  BinaryReader r(bytes);
+  T out;
+  ASSERT_TRUE(T::Deserialize(r, out).ok());
+  EXPECT_TRUE(r.AtEnd()) << "decoder left " << r.Remaining()
+                         << " trailing byte(s)";
+  EXPECT_EQ(bytes, EncodeBytes(out));
+}
+
+FileUpdate MakeUpdate(FileId file) {
+  FileUpdate u;
+  u.file = file;
+  u.attrs.Set("size", index::AttrValue(int64_t{4096}));
+  u.attrs.Set("owner", index::AttrValue("alice"));
+  u.attrs.Set("score", index::AttrValue(0.25));
+  return u;
+}
+
+IndexSpec MakeSpec(const std::string& name) {
+  IndexSpec s;
+  s.name = name;
+  s.type = index::IndexType::kBTree;
+  s.attrs = {"size"};
+  return s;
+}
+
+TEST(ProtoRoundtrip, ResolveUpdateRequest) {
+  ExpectRoundtrip(ResolveUpdateRequest{});
+  ResolveUpdateRequest req;
+  req.files = {1, 2, 3};
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, ResolveUpdateResponse) {
+  ResolveUpdateResponse resp;
+  resp.placements.push_back({/*file=*/7, /*group=*/3, /*node=*/1});
+  ExpectRoundtrip(resp);  // both trailing sections absent
+
+  resp.metadata_epoch = 12;
+  ExpectRoundtrip(resp);  // epoch only
+
+  resp.replicas.push_back(GroupReplicaSet{3, {1, 2}});
+  ExpectRoundtrip(resp);  // epoch + replica sets
+
+  // Replica sets force the epoch field onto the wire even at value 0.
+  resp.metadata_epoch = 0;
+  ExpectRoundtrip(resp);
+}
+
+TEST(ProtoRoundtrip, ResolveSearchRequest) {
+  ResolveSearchRequest req;
+  req.index_name = "by_size";
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, ResolveSearchResponse) {
+  ResolveSearchResponse resp;
+  ResolveSearchResponse::NodeGroups t;
+  t.node = 2;
+  t.groups = {10, 11};
+  resp.targets.push_back(t);
+  ExpectRoundtrip(resp);
+
+  resp.metadata_epoch = 5;
+  ExpectRoundtrip(resp);
+
+  resp.replicas.push_back(GroupReplicaSet{10, {2, 3, 4}});
+  ExpectRoundtrip(resp);
+}
+
+TEST(ProtoRoundtrip, CreateIndexRequest) {
+  CreateIndexRequest req;
+  req.spec = MakeSpec("by_size");
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, FlushAcgRequest) {
+  FlushAcgRequest req;
+  req.delta.AddVertex(42);
+  req.delta.AddEdge(1, 2, 3);
+  req.delta.AddEdge(2, 5);
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, HeartbeatRequest) {
+  HeartbeatRequest req;
+  req.node = 4;
+  req.now_s = 12.5;
+  req.groups.push_back({/*group=*/9, /*files=*/100, /*pages=*/7});
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, CreateGroupRequest) {
+  CreateGroupRequest req;
+  req.group = 6;
+  req.specs = {MakeSpec("a"), MakeSpec("b")};
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, StageUpdatesRequestTrailingSections) {
+  StageUpdatesRequest req;
+  req.group = 3;
+  req.now_s = 1.5;
+  req.updates = {MakeUpdate(100), MakeUpdate(101)};
+  ExpectRoundtrip(req);  // legacy wire: no epoch/role/admission bytes
+
+  req.epoch = 9;
+  ExpectRoundtrip(req);  // epoch section only
+
+  req.replica_role = kReplicaRolePrimary;
+  ExpectRoundtrip(req);  // role implies epoch
+
+  // Role with epoch 0: the epoch field must still be on the wire.
+  req.epoch = 0;
+  ExpectRoundtrip(req);
+
+  req.admission = 1;
+  ExpectRoundtrip(req);  // admission implies role + epoch
+
+  // Admission with default role/epoch: all three fields still written.
+  req.replica_role = kReplicaRoleNone;
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, StageUpdatesResponse) {
+  StageUpdatesResponse resp;
+  resp.seq = 77;
+  ExpectRoundtrip(resp);
+}
+
+TEST(ProtoRoundtrip, SearchRequestTrailingSections) {
+  SearchRequest req;
+  req.groups = {1, 2};
+  req.predicate.And("size", index::CmpOp::kGe, index::AttrValue(int64_t{1024}));
+  ExpectRoundtrip(req);  // legacy wire: no epoch/floors/arrival bytes
+
+  req.epoch = 4;
+  ExpectRoundtrip(req);  // epoch section only
+
+  req.min_seqs.push_back({/*group=*/1, /*seq=*/10});
+  req.min_seqs.push_back({/*group=*/2, /*seq=*/20});
+  ExpectRoundtrip(req);  // floors imply epoch
+
+  req.arrival_s = 3.25;
+  ExpectRoundtrip(req);  // arrival implies floors (possibly empty) + epoch
+
+  // Arrival with no floors and epoch 0: both earlier sections still
+  // written (empty list / zero epoch).
+  req.min_seqs.clear();
+  req.epoch = 0;
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, SearchResponse) {
+  SearchResponse resp;
+  resp.files = {5, 6, 7};
+  ExpectRoundtrip(resp);
+  ExpectRoundtrip(SearchResponse{});
+}
+
+TEST(ProtoRoundtrip, TickRequest) {
+  TickRequest req;
+  req.now_s = 42.0;
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, MigrateOut) {
+  MigrateOutRequest req;
+  req.group = 8;
+  req.drop_group = true;
+  req.files = {1, 2};
+  ExpectRoundtrip(req);
+  req.drop_group = false;
+  ExpectRoundtrip(req);
+
+  MigrateOutResponse resp;
+  resp.records = {MakeUpdate(1), MakeUpdate(2)};
+  ExpectRoundtrip(resp);
+}
+
+TEST(ProtoRoundtrip, InstallGroupRequest) {
+  InstallGroupRequest req;
+  req.group = 8;
+  req.specs = {MakeSpec("a")};
+  req.records = {MakeUpdate(3)};
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, RecoverGroup) {
+  RecoverGroupRequest req;
+  req.group = 2;
+  req.specs = {MakeSpec("a")};
+  ExpectRoundtrip(req);
+
+  RecoverGroupResponse resp;
+  resp.records_replayed = 31;
+  ExpectRoundtrip(resp);
+}
+
+TEST(ProtoRoundtrip, CatchUp) {
+  CatchUpRequest req;
+  req.group = 2;
+  req.specs = {MakeSpec("a")};
+  ExpectRoundtrip(req);
+
+  CatchUpResponse resp;
+  resp.records_replayed = 3;
+  resp.seq = 17;
+  ExpectRoundtrip(resp);
+}
+
+TEST(ProtoRoundtrip, DropGroupRequest) {
+  DropGroupRequest req;
+  req.group = 9;
+  ExpectRoundtrip(req);
+}
+
+TEST(ProtoRoundtrip, ResetNodeRequest) {
+  ExpectRoundtrip(ResetNodeRequest{});
+}
+
+// The feature-off wire bytes must be identical to a message that never
+// had the trailing fields: epoch 0 / role none / admission 0 encodes to
+// exactly the same bytes as the pre-feature struct.
+TEST(ProtoRoundtrip, TrailingOptionalAbsenceIsByteIdentical) {
+  StageUpdatesRequest base;
+  base.group = 3;
+  base.now_s = 1.5;
+  base.updates = {MakeUpdate(100)};
+  std::string legacy = EncodeBytes(base);
+
+  StageUpdatesRequest with_defaults = base;
+  with_defaults.epoch = 0;
+  with_defaults.replica_role = kReplicaRoleNone;
+  with_defaults.admission = 0;
+  EXPECT_EQ(legacy, EncodeBytes(with_defaults));
+
+  SearchRequest s;
+  s.groups = {1};
+  std::string s_legacy = EncodeBytes(s);
+  SearchRequest s_defaults = s;
+  s_defaults.epoch = 0;
+  s_defaults.arrival_s = 0;
+  EXPECT_EQ(s_legacy, EncodeBytes(s_defaults));
+}
+
+}  // namespace
+}  // namespace propeller::core

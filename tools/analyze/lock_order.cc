@@ -1,0 +1,667 @@
+// LockOrderPass: static companion to the runtime LockRank detector
+// (common/mutex.h).  Four layers:
+//
+//   1. Declarations — every `propeller::Mutex` / `SharedMutex` member in
+//      src/ must carry a LockRank (kUnranked scaffolding needs an
+//      explicit analyze:allow(locks)).
+//   2. Rank table — the DESIGN.md "Lock ranks" table, the LockRank enum,
+//      and the actual declarations must agree pairwise: same rank names,
+//      same numbers, same owning `Class::member`.  The pass effectively
+//      re-derives the table from source and diffs it against the doc.
+//   3. Acquisition graph — lexical MutexLock/ReaderMutexLock/
+//      WriterMutexLock sites per function (RAII scope = enclosing brace),
+//      plus one level of call propagation through typed members/locals:
+//      holding A while acquiring B (directly or inside a called method)
+//      is an edge A->B, and every edge must go strictly rank-upward.
+//      The combined graph is also checked for cycles.
+//   4. Coverage — edges whose ranks lock_rank_test.cc never mentions are
+//      reported as notes: the runtime detector has never exercised them.
+#include "analyze.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace propeller::analyze {
+
+namespace {
+
+struct MutexDecl {
+  std::string class_name;
+  std::string member;
+  std::string rank;  // "kFoo" or "" when unranked
+  std::string file;
+  int line = 0;
+};
+
+std::string TrimStr(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// First word of a member statement after storage qualifiers.
+std::string DeclTypeWord(const std::string& stmt) {
+  size_t p = 0;
+  for (;;) {
+    while (p < stmt.size() && !IsIdentChar(stmt[p])) ++p;
+    size_t e = p;
+    while (e < stmt.size() && IsIdentChar(stmt[e])) ++e;
+    std::string w = stmt.substr(p, e - p);
+    if (w == "mutable" || w == "static" || w == "constexpr") {
+      p = e;
+      continue;
+    }
+    return w;
+  }
+}
+
+// `LockRank::kX` referenced in a declaration/argument, "" if absent.
+std::string RankRef(const std::string& s) {
+  size_t p = s.find("LockRank::");
+  if (p == std::string::npos) return "";
+  size_t b = p + 10;
+  size_t e = b;
+  while (e < s.size() && IsIdentChar(s[e])) ++e;
+  return s.substr(b, e - b);
+}
+
+// Parses `enum class LockRank` from common/mutex.h: name -> value.
+std::map<std::string, int> ParseRanks(const SourceFile& f,
+                                      std::vector<Finding>* findings) {
+  std::map<std::string, int> ranks;
+  size_t p = f.code.find("enum class LockRank");
+  if (p == std::string::npos) {
+    findings->push_back({f.path, 1, "locks",
+                         "LockRank enum not found in common/mutex.h", true});
+    return ranks;
+  }
+  size_t open = f.code.find('{', p);
+  size_t close = MatchBracket(f.code, open);
+  std::string body = f.code.substr(open + 1, close - open - 1);
+  std::istringstream in(body);
+  std::string entry;
+  while (std::getline(in, entry, ',')) {
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    std::string name = TrimStr(entry.substr(0, eq));
+    ranks[name] = std::atoi(entry.c_str() + eq + 1);
+  }
+  return ranks;
+}
+
+struct TableRow {
+  std::string rank;
+  int value = 0;
+  std::string qualified;  // e.g. core::MasterNode::mu_
+  int line = 0;
+};
+
+// Parses `| `kX` (N) | `ns::Class::member_` ... |` rows from DESIGN.md.
+std::vector<TableRow> ParseDesignTable(const std::string& path) {
+  std::vector<TableRow> rows;
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] != '|') continue;
+    size_t t1 = line.find('`');
+    if (t1 == std::string::npos) continue;
+    size_t t2 = line.find('`', t1 + 1);
+    if (t2 == std::string::npos) continue;
+    std::string first = line.substr(t1 + 1, t2 - t1 - 1);
+    if (first.empty() || first[0] != 'k') continue;
+    size_t po = line.find('(', t2);
+    if (po == std::string::npos) continue;
+    size_t t3 = line.find('`', po);
+    if (t3 == std::string::npos) continue;
+    size_t t4 = line.find('`', t3 + 1);
+    if (t4 == std::string::npos) continue;
+    TableRow row;
+    row.rank = first;
+    row.value = std::atoi(line.c_str() + po + 1);
+    row.qualified = line.substr(t3 + 1, t4 - t3 - 1);
+    row.line = lineno;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// `Class::member` tail of a possibly namespace-qualified name.
+std::string ClassMember(const std::string& qualified) {
+  std::vector<std::string> parts;
+  size_t b = 0;
+  for (;;) {
+    size_t sep = qualified.find("::", b);
+    if (sep == std::string::npos) {
+      parts.push_back(qualified.substr(b));
+      break;
+    }
+    parts.push_back(qualified.substr(b, sep - b));
+    b = sep + 2;
+  }
+  if (parts.size() < 2) return qualified;
+  return parts[parts.size() - 2] + "::" + parts.back();
+}
+
+// Last class-like identifier in a type expression:
+// `net::Transport*` -> Transport, `std::vector<index::IndexGroup*>` ->
+// IndexGroup (useful for element access).
+std::string LastTypeIdent(const std::string& type) {
+  std::string last;
+  size_t p = 0;
+  while (p < type.size()) {
+    if (!IsIdentChar(type[p])) {
+      ++p;
+      continue;
+    }
+    size_t e = p;
+    while (e < type.size() && IsIdentChar(type[e])) ++e;
+    std::string w = type.substr(p, e - p);
+    p = e;
+    if (w == "const" || w == "std" || w == "mutable" || w == "static") continue;
+    last = w;
+  }
+  return last;
+}
+
+struct Acquisition {
+  size_t off = 0;
+  size_t scope_end = 0;
+  std::string rank;
+};
+
+struct Edge {
+  std::string from, to;
+  std::string file;
+  int line = 0;
+  std::string via;  // description of the acquisition site
+};
+
+}  // namespace
+
+void RunLockOrderPass(const Options& opt, const std::vector<SourceFile>& files,
+                      std::vector<Finding>* findings) {
+  // --- enum ranks -------------------------------------------------------
+  const SourceFile* mutex_header = nullptr;
+  for (const SourceFile& f : files) {
+    if (f.path.size() >= 14 &&
+        f.path.compare(f.path.size() - 14, 14, "common/mutex.h") == 0) {
+      mutex_header = &f;
+    }
+  }
+  if (mutex_header == nullptr) {
+    findings->push_back({opt.src_dir, 1, "locks",
+                         "common/mutex.h not found under src/", true});
+    return;
+  }
+  std::map<std::string, int> ranks = ParseRanks(*mutex_header, findings);
+
+  // --- declarations -----------------------------------------------------
+  std::vector<MutexDecl> decls;
+  // class -> member -> type word (for call/chain resolution).
+  std::map<std::string, std::map<std::string, std::string>> member_types;
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const SourceFile& f : files) {
+    models.push_back(BuildModel(f));
+    const FileModel& model = models.back();
+    for (const ClassInfo& ci : model.classes) {
+      for (const MemberStmt& m : ci.members) {
+        std::string type = DeclTypeWord(m.stmt);
+        // `Mutex& mu_;` / `Mutex* mu_;` members (RAII guards, views) are
+        // references to a mutex declared elsewhere, not declarations.
+        bool by_ref = false;
+        size_t tw = m.stmt.find(type);
+        if (tw != std::string::npos) {
+          size_t after = tw + type.size();
+          while (after < m.stmt.size() &&
+                 std::isspace(static_cast<unsigned char>(m.stmt[after]))) {
+            ++after;
+          }
+          by_ref = after < m.stmt.size() &&
+                   (m.stmt[after] == '&' || m.stmt[after] == '*');
+        }
+        if ((type == "Mutex" || type == "SharedMutex") && !by_ref) {
+          // Anchor on the first token, not the raw statement start: the
+          // statement may begin just after an access-specifier label on
+          // the previous line, which would defeat same-line allows.
+          size_t anchor = m.off;
+          while (anchor < f.code.size() &&
+                 std::isspace(static_cast<unsigned char>(f.code[anchor]))) {
+            ++anchor;
+          }
+          MutexDecl d;
+          d.class_name = ci.name;
+          d.member = m.name;
+          d.rank = RankRef(m.stmt);
+          d.file = f.path;
+          d.line = f.LineOf(anchor);
+          if (d.rank.empty() || d.rank == "kUnranked") {
+            if (!f.Allowed("locks", anchor)) {
+              findings->push_back(
+                  {f.path, d.line, "locks",
+                   ci.name + "::" + m.name +
+                       " is an unranked propeller mutex — assign a LockRank "
+                       "(and add it to the DESIGN.md table) or annotate "
+                       "analyze:allow(locks) for scaffolding",
+                   true});
+            }
+            d.rank.clear();
+          }
+          decls.push_back(std::move(d));
+        }
+        if (!m.name.empty()) {
+          // Record the member's type for resolving `x_->Method()` chains.
+          size_t cut = m.stmt.find(m.name);
+          if (cut != std::string::npos && cut > 0) {
+            std::string ty = LastTypeIdent(m.stmt.substr(0, cut));
+            if (!ty.empty()) member_types[ci.name][m.name] = ty;
+          }
+        }
+      }
+    }
+  }
+
+  // class -> mutex member -> rank.
+  std::map<std::string, std::map<std::string, std::string>> mutex_of;
+  for (const MutexDecl& d : decls) {
+    if (!d.rank.empty()) mutex_of[d.class_name][d.member] = d.rank;
+  }
+
+  // --- DESIGN.md cross-check -------------------------------------------
+  if (!opt.design.empty()) {
+    std::vector<TableRow> table = ParseDesignTable(opt.design);
+    if (table.empty()) {
+      findings->push_back({opt.design, 1, "locks",
+                           "lock-rank table not found in DESIGN.md", true});
+    }
+    std::set<std::string> table_members;
+    for (const TableRow& row : table) {
+      table_members.insert(ClassMember(row.qualified));
+      auto rit = ranks.find(row.rank);
+      if (rit == ranks.end()) {
+        findings->push_back({opt.design, row.line, "locks",
+                             "DESIGN.md table rank " + row.rank +
+                                 " does not exist in the LockRank enum",
+                             true});
+        continue;
+      }
+      if (rit->second != row.value) {
+        findings->push_back(
+            {opt.design, row.line, "locks",
+             "DESIGN.md says " + row.rank + " = " + std::to_string(row.value) +
+                 " but the LockRank enum says " + std::to_string(rit->second),
+             true});
+      }
+      bool found = false;
+      for (const MutexDecl& d : decls) {
+        if (d.class_name + "::" + d.member == ClassMember(row.qualified)) {
+          found = true;
+          if (d.rank != row.rank) {
+            findings->push_back(
+                {d.file, d.line, "locks",
+                 d.class_name + "::" + d.member + " declares " +
+                     (d.rank.empty() ? std::string("no rank") : d.rank) +
+                     " but the DESIGN.md table assigns " + row.rank,
+                 true});
+          }
+        }
+      }
+      if (!found) {
+        findings->push_back({opt.design, row.line, "locks",
+                             "DESIGN.md table lists " + row.qualified +
+                                 " but no such mutex member exists in src/",
+                             true});
+      }
+    }
+    for (const MutexDecl& d : decls) {
+      if (d.rank.empty()) continue;
+      if (table_members.count(d.class_name + "::" + d.member) == 0u) {
+        findings->push_back({d.file, d.line, "locks",
+                             d.class_name + "::" + d.member + " (" + d.rank +
+                                 ") is missing from the DESIGN.md rank table",
+                             true});
+      }
+    }
+  }
+
+  // --- acquisition graph ------------------------------------------------
+  // First: per-(class, method) direct acquisitions, for one level of call
+  // propagation.
+  struct FnInfo {
+    const SourceFile* file = nullptr;
+    const FunctionDef* fd = nullptr;
+    std::vector<Acquisition> acqs;
+    // local variable name -> class (from `Type* x = ...` declarations).
+    std::map<std::string, std::string> locals;
+  };
+  std::vector<FnInfo> fns;
+  std::map<std::string, std::vector<size_t>> by_method;  // Class::name -> idx
+
+  auto resolve_chain = [&](const FnInfo& fn, const std::string& chain,
+                           std::string* final_class,
+                           std::string* final_member) -> bool {
+    // Split on . and ->, dropping [...] subscripts.
+    std::vector<std::string> segs;
+    size_t i = 0;
+    while (i < chain.size()) {
+      if (!IsIdentChar(chain[i])) {
+        ++i;
+        continue;
+      }
+      size_t e = i;
+      while (e < chain.size() && IsIdentChar(chain[e])) ++e;
+      segs.push_back(chain.substr(i, e - i));
+      i = e;
+    }
+    if (segs.empty()) return false;
+    if (segs.front() == "this") segs.erase(segs.begin());
+    if (segs.empty()) return false;
+    std::string cls = fn.fd->class_name;
+    for (size_t s = 0; s + 1 < segs.size(); ++s) {
+      auto lit = fn.locals.find(segs[s]);
+      if (s == 0 && lit != fn.locals.end()) {
+        cls = lit->second;
+        continue;
+      }
+      auto cit = member_types.find(cls);
+      if (cit == member_types.end()) return false;
+      auto mit = cit->second.find(segs[s]);
+      if (mit == cit->second.end()) return false;
+      cls = mit->second;
+    }
+    *final_class = cls;
+    *final_member = segs.back();
+    return true;
+  };
+
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& f = files[fi];
+    const std::string& code = f.code;
+    for (const FunctionDef& fd : models[fi].functions) {
+      if (fd.body_end <= fd.body_begin) continue;
+      FnInfo fn;
+      fn.file = &f;
+      fn.fd = &fd;
+      // Local typed pointers/references: `index::IndexGroup* group = ...`.
+      for (size_t i = fd.body_begin; i < fd.body_end; ++i) {
+        if (code[i] != '*' && code[i] != '&') continue;
+        size_t e = i + 1;
+        while (e < fd.body_end &&
+               std::isspace(static_cast<unsigned char>(code[e]))) {
+          ++e;
+        }
+        size_t ne = e;
+        while (ne < fd.body_end && IsIdentChar(code[ne])) ++ne;
+        if (ne == e) continue;
+        size_t after = ne;
+        while (after < fd.body_end &&
+               std::isspace(static_cast<unsigned char>(code[after]))) {
+          ++after;
+        }
+        if (after >= fd.body_end || code[after] != '=') continue;
+        if (after + 1 < fd.body_end && code[after + 1] == '=') continue;
+        std::string type_chain = IdentBefore(code, i);
+        if (type_chain.empty()) continue;
+        // Walk the qualified chain back (ns::Type).
+        size_t tb = i;
+        while (tb > 0 &&
+               (IsIdentChar(code[tb - 1]) || code[tb - 1] == ':')) {
+          --tb;
+        }
+        std::string ty = LastTypeIdent(code.substr(tb, i - tb));
+        if (!ty.empty()) fn.locals[code.substr(e, ne - e)] = ty;
+      }
+      // Lexical acquisitions with RAII scope = innermost enclosing brace.
+      static const char* kGuards[] = {"MutexLock", "ReaderMutexLock",
+                                      "WriterMutexLock"};
+      for (size_t i = fd.body_begin; i < fd.body_end; ++i) {
+        if (!IsIdentChar(code[i]) || (i > 0 && IsIdentChar(code[i - 1]))) {
+          continue;
+        }
+        for (const char* g : kGuards) {
+          if (!WordAt(code, i, g)) continue;
+          size_t e = i + std::string(g).size();
+          while (e < fd.body_end &&
+                 std::isspace(static_cast<unsigned char>(code[e]))) {
+            ++e;
+          }
+          size_t ve = e;
+          while (ve < fd.body_end && IsIdentChar(code[ve])) ++ve;
+          if (ve == e) break;  // not a guard declaration
+          size_t open = ve;
+          while (open < fd.body_end &&
+                 std::isspace(static_cast<unsigned char>(code[open]))) {
+            ++open;
+          }
+          if (open >= fd.body_end || code[open] != '(') break;
+          size_t close = MatchBracket(code, open);
+          std::string expr = code.substr(open + 1, close - open - 1);
+          size_t comma = expr.find(',');
+          if (comma != std::string::npos) expr = expr.substr(0, comma);
+          std::string cls, member;
+          if (resolve_chain(fn, expr, &cls, &member)) {
+            auto cit = mutex_of.find(cls);
+            if (cit != mutex_of.end()) {
+              auto mit = cit->second.find(member);
+              if (mit != cit->second.end()) {
+                // Scope: innermost '{' containing i, within the body.
+                size_t scope_end = fd.body_end;
+                int depth = 0;
+                for (size_t k = i; k-- > fd.body_begin;) {
+                  if (code[k] == '}') ++depth;
+                  if (code[k] == '{') {
+                    if (depth == 0) {
+                      scope_end = MatchBracket(code, k);
+                      break;
+                    }
+                    --depth;
+                  }
+                }
+                fn.acqs.push_back({i, scope_end, mit->second});
+              }
+            }
+          }
+          break;
+        }
+      }
+      if (!fd.class_name.empty()) {
+        by_method[fd.class_name + "::" + fd.name].push_back(fns.size());
+      }
+      fns.push_back(std::move(fn));
+    }
+  }
+
+  // Direct nested edges + one level of call propagation.
+  std::vector<Edge> edges;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const SourceFile& f, size_t off, std::string via) {
+    edges.push_back({from, to, f.path, f.LineOf(off), std::move(via)});
+  };
+  for (const FnInfo& fn : fns) {
+    const SourceFile& f = *fn.file;
+    const std::string& code = f.code;
+    const FunctionDef& fd = *fn.fd;
+    for (const Acquisition& a : fn.acqs) {
+      for (const Acquisition& b : fn.acqs) {
+        if (b.off > a.off && b.off < a.scope_end) {
+          add_edge(a.rank, b.rank, f, b.off,
+                   fd.class_name + "::" + fd.name + " (nested)");
+        }
+      }
+    }
+    if (fn.acqs.empty()) continue;
+    // Call sites while a lock is held.
+    for (size_t i = fd.body_begin; i < fd.body_end; ++i) {
+      if (code[i] != '(') continue;
+      bool held_any = false;
+      for (const Acquisition& a : fn.acqs) {
+        held_any |= a.off < i && i < a.scope_end;
+      }
+      if (!held_any) continue;
+      // Chain before the '(' — `journal_->Append`, `Handle`, ...
+      size_t e = i;
+      while (e > fd.body_begin &&
+             std::isspace(static_cast<unsigned char>(code[e - 1]))) {
+        --e;
+      }
+      size_t b = e;
+      bool has_sep = false;
+      for (;;) {
+        size_t ident = b;
+        while (ident > fd.body_begin && IsIdentChar(code[ident - 1])) --ident;
+        if (ident == b) break;
+        b = ident;
+        if (b >= 2 && code.compare(b - 2, 2, "->") == 0) {
+          b -= 2;
+          has_sep = true;
+          continue;
+        }
+        if (b >= 1 && code[b - 1] == '.') {
+          b -= 1;
+          has_sep = true;
+          continue;
+        }
+        break;
+      }
+      if (b == e) continue;
+      std::string chain = code.substr(b, e - b);
+      std::string cls, method;
+      if (!resolve_chain(fn, chain, &cls, &method)) continue;
+      if (!has_sep && cls != fd.class_name) continue;  // bare call: self only
+      auto mit = by_method.find(cls + "::" + method);
+      if (mit == by_method.end()) continue;
+      std::set<std::string> callee_ranks;
+      for (size_t idx : mit->second) {
+        for (const Acquisition& a : fns[idx].acqs) callee_ranks.insert(a.rank);
+      }
+      for (const Acquisition& a : fn.acqs) {
+        if (!(a.off < i && i < a.scope_end)) continue;
+        for (const std::string& r : callee_ranks) {
+          add_edge(a.rank, r, f, i,
+                   fd.class_name + "::" + fd.name + " -> " + cls +
+                       "::" + method);
+        }
+      }
+    }
+  }
+
+  // --- edge checks ------------------------------------------------------
+  std::set<std::pair<std::string, std::string>> distinct;
+  for (const Edge& e : edges) {
+    if (!distinct.insert({e.from, e.to}).second) continue;
+    auto fa = ranks.find(e.from);
+    auto fb = ranks.find(e.to);
+    if (fa == ranks.end() || fb == ranks.end()) continue;
+    if (fa->second >= fb->second) {
+      // Allow at the call/acquisition site.
+      const SourceFile* sf = nullptr;
+      for (const SourceFile& f : files) {
+        if (f.path == e.file) sf = &f;
+      }
+      bool allowed = false;
+      if (sf != nullptr && e.line > 0 &&
+          static_cast<size_t>(e.line - 1) < sf->line_starts.size()) {
+        allowed = sf->Allowed("locks", sf->line_starts[e.line - 1]);
+      }
+      if (!allowed) {
+        findings->push_back(
+            {e.file, e.line, "locks",
+             "lock-order violation: " + e.from + " (" +
+                 std::to_string(fa->second) + ") held while acquiring " +
+                 e.to + " (" + std::to_string(fb->second) + ") via " + e.via +
+                 " — ranks must be strictly increasing",
+             true});
+      }
+    }
+  }
+
+  // Cycle check over the distinct edge graph (catches inversions even
+  // between unranked... ranked pairs are already ordered; this reports
+  // multi-edge cycles explicitly).
+  {
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [from, to] : distinct) adj[from].push_back(to);
+    std::set<std::string> done, path;
+    std::vector<std::string> stack;
+    std::function<bool(const std::string&)> dfs =
+        [&](const std::string& n) -> bool {
+      if (path.count(n) != 0u) {
+        std::string cyc;
+        for (const std::string& s : stack) cyc += s + " -> ";
+        cyc += n;
+        findings->push_back({opt.src_dir, 0, "locks",
+                             "acquisition-order cycle: " + cyc, true});
+        return true;
+      }
+      if (done.count(n) != 0u) return false;
+      path.insert(n);
+      stack.push_back(n);
+      bool found = false;
+      for (const std::string& m : adj[n]) found = found || dfs(m);
+      stack.pop_back();
+      path.erase(n);
+      done.insert(n);
+      return found;
+    };
+    for (const auto& [n, tos] : adj) {
+      (void)tos;
+      dfs(n);
+    }
+  }
+
+  // --- runtime-detector coverage (notes) -------------------------------
+  if (!opt.lock_test.empty()) {
+    std::ifstream in(opt.lock_test, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string test_text = buf.str();
+      std::set<std::string> reported;
+      for (const auto& [from, to] : distinct) {
+        bool covered = test_text.find(from) != std::string::npos &&
+                       test_text.find(to) != std::string::npos;
+        if (covered) continue;
+        if (!reported.insert(from + "->" + to).second) continue;
+        findings->push_back(
+            {opt.lock_test, 0, "locks",
+             "static edge " + from + " -> " + to +
+                 " is never exercised by lock_rank_test — the runtime "
+                 "detector has not validated this ordering",
+             false});
+      }
+    }
+  }
+
+  if (opt.verbose) {
+    // Reconstructed rank table, for by-eye comparison with DESIGN.md.
+    std::vector<const MutexDecl*> ranked;
+    for (const MutexDecl& d : decls) {
+      if (!d.rank.empty()) ranked.push_back(&d);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&](const MutexDecl* a, const MutexDecl* b) {
+                return ranks[a->rank] < ranks[b->rank];
+              });
+    std::string table = "reconstructed rank table:";
+    for (const MutexDecl* d : ranked) {
+      table += "\n    " + d->rank + " (" + std::to_string(ranks[d->rank]) +
+               ") " + d->class_name + "::" + d->member;
+    }
+    table += "\n  distinct acquisition edges:";
+    for (const auto& [from, to] : distinct) {
+      table += "\n    " + from + " -> " + to;
+    }
+    findings->push_back({opt.src_dir, 0, "locks", table, false});
+  }
+}
+
+}  // namespace propeller::analyze

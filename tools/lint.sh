@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
-# Repo lint pipeline: clang-tidy, the Clang thread-safety build, and the
-# sanitizer preset matrix.
+# Repo lint pipeline: propeller-analyze, clang-tidy, the Clang
+# thread-safety build, and the sanitizer preset matrix.
 #
 # Usage:
-#   tools/lint.sh                 # static stages: tidy tsa
+#   tools/lint.sh                 # static stages: analyze tidy tsa
+#   tools/lint.sh --list          # print the available stages
+#   tools/lint.sh analyze         # repo-invariant static analysis only
 #   tools/lint.sh tidy            # clang-tidy only
 #   tools/lint.sh tsa             # -Werror=thread-safety build only
 #   tools/lint.sh asan|ubsan|tsan # one sanitizer build+test (via presets)
-#   tools/lint.sh all             # tidy tsa asan ubsan tsan
+#   tools/lint.sh all             # analyze tidy tsa asan ubsan tsan
 #
 # Exit status is non-zero when any selected stage fails.  Stages that need
 # a toolchain this machine lacks (clang, clang-tidy) are SKIPPED with a
 # notice and do not fail the run — export PROPELLER_LINT_REQUIRE_CLANG=1
-# to turn those skips into failures (CI images with clang installed).
+# to turn those skips into failures (CI images with clang installed).  The
+# analyze stage needs only a C++20 compiler and is never skipped.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +31,29 @@ skip_or_fail() {
     FAILED=1
   else
     note "SKIP: stage '$2' needs $1, which is not installed"
+  fi
+}
+
+stage_analyze() {
+  # Dependency-free (no clang, no cmake configure needed): compile the
+  # analyzer straight from its sources and run all three passes.  Reuses
+  # the binary from an existing build/ when it is current.
+  note "propeller-analyze (wire schema / lock order / determinism)"
+  local bin=build/tools/analyze/propeller_analyze
+  if [[ ! -x "$bin" || -n $(find tools/analyze -name '*.cc' -newer "$bin" \
+        2>/dev/null) ]]; then
+    bin=$(mktemp -d)/propeller_analyze
+    note "compiling tools/analyze with ${CXX:-c++}"
+    if ! "${CXX:-c++}" -std=c++20 -O2 -Wall -Wextra -Itools/analyze \
+        tools/analyze/*.cc -o "$bin"; then
+      note "FAIL: could not compile tools/analyze"
+      FAILED=1
+      return
+    fi
+  fi
+  if ! "$bin" --root "$ROOT"; then
+    note "FAIL: propeller-analyze reported findings"
+    FAILED=1
   fi
 }
 
@@ -97,14 +123,28 @@ stage_sanitizer() {
 }
 
 STAGES=("$@")
+if [[ ${#STAGES[@]} -eq 1 && ${STAGES[0]} == --list ]]; then
+  cat <<'EOF'
+analyze  repo-invariant static analysis (wire schema, lock order,
+         determinism) — needs only a C++20 compiler, never skipped
+tidy     clang-tidy over src/ (.clang-tidy, warnings-as-errors)
+tsa      Clang -Werror=thread-safety build
+asan     AddressSanitizer preset build + ctest
+ubsan    UndefinedBehaviorSanitizer preset build + ctest
+tsan     ThreadSanitizer build + fault/segments/replication/load presets
+all      analyze tidy tsa asan ubsan tsan
+EOF
+  exit 0
+fi
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(tidy tsa)
+  STAGES=(analyze tidy tsa)
 elif [[ ${#STAGES[@]} -eq 1 && ${STAGES[0]} == all ]]; then
-  STAGES=(tidy tsa asan ubsan tsan)
+  STAGES=(analyze tidy tsa asan ubsan tsan)
 fi
 
 for stage in "${STAGES[@]}"; do
   case "$stage" in
+    analyze) stage_analyze ;;
     tidy) stage_tidy ;;
     tsa) stage_tsa ;;
     asan) stage_sanitizer asan ;;
