@@ -8,7 +8,8 @@
 namespace propeller::acg {
 
 GroupId AcgManager::NewGroup() {
-  GroupId id = next_group_++;
+  GroupId id = next_group_;
+  next_group_ += stride_;
   groups_.emplace(id, GroupInfo{});
   return id;
 }
@@ -121,6 +122,13 @@ std::vector<GroupId> AcgManager::Groups() const {
   return out;
 }
 
+std::vector<std::pair<FileId, GroupId>> AcgManager::FileGroups() const {
+  std::vector<std::pair<FileId, GroupId>> out(file_group_.begin(),
+                                              file_group_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 const Acg* AcgManager::GroupAcg(GroupId group) const {
   auto it = groups_.find(group);
   return it == groups_.end() ? nullptr : &it->second.acg;
@@ -196,7 +204,8 @@ void AcgManager::RestoreGroup(GroupId id, const Acg& acg) {
   }
   intra_weight_ += acg.TotalWeight();
   info.acg.Merge(acg);
-  if (id >= next_group_) next_group_ = id + 1;
+  // Keep next_group_ in this manager's residue class (see constructor).
+  while (next_group_ <= id) next_group_ += stride_;
 }
 
 void AcgManager::ForgetFile(FileId file) {

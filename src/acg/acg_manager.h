@@ -40,7 +40,13 @@ struct AcgPolicy {
 
 class AcgManager {
  public:
-  explicit AcgManager(AcgPolicy policy = {}) : policy_(policy) {}
+  // `first_group`/`stride` namespace the allocated group ids: instance i of
+  // N co-existing managers (a sharded master) uses first = i + 1, stride =
+  // N, so no two managers ever hand out the same id.  The defaults (1, 1)
+  // are the legacy single-manager sequence.
+  explicit AcgManager(AcgPolicy policy = {}, GroupId first_group = 1,
+                      GroupId stride = 1)
+      : policy_(policy), next_group_(first_group), stride_(stride) {}
 
   const AcgPolicy& policy() const { return policy_; }
 
@@ -62,6 +68,10 @@ class AcgManager {
   std::optional<GroupId> GroupOf(FileId file) const;
   uint64_t GroupSize(GroupId group) const;
   std::vector<GroupId> Groups() const;
+  // Full file -> group mapping, sorted by file id (stable across runs).
+  // Consumed by the sharded master when it mirrors a shard's placement
+  // state into an index-node lease grant.
+  std::vector<std::pair<FileId, GroupId>> FileGroups() const;
   uint64_t NumFiles() const { return file_group_.size(); }
   // Sum of weights of causal edges that cross group boundaries (the
   // "weight of cut" the partitioning minimizes).
@@ -111,6 +121,7 @@ class AcgManager {
   uint64_t cross_weight_ = 0;
   uint64_t intra_weight_ = 0;
   GroupId next_group_ = 1;
+  GroupId stride_ = 1;
   GroupId fill_group_ = 0;
 };
 

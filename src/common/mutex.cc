@@ -13,12 +13,18 @@ const char* LockRankName(LockRank rank) {
       return "kClientCache";
     case LockRank::kMaster:
       return "kMaster";
+    case LockRank::kMasterLiveness:
+      return "kMasterLiveness";
+    case LockRank::kMasterShard:
+      return "kMasterShard";
     case LockRank::kTransportRouting:
       return "kTransportRouting";
     case LockRank::kFaultPlan:
       return "kFaultPlan";
     case LockRank::kIndexNodeAdmission:
       return "kIndexNodeAdmission";
+    case LockRank::kIndexNodeLease:
+      return "kIndexNodeLease";
     case LockRank::kIndexNodeGroups:
       return "kIndexNodeGroups";
     case LockRank::kIndexNodeReplica:

@@ -52,9 +52,12 @@ enum class LockRank : int {
   kUnranked = 0,          // exempt from rank checking
   kClientCache = 5,       // core::PropellerClient::cache_mu_ (placement cache)
   kMaster = 10,           // core::MasterNode::mu_ (held across nested RPCs)
+  kMasterLiveness = 12,   // core::MasterNode::liveness_mu_ (heartbeat stamps)
+  kMasterShard = 14,      // core::MasterNode::Shard::mu_ (held across nested RPCs)
   kTransportRouting = 20, // net::Transport::mu_ (handler/down-set snapshot)
   kFaultPlan = 25,        // net::FaultPlan::mu_
   kIndexNodeAdmission = 28,  // core::IndexNode::admission_mu_ (virtual queue)
+  kIndexNodeLease = 29,   // core::IndexNode::lease_mu_ (delegated shard mirrors)
   kIndexNodeGroups = 30,  // core::IndexNode::groups_mu_ (shared_mutex)
   kIndexNodeReplica = 32, // core::IndexNode::replica_mu_ (applied-seq map)
   kGroupJournal = 35,     // core::GroupJournal::mu_

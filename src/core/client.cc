@@ -113,9 +113,25 @@ PropellerClient::PropellerClient(NodeId id, net::Transport* transport,
           &metrics_.GetCounter("client.search.stale_replica_retries")),
       shed_searches_(&metrics_.GetCounter("client.search.shed")),
       shed_updates_(&metrics_.GetCounter("client.update.shed")),
+      delegated_resolves_(&metrics_.GetCounter("client.resolve.delegated")),
+      delegated_fallbacks_(&metrics_.GetCounter("client.resolve.fallback")),
       search_latency_(&metrics_.GetHistogram("client.search.latency_s")),
       update_latency_(&metrics_.GetHistogram("client.batch_update.latency_s")),
       branch_latency_(&metrics_.GetHistogram("client.search.branch_latency_s")) {
+  MutexLock lock(cache_mu_);
+  search_shard_epochs_.assign(NumShards(), 0);
+  file_shard_epochs_.assign(NumShards(), 0);
+}
+
+std::vector<uint64_t> PropellerClient::EffectiveEpochs(
+    uint64_t scalar, const std::vector<uint64_t>& vec) const {
+  std::vector<uint64_t> out(NumShards(), 0);
+  if (!vec.empty()) {
+    for (size_t s = 0; s < out.size() && s < vec.size(); ++s) out[s] = vec[s];
+  } else if (scalar > 0) {
+    out[0] = scalar;
+  }
+  return out;
 }
 
 bool PropellerClient::LookupSearchTargets(const std::string& index_name,
@@ -125,30 +141,45 @@ bool PropellerClient::LookupSearchTargets(const std::string& index_name,
   auto it = search_cache_.find(index_name);
   if (it == search_cache_.end()) return false;
   *targets = it->second;
-  *epoch = search_cache_epoch_;
+  *epoch = 0;
+  for (uint64_t e : search_shard_epochs_) *epoch = std::max(*epoch, e);
   return true;
 }
 
 void PropellerClient::StoreSearchTargets(const std::string& index_name,
                                          const ResolveSearchResponse& resp) {
-  if (resp.metadata_epoch == 0) return;  // master is not publishing epochs
+  const std::vector<uint64_t> eps =
+      EffectiveEpochs(resp.metadata_epoch, resp.shard_epochs);
+  bool published = false;
+  for (uint64_t e : eps) published = published || e != 0;
+  if (!published) return;  // master is not publishing epochs
   MutexLock lock(cache_mu_);
-  if (resp.metadata_epoch < search_cache_epoch_) return;  // raced, older view
-  if (resp.metadata_epoch > search_cache_epoch_) {
-    // Placement changed since the cached entries were resolved; they may
-    // name groups that merged or moved.  Replace wholesale.
+  // Per-shard freshness: a response older than the cache on every shard it
+  // covers is a raced older view; any strictly newer shard means placement
+  // changed since the cached entries were resolved — they may name groups
+  // that merged or moved, so replace wholesale.
+  bool newer = false, older = false;
+  for (size_t s = 0; s < eps.size(); ++s) {
+    if (eps[s] == 0) continue;
+    if (eps[s] > search_shard_epochs_[s]) newer = true;
+    if (eps[s] < search_shard_epochs_[s]) older = true;
+  }
+  if (older && !newer) return;
+  if (newer) {
     search_cache_.clear();
-    search_cache_epoch_ = resp.metadata_epoch;
+    for (size_t s = 0; s < eps.size(); ++s) {
+      search_shard_epochs_[s] = std::max(search_shard_epochs_[s], eps[s]);
+    }
   }
   search_cache_[index_name] = resp;
 }
 
 void PropellerClient::LookupFilePlacements(
     const std::vector<FileUpdate>& updates,
-    std::unordered_map<FileId, FilePlacement>* where, uint64_t* epoch,
-    std::vector<FileId>* missing) {
+    std::unordered_map<FileId, FilePlacement>* where,
+    std::vector<uint64_t>* epochs, std::vector<FileId>* missing) {
   MutexLock lock(cache_mu_);
-  *epoch = file_cache_epoch_;
+  *epochs = file_shard_epochs_;
   for (const FileUpdate& u : updates) {
     if (where->count(u.file) != 0u) continue;
     auto it = file_cache_.find(u.file);
@@ -161,15 +192,41 @@ void PropellerClient::LookupFilePlacements(
 }
 
 void PropellerClient::StoreFilePlacements(const ResolveUpdateResponse& resp) {
-  if (resp.metadata_epoch == 0) return;  // master is not publishing epochs
+  const std::vector<uint64_t> eps =
+      EffectiveEpochs(resp.metadata_epoch, resp.shard_epochs);
+  const uint32_t n = NumShards();
+  bool published = false;
+  for (uint64_t e : eps) published = published || e != 0;
+  if (!published) return;  // master is not publishing epochs
   MutexLock lock(cache_mu_);
-  if (resp.metadata_epoch < file_cache_epoch_) return;
-  if (resp.metadata_epoch > file_cache_epoch_) {
-    file_cache_.clear();
-    file_cache_epoch_ = resp.metadata_epoch;
+  // Per-shard accept/evict: a shard whose published epoch moved past the
+  // cache invalidates only that shard's entries; a shard the response is
+  // older on keeps its cached entries and rejects the stale placements.
+  std::vector<char> accept(n, 0);
+  std::vector<char> evict(n, 0);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (eps[s] == 0 || eps[s] < file_shard_epochs_[s]) continue;
+    accept[s] = 1;
+    if (eps[s] > file_shard_epochs_[s]) {
+      evict[s] = 1;
+      file_shard_epochs_[s] = eps[s];
+    }
+  }
+  bool any_evict = false;
+  for (uint32_t s = 0; s < n; ++s) any_evict = any_evict || evict[s] != 0;
+  if (any_evict) {
+    for (auto it = file_cache_.begin(); it != file_cache_.end();) {
+      if (evict[ShardOfFile(it->first, n)] != 0) {
+        it = file_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   for (const auto& p : resp.placements) {
-    file_cache_[p.file] = FilePlacement{p.group, p.node};
+    if (accept[ShardOfFile(p.file, n)] != 0) {
+      file_cache_[p.file] = FilePlacement{p.group, p.node};
+    }
   }
 }
 
@@ -178,8 +235,158 @@ void PropellerClient::InvalidateRoutingCache() {
   search_cache_.clear();
   file_cache_.clear();
   // Replica sets are routing too; the floors are not (acked writes stay
-  // acked regardless of where the replicas live now).
+  // acked regardless of where the replicas live now).  Lease holders are
+  // routing as well: a stale route may mean a holder died or lost its
+  // lease, so the next resolve goes to the authoritative master (whose
+  // response re-learns the holders).
   replica_cache_.clear();
+  lease_holders_.clear();
+}
+
+void PropellerClient::StoreLeaseHolders(const std::vector<NodeId>& holders) {
+  if (holders.empty()) return;
+  MutexLock lock(cache_mu_);
+  lease_holders_ = holders;
+}
+
+std::vector<NodeId> PropellerClient::SnapshotLeaseHolders() const {
+  MutexLock lock(cache_mu_);
+  return lease_holders_;
+}
+
+bool PropellerClient::ResolveUpdateDelegated(const std::vector<FileId>& files,
+                                             ResolveUpdateResponse* out,
+                                             sim::Cost* cost) {
+  const std::vector<NodeId> holders = SnapshotLeaseHolders();
+  const uint32_t n = NumShards();
+  if (holders.size() != n) return false;  // no master response seen yet
+  // Partition the batch by lease holder, preserving request order within
+  // each sub-batch.  Any shard without a holder sends the whole batch to
+  // the master: a split answer would still need the master RPC anyway.
+  std::map<NodeId, std::vector<FileId>> by_holder;
+  for (FileId f : files) {
+    const NodeId h = holders[ShardOfFile(f, n)];
+    if (h == 0) return false;
+    by_holder[h].push_back(f);
+  }
+  // Fan out to the holders (simulated latency = the slowest branch; a
+  // refusal is detected at that branch's completion, so the failed
+  // attempt's wait is charged before the master fallback).
+  std::unordered_map<FileId, ResolveUpdateResponse::Placement> got;
+  std::vector<uint64_t> eps(n, 0);
+  std::map<GroupId, GroupReplicaSet> rsets;
+  sim::Cost slowest;
+  for (const auto& [node, flist] : by_holder) {
+    ResolveUpdateRequest rreq;
+    rreq.files = flist;
+    auto call = CallWithRetry(node, "in.resolve_update", Encode(rreq));
+    if (call.cost.seconds() > slowest.seconds()) slowest = call.cost;
+    if (!call.status.ok()) {
+      *cost += slowest;
+      return false;
+    }
+    auto resolved = Decode<ResolveUpdateResponse>(call.payload);
+    if (!resolved.ok()) {
+      *cost += slowest;
+      return false;
+    }
+    for (const auto& p : resolved->placements) got[p.file] = p;
+    const std::vector<uint64_t> branch_eps =
+        EffectiveEpochs(resolved->metadata_epoch, resolved->shard_epochs);
+    for (uint32_t s = 0; s < n; ++s) eps[s] = std::max(eps[s], branch_eps[s]);
+    for (const GroupReplicaSet& rs : resolved->replicas) rsets[rs.group] = rs;
+  }
+  *cost += slowest;
+  // Reassemble in request order — exactly the shape one master resolve
+  // would have produced.
+  out->placements.clear();
+  out->placements.reserve(files.size());
+  for (FileId f : files) {
+    auto it = got.find(f);
+    if (it == got.end()) return false;
+    out->placements.push_back(it->second);
+  }
+  out->replicas.clear();
+  for (auto& [g, rs] : rsets) out->replicas.push_back(std::move(rs));
+  if (n == 1) {
+    out->metadata_epoch = eps[0];
+    out->shard_epochs.clear();
+  } else {
+    out->metadata_epoch = 0;
+    out->shard_epochs = std::move(eps);
+  }
+  delegated_resolves_->Add(1);
+  return true;
+}
+
+bool PropellerClient::ResolveSearchDelegated(const std::string& index_name,
+                                             ResolveSearchResponse* out,
+                                             sim::Cost* cost) {
+  const std::vector<NodeId> holders = SnapshotLeaseHolders();
+  const uint32_t n = NumShards();
+  if (holders.size() != n) return false;
+  std::vector<NodeId> distinct;
+  for (NodeId h : holders) {
+    if (h == 0) return false;
+    distinct.push_back(h);
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  // Each holder answers for the shards it holds live leases on; the merged
+  // answer is usable only when the union covers every shard (every shard
+  // epoch starts at 1, so covered == nonzero).
+  std::map<NodeId, std::vector<GroupId>> by_node;
+  std::vector<uint64_t> eps(n, 0);
+  std::map<GroupId, GroupReplicaSet> rsets;
+  sim::Cost slowest;
+  const std::string payload = [&] {
+    ResolveSearchRequest rreq;
+    rreq.index_name = index_name;
+    return Encode(rreq);
+  }();
+  for (NodeId node : distinct) {
+    auto call = CallWithRetry(node, "in.resolve_search", std::string(payload));
+    if (call.cost.seconds() > slowest.seconds()) slowest = call.cost;
+    if (!call.status.ok()) {
+      *cost += slowest;
+      return false;
+    }
+    auto resolved = Decode<ResolveSearchResponse>(call.payload);
+    if (!resolved.ok()) {
+      *cost += slowest;
+      return false;
+    }
+    for (const auto& t : resolved->targets) {
+      auto& groups = by_node[t.node];
+      groups.insert(groups.end(), t.groups.begin(), t.groups.end());
+    }
+    const std::vector<uint64_t> branch_eps =
+        EffectiveEpochs(resolved->metadata_epoch, resolved->shard_epochs);
+    for (uint32_t s = 0; s < n; ++s) eps[s] = std::max(eps[s], branch_eps[s]);
+    for (const GroupReplicaSet& rs : resolved->replicas) rsets[rs.group] = rs;
+  }
+  *cost += slowest;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (eps[s] == 0) return false;  // uncovered shard: lease lapsed mid-merge
+  }
+  out->targets.clear();
+  for (auto& [node, groups] : by_node) {
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    out->targets.push_back({node, std::move(groups)});
+  }
+  out->replicas.clear();
+  for (auto& [g, rs] : rsets) out->replicas.push_back(std::move(rs));
+  if (n == 1) {
+    out->metadata_epoch = eps[0];
+    out->shard_epochs.clear();
+  } else {
+    out->metadata_epoch = 0;
+    out->shard_epochs = std::move(eps);
+  }
+  delegated_resolves_->Add(1);
+  return true;
 }
 
 void PropellerClient::StoreReplicaSets(
@@ -257,10 +464,10 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
   // this degenerates to the original single batched resolve.
   std::unordered_map<FileId, FilePlacement> where;
   where.reserve(updates.size());
-  uint64_t epoch = 0;
+  std::vector<uint64_t> epochs(NumShards(), 0);
   std::vector<FileId> need;
   if (caching) {
-    LookupFilePlacements(updates, &where, &epoch, &need);
+    LookupFilePlacements(updates, &where, &epochs, &need);
     cache_hits_->Add(where.size());
     cache_misses_->Add(need.size());
   } else {
@@ -268,23 +475,42 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
     for (const FileUpdate& u : updates) need.push_back(u.file);
   }
 
-  // Resolves placements for `files` through the master and merges them
-  // into `where` (refreshing the cache and the request epoch).
+  // Resolves placements for `files` — through the lease holders when
+  // delegation is on and they can answer, through the master otherwise —
+  // and merges them into `where` (refreshing the cache and the per-shard
+  // request epochs).
   auto resolve = [&](std::vector<FileId> files) -> Status {
-    ResolveUpdateRequest rreq;
-    rreq.files = std::move(files);
-    auto rcall = CallWithRetry(master_, "mn.resolve_update", Encode(rreq));
-    if (!rcall.status.ok()) return rcall.status;
-    cost += rcall.cost;
-    auto resolved = Decode<ResolveUpdateResponse>(rcall.payload);
-    if (!resolved.ok()) return resolved.status();
-    for (const auto& p : resolved->placements) {
+    ResolveUpdateResponse resolved;
+    bool delegated = false;
+    if (config_.placement_leases) {
+      delegated = ResolveUpdateDelegated(files, &resolved, &cost);
+      if (!delegated) delegated_fallbacks_->Add(1);
+    }
+    if (!delegated) {
+      ResolveUpdateRequest rreq;
+      rreq.files = std::move(files);
+      // Open-loop traffic stamps the resolve's arrival so the master can
+      // model per-shard queueing; absent otherwise (wire unchanged).
+      rreq.arrival_s = admission ? now_s : 0;
+      auto rcall = CallWithRetry(master_, "mn.resolve_update", Encode(rreq));
+      if (!rcall.status.ok()) return rcall.status;
+      cost += rcall.cost;
+      auto decoded = Decode<ResolveUpdateResponse>(rcall.payload);
+      if (!decoded.ok()) return decoded.status();
+      resolved = std::move(*decoded);
+      if (config_.placement_leases) StoreLeaseHolders(resolved.lease_holders);
+    }
+    for (const auto& p : resolved.placements) {
       where[p.file] = FilePlacement{p.group, p.node};
     }
-    if (config_.replicated) StoreReplicaSets(resolved->replicas);
-    if (caching) StoreFilePlacements(*resolved);
-    if ((caching || config_.replicated) && resolved->metadata_epoch > 0) {
-      epoch = resolved->metadata_epoch;
+    if (config_.replicated) StoreReplicaSets(resolved.replicas);
+    if (caching) StoreFilePlacements(resolved);
+    if (caching || config_.replicated) {
+      const std::vector<uint64_t> eps =
+          EffectiveEpochs(resolved.metadata_epoch, resolved.shard_epochs);
+      for (size_t s = 0; s < epochs.size(); ++s) {
+        epochs[s] = std::max(epochs[s], eps[s]);
+      }
     }
     return Status::Ok();
   };
@@ -371,7 +597,12 @@ Result<sim::Cost> PropellerClient::BatchUpdate(std::vector<FileUpdate> updates,
         StageUpdatesRequest sreq;
         sreq.group = bucket.group;
         sreq.now_s = now_s;
-        sreq.epoch = (caching || config_.replicated) ? epoch : 0;
+        // The group's placement was resolved at its owning shard's epoch (a
+        // shard's groups carry its residue class, so the file's shard and
+        // the group's shard coincide); one shard index == legacy scalar.
+        sreq.epoch = (caching || config_.replicated)
+                         ? epochs[ShardOfGroup(bucket.group, NumShards())]
+                         : 0;
         if (config_.replicated) sreq.replica_role = kReplicaRolePrimary;
         sreq.admission = admission ? 1 : 0;
         size_t end = std::min(off + config_.update_batch, bucket.updates.size());
@@ -629,15 +860,35 @@ Result<PropellerClient::SearchOutcome> PropellerClient::Search(
   uint64_t epoch = 0;
   bool from_cache = false;
   auto resolve = [&]() -> Status {
-    ResolveSearchRequest rreq;
-    rreq.index_name = index_name;
-    auto rcall = CallWithRetry(master_, "mn.resolve_search", Encode(rreq));
-    if (!rcall.status.ok()) return rcall.status;
-    out.cost += rcall.cost;
-    auto decoded = Decode<ResolveSearchResponse>(rcall.payload);
-    if (!decoded.ok()) return decoded.status();
-    targets = std::move(*decoded);
+    bool delegated = false;
+    if (config_.placement_leases) {
+      ResolveSearchResponse merged;
+      delegated = ResolveSearchDelegated(index_name, &merged, &out.cost);
+      if (delegated) {
+        targets = std::move(merged);
+      } else {
+        delegated_fallbacks_->Add(1);
+      }
+    }
+    if (!delegated) {
+      ResolveSearchRequest rreq;
+      rreq.index_name = index_name;
+      // Open-loop traffic stamps the resolve's arrival so the master can
+      // model per-shard queueing; absent otherwise (wire unchanged).
+      rreq.arrival_s = arrival_s;
+      auto rcall = CallWithRetry(master_, "mn.resolve_search", Encode(rreq));
+      if (!rcall.status.ok()) return rcall.status;
+      out.cost += rcall.cost;
+      auto decoded = Decode<ResolveSearchResponse>(rcall.payload);
+      if (!decoded.ok()) return decoded.status();
+      targets = std::move(*decoded);
+      if (config_.placement_leases) StoreLeaseHolders(targets.lease_holders);
+    }
+    // The stamped epoch is a staleness *flag* at the Index Nodes (>0 asks
+    // for kStaleLocation on moved groups), so the max across shards keeps
+    // the legacy scalar semantics at any shard count.
     epoch = targets.metadata_epoch;
+    for (uint64_t e : targets.shard_epochs) epoch = std::max(epoch, e);
     if (replicated) StoreReplicaSets(targets.replicas);
     if (caching) StoreSearchTargets(index_name, targets);
     return Status::Ok();

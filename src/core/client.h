@@ -69,6 +69,17 @@ struct ClientConfig {
   // hedges slow or failed search branches to each group's first
   // secondary.  PropellerCluster wires this from replication_factor.
   bool replicated = false;
+  // Sharded master (mirrors ClusterConfig::master_shards): the client keys
+  // its placement caches by (shard, epoch) — resolve responses carry one
+  // epoch per metadata shard, and one shard's churn evicts only that
+  // shard's cached placements.  1 = the legacy scalar-epoch behaviour.
+  uint32_t master_shards = 1;
+  // Placement delegation: resolves route to the lease-holding Index Nodes
+  // named by the master's resolve responses ("in.resolve_update" /
+  // "in.resolve_search"), falling back to the master when no holder is
+  // known yet or a delegate refuses (lease expiry, kStaleLocation).
+  // PropellerCluster wires this from its own placement_leases flag.
+  bool placement_leases = false;
   // Hedged-read policy (replicated mode).  A search branch whose primary
   // exceeds the client's observed latency quantile — or fails outright —
   // is re-issued to the secondary replicas; the first complete response
@@ -188,11 +199,35 @@ class PropellerClient {
                           const ResolveSearchResponse& resp);
   // Fills `where` from cached placements, appends each unknown file to
   // `missing` (preserving update order, duplicates included, exactly as an
-  // uncached resolve request would list them) and reports the cache epoch.
+  // uncached resolve request would list them) and reports the per-shard
+  // cache epochs.
   void LookupFilePlacements(const std::vector<FileUpdate>& updates,
                             std::unordered_map<FileId, FilePlacement>* where,
-                            uint64_t* epoch, std::vector<FileId>* missing);
+                            std::vector<uint64_t>* epochs,
+                            std::vector<FileId>* missing);
   void StoreFilePlacements(const ResolveUpdateResponse& resp);
+  // Number of metadata shards the caches are keyed by (>= 1).
+  uint32_t NumShards() const {
+    return config_.master_shards == 0 ? 1 : config_.master_shards;
+  }
+  // Normalizes a resolve response's epoch publication — the scalar at one
+  // shard, the trailing vector otherwise — into one slot per shard
+  // (0 = that shard published nothing).
+  std::vector<uint64_t> EffectiveEpochs(
+      uint64_t scalar, const std::vector<uint64_t>& vec) const;
+
+  // --- placement delegation (placement_leases) ---
+  // Memoizes the per-shard lease holders a master resolve response names.
+  void StoreLeaseHolders(const std::vector<NodeId>& holders);
+  std::vector<NodeId> SnapshotLeaseHolders() const;
+  // Delegated resolves: partition the request across the lease holders,
+  // fan out "in.resolve_*", and merge the answers.  False = fall back to
+  // the master (no holders known, a holder refused, or partial coverage);
+  // `cost` accumulates whatever the client waited on either way.
+  bool ResolveUpdateDelegated(const std::vector<FileId>& files,
+                              ResolveUpdateResponse* out, sim::Cost* cost);
+  bool ResolveSearchDelegated(const std::string& index_name,
+                              ResolveSearchResponse* out, sim::Cost* cost);
   // Drops both caches — routing proved stale (kStaleLocation) or a cached
   // route hit a dead node; the follow-up resolve refills them.  The
   // read-your-writes floors survive: they describe acknowledged writes,
@@ -234,6 +269,8 @@ class PropellerClient {
   obs::Counter* stale_replica_retries_;
   obs::Counter* shed_searches_;
   obs::Counter* shed_updates_;
+  obs::Counter* delegated_resolves_;
+  obs::Counter* delegated_fallbacks_;
   obs::Histogram* search_latency_;
   obs::Histogram* update_latency_;
   // Per-branch in.search latencies (successful primaries); feeds the
@@ -246,9 +283,12 @@ class PropellerClient {
   mutable Mutex cache_mu_{LockRank::kClientCache, "PropellerClient::cache_mu_"};
   std::unordered_map<std::string, ResolveSearchResponse> search_cache_
       GUARDED_BY(cache_mu_);
-  uint64_t search_cache_epoch_ GUARDED_BY(cache_mu_) = 0;
+  std::vector<uint64_t> search_shard_epochs_ GUARDED_BY(cache_mu_);
   std::unordered_map<FileId, FilePlacement> file_cache_ GUARDED_BY(cache_mu_);
-  uint64_t file_cache_epoch_ GUARDED_BY(cache_mu_) = 0;
+  std::vector<uint64_t> file_shard_epochs_ GUARDED_BY(cache_mu_);
+  // Placement delegation: shard -> lease-holding Index Node (0 = none),
+  // as last stamped by a master resolve response; empty until then.
+  std::vector<NodeId> lease_holders_ GUARDED_BY(cache_mu_);
   // Replication: latest known replica set per group (write fan-out) and
   // the highest primary-acked commit sequence per group (read floors).
   std::unordered_map<GroupId, std::vector<NodeId>> replica_cache_

@@ -41,6 +41,19 @@ PropellerCluster::PropellerCluster(ClusterConfig config)
     config_.index_node.admission_control = true;
     config_.index_node.admission_queue_bound = config_.admission_queue_bound;
   }
+  if (config_.master_shards > 1) {
+    config_.master.num_shards = config_.master_shards;
+    config_.client.master_shards =
+        static_cast<uint32_t>(config_.master_shards);
+  }
+  if (config_.placement_leases) {
+    config_.master.placement_leases = true;
+    config_.master.lease_duration_s = config_.lease_duration_s;
+    config_.client.placement_leases = true;
+    // Delegated answers are only cacheable when they carry epochs.
+    config_.master.publish_metadata_epoch = true;
+  }
+  config_.master.model_resolve_queue = config_.model_resolve_queue;
   if (config_.segmented_index) {
     config_.index_node.segmented_index = true;
     // Journal compaction needs sealed-segment durability AND a journal to
@@ -99,7 +112,16 @@ void PropellerCluster::AdvanceTime(double seconds) {
       hb.node = node->id();
       hb.now_s = now_s_;
       hb.groups = node->GroupStats();
-      transport_.Call(node->id(), kMasterId, "mn.heartbeat", Encode(hb));
+      auto ack = transport_.Call(node->id(), kMasterId, "mn.heartbeat",
+                                 Encode(hb));
+      // Placement leases ride back on the ack: install them on the node so
+      // it can answer delegated resolves.  A legacy empty ack decodes to an
+      // all-default response (num_shards = 0) and installs nothing.
+      if (config_.placement_leases && ack.status.ok()) {
+        if (auto resp = Decode<HeartbeatResponse>(ack.payload); resp.ok()) {
+          node->InstallLeases(*resp, now_s_);
+        }
+      }
     }
   }
 

@@ -59,11 +59,79 @@ Status GetTrailingReplicas(BinaryReader& r, uint64_t& epoch,
   return Status::Ok();
 }
 
+// Trailing shard sections (sharded master): a per-shard epoch vector, then
+// a per-shard lease-holder vector.  Either one being present forces every
+// earlier trailing section onto the wire (epoch with its real value,
+// possibly 0; replicas with a possibly-zero count) so the decoder can walk
+// the sections purely by remaining bytes.  Both absent reduces to the
+// legacy PutTrailingReplicas bytes.
+void PutTrailingShardSections(BinaryWriter& w, uint64_t epoch,
+                              const std::vector<GroupReplicaSet>& replicas,
+                              const std::vector<uint64_t>& shard_epochs,
+                              const std::vector<NodeId>& lease_holders) {
+  if (shard_epochs.empty() && lease_holders.empty()) {
+    PutTrailingReplicas(w, epoch, replicas);
+    return;
+  }
+  w.PutU64(epoch);
+  w.PutU32(static_cast<uint32_t>(replicas.size()));
+  for (const GroupReplicaSet& rs : replicas) {
+    w.PutU64(rs.group);
+    w.PutU32(static_cast<uint32_t>(rs.nodes.size()));
+    for (NodeId n : rs.nodes) w.PutU32(n);
+  }
+  w.PutU32(static_cast<uint32_t>(shard_epochs.size()));
+  for (uint64_t e : shard_epochs) w.PutU64(e);
+  if (!lease_holders.empty()) {
+    w.PutU32(static_cast<uint32_t>(lease_holders.size()));
+    for (NodeId n : lease_holders) w.PutU32(n);
+  }
+}
+
+Status GetTrailingShardSections(BinaryReader& r, uint64_t& epoch,
+                                std::vector<GroupReplicaSet>& replicas,
+                                std::vector<uint64_t>& shard_epochs,
+                                std::vector<NodeId>& lease_holders) {
+  shard_epochs.clear();
+  lease_holders.clear();
+  PROPELLER_RETURN_IF_ERROR(GetTrailingReplicas(r, epoch, replicas));
+  if (r.AtEnd()) return Status::Ok();
+  uint32_t ns = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(ns));
+  for (uint32_t i = 0; i < ns; ++i) {
+    uint64_t e = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(e));
+    shard_epochs.push_back(e);
+  }
+  if (r.AtEnd()) return Status::Ok();
+  uint32_t nh = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(nh));
+  for (uint32_t i = 0; i < nh; ++i) {
+    NodeId n = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU32(n));
+    lease_holders.push_back(n);
+  }
+  return Status::Ok();
+}
+
+// Trailing arrival stamp on resolve requests: absent when 0, so unstamped
+// traffic keeps the legacy bytes.
+void PutTrailingArrival(BinaryWriter& w, double arrival_s) {
+  if (arrival_s > 0) w.PutDouble(arrival_s);
+}
+
+Status GetTrailingArrival(BinaryReader& r, double& arrival_s) {
+  arrival_s = 0;
+  if (r.AtEnd()) return Status::Ok();
+  return r.GetDouble(arrival_s);
+}
+
 }  // namespace
 
 void ResolveUpdateRequest::Serialize(BinaryWriter& w) const {
   w.PutU32(static_cast<uint32_t>(files.size()));
   for (FileId f : files) w.PutU64(f);
+  PutTrailingArrival(w, arrival_s);
 }
 Status ResolveUpdateRequest::Deserialize(BinaryReader& r,
                                          ResolveUpdateRequest& out) {
@@ -75,7 +143,7 @@ Status ResolveUpdateRequest::Deserialize(BinaryReader& r,
     PROPELLER_RETURN_IF_ERROR(r.GetU64(f));
     out.files.push_back(f);
   }
-  return Status::Ok();
+  return GetTrailingArrival(r, out.arrival_s);
 }
 
 void ResolveUpdateResponse::Serialize(BinaryWriter& w) const {
@@ -85,7 +153,8 @@ void ResolveUpdateResponse::Serialize(BinaryWriter& w) const {
     w.PutU64(p.group);
     w.PutU32(p.node);
   }
-  PutTrailingReplicas(w, metadata_epoch, replicas);
+  PutTrailingShardSections(w, metadata_epoch, replicas, shard_epochs,
+                           lease_holders);
 }
 Status ResolveUpdateResponse::Deserialize(BinaryReader& r,
                                           ResolveUpdateResponse& out) {
@@ -99,15 +168,18 @@ Status ResolveUpdateResponse::Deserialize(BinaryReader& r,
     PROPELLER_RETURN_IF_ERROR(r.GetU32(p.node));
     out.placements.push_back(p);
   }
-  return GetTrailingReplicas(r, out.metadata_epoch, out.replicas);
+  return GetTrailingShardSections(r, out.metadata_epoch, out.replicas,
+                                  out.shard_epochs, out.lease_holders);
 }
 
 void ResolveSearchRequest::Serialize(BinaryWriter& w) const {
   w.PutString(index_name);
+  PutTrailingArrival(w, arrival_s);
 }
 Status ResolveSearchRequest::Deserialize(BinaryReader& r,
                                          ResolveSearchRequest& out) {
-  return r.GetString(out.index_name);
+  PROPELLER_RETURN_IF_ERROR(r.GetString(out.index_name));
+  return GetTrailingArrival(r, out.arrival_s);
 }
 
 void ResolveSearchResponse::Serialize(BinaryWriter& w) const {
@@ -117,7 +189,8 @@ void ResolveSearchResponse::Serialize(BinaryWriter& w) const {
     w.PutU32(static_cast<uint32_t>(t.groups.size()));
     for (GroupId g : t.groups) w.PutU64(g);
   }
-  PutTrailingReplicas(w, metadata_epoch, replicas);
+  PutTrailingShardSections(w, metadata_epoch, replicas, shard_epochs,
+                           lease_holders);
 }
 Status ResolveSearchResponse::Deserialize(BinaryReader& r,
                                           ResolveSearchResponse& out) {
@@ -136,7 +209,8 @@ Status ResolveSearchResponse::Deserialize(BinaryReader& r,
     }
     out.targets.push_back(std::move(t));
   }
-  return GetTrailingReplicas(r, out.metadata_epoch, out.replicas);
+  return GetTrailingShardSections(r, out.metadata_epoch, out.replicas,
+                                  out.shard_epochs, out.lease_holders);
 }
 
 void CreateIndexRequest::Serialize(BinaryWriter& w) const { spec.Serialize(w); }
@@ -171,6 +245,97 @@ Status HeartbeatRequest::Deserialize(BinaryReader& r, HeartbeatRequest& out) {
     PROPELLER_RETURN_IF_ERROR(r.GetU64(g.files));
     PROPELLER_RETURN_IF_ERROR(r.GetU64(g.pages));
     out.groups.push_back(g);
+  }
+  return Status::Ok();
+}
+
+void HeartbeatResponse::Serialize(BinaryWriter& w) const {
+  // All-default = zero bytes: the legacy empty heartbeat ack.
+  if (num_shards == 0 && index_names.empty() && leases.empty()) return;
+  w.PutU32(num_shards);
+  w.PutU32(static_cast<uint32_t>(index_names.size()));
+  for (const std::string& name : index_names) w.PutString(name);
+  w.PutU32(static_cast<uint32_t>(leases.size()));
+  for (const ShardLeaseGrant& g : leases) {
+    w.PutU32(g.shard);
+    w.PutU64(g.epoch);
+    w.PutDouble(g.expiry_s);
+    w.PutU8(g.has_mirror ? 1 : 0);
+    if (!g.has_mirror) continue;
+    w.PutU32(static_cast<uint32_t>(g.groups.size()));
+    for (const ShardLeaseGrant::GroupPrimary& gp : g.groups) {
+      w.PutU64(gp.group);
+      w.PutU32(gp.node);
+    }
+    w.PutU32(static_cast<uint32_t>(g.replicas.size()));
+    for (const GroupReplicaSet& rs : g.replicas) {
+      w.PutU64(rs.group);
+      w.PutU32(static_cast<uint32_t>(rs.nodes.size()));
+      for (NodeId n : rs.nodes) w.PutU32(n);
+    }
+    w.PutU32(static_cast<uint32_t>(g.files.size()));
+    for (const ShardLeaseGrant::FileGroup& fg : g.files) {
+      w.PutU64(fg.file);
+      w.PutU64(fg.group);
+    }
+  }
+}
+Status HeartbeatResponse::Deserialize(BinaryReader& r, HeartbeatResponse& out) {
+  out.num_shards = 0;
+  out.index_names.clear();
+  out.leases.clear();
+  if (r.AtEnd()) return Status::Ok();  // legacy empty ack
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(out.num_shards));
+  uint32_t nn = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(nn));
+  for (uint32_t i = 0; i < nn; ++i) {
+    std::string name;
+    PROPELLER_RETURN_IF_ERROR(r.GetString(name));
+    out.index_names.push_back(std::move(name));
+  }
+  uint32_t nl = 0;
+  PROPELLER_RETURN_IF_ERROR(r.GetU32(nl));
+  for (uint32_t i = 0; i < nl; ++i) {
+    ShardLeaseGrant g;
+    PROPELLER_RETURN_IF_ERROR(r.GetU32(g.shard));
+    PROPELLER_RETURN_IF_ERROR(r.GetU64(g.epoch));
+    PROPELLER_RETURN_IF_ERROR(r.GetDouble(g.expiry_s));
+    uint8_t has_mirror = 0;
+    PROPELLER_RETURN_IF_ERROR(r.GetU8(has_mirror));
+    g.has_mirror = has_mirror != 0;
+    if (g.has_mirror) {
+      uint32_t ng = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetU32(ng));
+      for (uint32_t j = 0; j < ng; ++j) {
+        ShardLeaseGrant::GroupPrimary gp;
+        PROPELLER_RETURN_IF_ERROR(r.GetU64(gp.group));
+        PROPELLER_RETURN_IF_ERROR(r.GetU32(gp.node));
+        g.groups.push_back(gp);
+      }
+      uint32_t nr = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetU32(nr));
+      for (uint32_t j = 0; j < nr; ++j) {
+        GroupReplicaSet rs;
+        PROPELLER_RETURN_IF_ERROR(r.GetU64(rs.group));
+        uint32_t nrn = 0;
+        PROPELLER_RETURN_IF_ERROR(r.GetU32(nrn));
+        for (uint32_t k = 0; k < nrn; ++k) {
+          NodeId node = 0;
+          PROPELLER_RETURN_IF_ERROR(r.GetU32(node));
+          rs.nodes.push_back(node);
+        }
+        g.replicas.push_back(std::move(rs));
+      }
+      uint32_t nf = 0;
+      PROPELLER_RETURN_IF_ERROR(r.GetU32(nf));
+      for (uint32_t j = 0; j < nf; ++j) {
+        ShardLeaseGrant::FileGroup fg;
+        PROPELLER_RETURN_IF_ERROR(r.GetU64(fg.file));
+        PROPELLER_RETURN_IF_ERROR(r.GetU64(fg.group));
+        g.files.push_back(fg);
+      }
+    }
+    out.leases.push_back(std::move(g));
   }
   return Status::Ok();
 }

@@ -8,7 +8,7 @@
 //   Index:   in.create_group    in.stage_updates   in.search
 //            in.tick            in.migrate_out     in.install_group
 //            in.recover_group   in.reset           in.catch_up
-//            in.drop_group
+//            in.drop_group      in.resolve_update  in.resolve_search
 #pragma once
 
 #include <cstdint>
@@ -56,11 +56,40 @@ struct GroupReplicaSet {
   std::vector<NodeId> nodes;  // nodes[0] = primary
 };
 
+// ---- shard convention (sharded master) ----
+// With ClusterConfig::master_shards = N > 1 the master hash-partitions its
+// metadata into N shards: a file belongs to shard ShardOfFile(file, N) and
+// a group allocated by shard s carries id ≡ s + 1 (mod N), so
+// ShardOfGroup inverts the assignment without a lookup.  Each shard keeps
+// its own metadata_epoch; resolve responses then carry a trailing per-shard
+// epoch vector (0 entries = "no statement about that shard") so a client
+// invalidates only the shard whose placement actually changed.  With
+// placement leases on, a second trailing vector names each shard's current
+// lease holder (0 = none) so clients can send resolves to the delegate.
+// Both sections are absent at N = 1 / leases off — wire bytes unchanged.
+inline uint32_t ShardOfFile(FileId file, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // splitmix64 finalizer: stable across platforms (std::hash is not).
+  uint64_t x = file + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % num_shards);
+}
+inline uint32_t ShardOfGroup(GroupId group, uint32_t num_shards) {
+  if (num_shards <= 1 || group == 0) return 0;
+  return static_cast<uint32_t>((group - 1) % num_shards);
+}
+
 // ---- mn.resolve_update ----
 // Client: "I am about to index these files; where do they live?"
 // The master places unknown files and answers (file, group, node) triples.
 struct ResolveUpdateRequest {
   std::vector<FileId> files;
+  // Trailing-optional arrival stamp (open-loop traffic): > 0 carries the
+  // virtual time the op entered the system so the master can model
+  // queueing delay on the owning metadata shard.  Absent when 0.
+  double arrival_s = 0;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, ResolveUpdateRequest& out);
 };
@@ -74,6 +103,10 @@ struct ResolveUpdateResponse {
   uint64_t metadata_epoch = 0;  // 0 = master not publishing epochs
   // Full replica sets for the groups named above (empty = unreplicated).
   std::vector<GroupReplicaSet> replicas;
+  // Trailing-optional per-shard epochs + lease holders (see shard
+  // convention above); empty at master_shards = 1 / leases off.
+  std::vector<uint64_t> shard_epochs;
+  std::vector<NodeId> lease_holders;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, ResolveUpdateResponse& out);
 };
@@ -83,6 +116,10 @@ struct ResolveUpdateResponse {
 // Empty name = all groups.
 struct ResolveSearchRequest {
   std::string index_name;
+  // Trailing-optional arrival stamp (open-loop traffic): see
+  // ResolveUpdateRequest.  On the sharded master a search resolve reads
+  // every shard, so its queueing delay is the max over the shards.
+  double arrival_s = 0;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, ResolveSearchRequest& out);
 };
@@ -96,6 +133,10 @@ struct ResolveSearchResponse {
   // Full replica sets per group (empty = unreplicated); clients hedge
   // slow/failed primary branches to nodes[1].
   std::vector<GroupReplicaSet> replicas;
+  // Trailing-optional per-shard epochs + lease holders (see shard
+  // convention above); empty at master_shards = 1 / leases off.
+  std::vector<uint64_t> shard_epochs;
+  std::vector<NodeId> lease_holders;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, ResolveSearchResponse& out);
 };
@@ -128,6 +169,39 @@ struct HeartbeatRequest {
   std::vector<GroupStat> groups;
   void Serialize(BinaryWriter& w) const;
   static Status Deserialize(BinaryReader& r, HeartbeatRequest& out);
+};
+// Heartbeat responses were historically empty acks; with placement leases
+// on, the master rides its lease grants on them.  A grant names a metadata
+// shard the node may answer resolves for until `expiry_s`, and — only when
+// the shard's epoch moved since the last push — a mirror of the shard's
+// routing state (group -> primary, replica sets, file -> group) the node
+// serves those resolves from.  Steady state (no metadata churn) renewals
+// carry no mirror, so the per-heartbeat cost stays near the legacy ack.
+// An all-default response serializes to zero bytes: with leases off the
+// wire is bit-identical to the legacy empty ack.
+struct ShardLeaseGrant {
+  uint32_t shard = 0;
+  uint64_t epoch = 0;   // the mirror's epoch (what delegated answers stamp)
+  double expiry_s = 0;  // lease valid until this cluster time
+  bool has_mirror = false;
+  struct GroupPrimary {
+    GroupId group = 0;
+    NodeId node = 0;
+  };
+  std::vector<GroupPrimary> groups;        // mirror: group -> primary
+  std::vector<GroupReplicaSet> replicas;   // mirror: full sets (replication)
+  struct FileGroup {
+    FileId file = 0;
+    GroupId group = 0;
+  };
+  std::vector<FileGroup> files;            // mirror: file -> group
+};
+struct HeartbeatResponse {
+  uint32_t num_shards = 0;  // 0 = no lease section (legacy empty ack)
+  std::vector<std::string> index_names;  // catalog names for delegated checks
+  std::vector<ShardLeaseGrant> leases;
+  void Serialize(BinaryWriter& w) const;
+  static Status Deserialize(BinaryReader& r, HeartbeatResponse& out);
 };
 
 // ---- in.create_group ----

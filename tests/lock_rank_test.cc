@@ -23,9 +23,12 @@ TEST(LockRankTableTest, MatchesDesignDocOrder) {
   const LockRank design_order[] = {
       LockRank::kClientCache,     // core::PropellerClient::cache_mu_
       LockRank::kMaster,          // core::MasterNode::mu_
+      LockRank::kMasterLiveness,  // core::MasterNode::liveness_mu_
+      LockRank::kMasterShard,     // core::MasterNode::Shard::mu_
       LockRank::kTransportRouting,// net::Transport::mu_
       LockRank::kFaultPlan,       // net::FaultPlan::mu_
       LockRank::kIndexNodeAdmission, // core::IndexNode::admission_mu_
+      LockRank::kIndexNodeLease,  // core::IndexNode::lease_mu_
       LockRank::kIndexNodeGroups, // core::IndexNode::groups_mu_
       LockRank::kIndexNodeReplica,// core::IndexNode::replica_mu_
       LockRank::kGroupJournal,    // core::GroupJournal::mu_
@@ -55,6 +58,9 @@ TEST(LockRankTableTest, NamesAreStable) {
   EXPECT_STREQ(LockRankName(LockRank::kIndexNodeReplica), "kIndexNodeReplica");
   EXPECT_STREQ(LockRankName(LockRank::kIndexNodeAdmission),
                "kIndexNodeAdmission");
+  EXPECT_STREQ(LockRankName(LockRank::kMasterLiveness), "kMasterLiveness");
+  EXPECT_STREQ(LockRankName(LockRank::kMasterShard), "kMasterShard");
+  EXPECT_STREQ(LockRankName(LockRank::kIndexNodeLease), "kIndexNodeLease");
   EXPECT_STREQ(LockRankName(LockRank::kUnranked), "kUnranked");
 }
 
@@ -178,6 +184,23 @@ TEST(LockRankDeathTest, InversionAborts) {
         Mutex master(LockRank::kMaster, "master");
         MutexLock l1(group);
         MutexLock l2(master);
+      },
+      "LOCK RANK VIOLATION");
+}
+
+TEST(LockRankDeathTest, ShardUnderClientCacheAborts) {
+  if (!ChecksEnabled()) GTEST_SKIP() << "lock-rank checks compiled out";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The sharded master's per-shard mutexes sit above the client's cache
+  // lock: a client callback that resolved placements while holding its
+  // cache (cache -> RPC -> shard) would deadlock against the resolve path
+  // proper, so taking the cache lock under a shard mutex must abort.
+  EXPECT_DEATH(
+      {
+        Mutex shard(LockRank::kMasterShard, "shard");
+        Mutex cache(LockRank::kClientCache, "cache");
+        MutexLock l1(shard);
+        MutexLock l2(cache);
       },
       "LOCK RANK VIOLATION");
 }
